@@ -1,0 +1,102 @@
+// E1/E2 — OO7 raw performance (thesis 7.2.1.2.1): database creation and
+// full traversal T1, Prometheus vs the plain baseline store. The printed
+// table is the paper-style series: Prometheus cost is a small constant
+// factor over raw storage for navigation, larger for creation (events,
+// semantics, undo logging).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "oo7/oo7.h"
+
+namespace {
+
+using prometheus::oo7::BaselineOo7;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+
+Config MakeConfig(int composites) {
+  Config config;
+  config.composite_parts = composites;
+  // The assembly tree grows with the part library so traversal work scales
+  // with database size, as in OO7's small/medium databases.
+  config.assembly_levels =
+      composites <= 10 ? 4 : (composites <= 20 ? 5 : (composites <= 40 ? 6 : 7));
+  return config;
+}
+
+void PrintSeries() {
+  prometheus::bench::PrintTableHeader(
+      "E1/E2: OO7 raw performance (create + traverse T1)",
+      "  comps  atoms   create_prom_ms  create_base_ms  ratio   "
+      "t1_prom_ms  t1_base_ms  ratio");
+  for (int comps : {10, 20, 40, 80}) {
+    Config config = MakeConfig(comps);
+    double create_prom = prometheus::bench::MedianMillis(
+        [&] { PrometheusOo7 db(config); benchmark::DoNotOptimize(&db); });
+    double create_base = prometheus::bench::MedianMillis(
+        [&] { BaselineOo7 db(config); benchmark::DoNotOptimize(&db); });
+    PrometheusOo7 prom(config);
+    BaselineOo7 base(config);
+    double t1_prom = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(prom.TraverseT1()); }, 5);
+    double t1_base = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(base.TraverseT1()); }, 5);
+    std::printf(
+        "  %5d  %5d   %14.3f  %14.3f  %5.1f   %10.3f  %10.4f  %5.1f\n",
+        comps, config.total_atomic_parts(), create_prom, create_base,
+        create_base > 0 ? create_prom / create_base : 0.0, t1_prom, t1_base,
+        t1_base > 0 ? t1_prom / t1_base : 0.0);
+  }
+}
+
+void BM_CreatePrometheus(benchmark::State& state) {
+  Config config = MakeConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    PrometheusOo7 db(config);
+    benchmark::DoNotOptimize(&db);
+  }
+  state.SetItemsProcessed(state.iterations() * config.total_atomic_parts());
+}
+BENCHMARK(BM_CreatePrometheus)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_CreateBaseline(benchmark::State& state) {
+  Config config = MakeConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    BaselineOo7 db(config);
+    benchmark::DoNotOptimize(&db);
+  }
+  state.SetItemsProcessed(state.iterations() * config.total_atomic_parts());
+}
+BENCHMARK(BM_CreateBaseline)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_T1Prometheus(benchmark::State& state) {
+  PrometheusOo7 db(MakeConfig(static_cast<int>(state.range(0))));
+  std::uint64_t visits = 0;
+  for (auto _ : state) {
+    visits = db.TraverseT1();
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_T1Prometheus)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_T1Baseline(benchmark::State& state) {
+  BaselineOo7 db(MakeConfig(static_cast<int>(state.range(0))));
+  std::uint64_t visits = 0;
+  for (auto _ : state) {
+    visits = db.TraverseT1();
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_T1Baseline)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E5 — Figure 46: structural modification S2 (delete composite parts).
+// Deletion exercises the cascade machinery: lifetime-dependent
+// aggregations remove every atomic part and connection, each with event
+// publication and undo snapshots — the second non-constant-cost case of
+// the thesis' evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "index/index_manager.h"
+#include "oo7/oo7.h"
+
+namespace {
+
+using prometheus::oo7::BaselineOo7;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+
+constexpr int kDeleteBatch = 5;
+
+Config MakeConfig(int composites) {
+  Config config;
+  config.composite_parts = composites;
+  // The assembly tree grows with the part library so traversal work scales
+  // with database size, as in OO7's small/medium databases.
+  config.assembly_levels =
+      composites <= 10 ? 4 : (composites <= 20 ? 5 : (composites <= 40 ? 6 : 7));
+  return config;
+}
+
+void PrintFigure46() {
+  prometheus::bench::PrintTableHeader(
+      "Figure 46: non-constant increase in cost (S2 structural delete)",
+      "  comps  atoms   prom_ms    base_ms    ratio  (deleting 5 "
+      "composite parts with cascade)");
+  for (int comps : {10, 20, 40, 80}) {
+    Config config = MakeConfig(comps);
+    // A fresh database per repetition (deletes are destructive); only the
+    // delete itself is timed.
+    auto time_one = [&](auto&& make_and_delete) {
+      std::vector<double> samples;
+      for (int rep = 0; rep < 3; ++rep) {
+        samples.push_back(make_and_delete());
+      }
+      std::sort(samples.begin(), samples.end());
+      return samples[samples.size() / 2];
+    };
+    double prom_op = time_one([&] {
+      PrometheusOo7 prom(config);
+      // As in S1, the index layer is subscribed: deletion pays index entry
+      // removal for every cascaded atomic part.
+      prometheus::IndexManager indexes(&prom.db());
+      (void)indexes.CreateIndex("AtomicPart", "id");
+      (void)indexes.CreateIndex("AtomicPart", "build_date",
+                                /*ordered=*/true);
+      return prometheus::bench::MedianMillis(
+          [&] { benchmark::DoNotOptimize(prom.DeleteS2(kDeleteBatch).ok()); },
+          1);
+    });
+    double base_op = time_one([&] {
+      BaselineOo7 base(config);
+      return prometheus::bench::MedianMillis(
+          [&] { benchmark::DoNotOptimize(base.DeleteS2(kDeleteBatch).ok()); },
+          1);
+    });
+    if (base_op <= 0.0001) base_op = 0.0001;
+    std::printf("  %5d  %5d   %8.3f   %8.4f   %5.1f\n", comps,
+                config.total_atomic_parts(), prom_op, base_op,
+                prom_op / base_op);
+  }
+}
+
+void BM_S2Prometheus(benchmark::State& state) {
+  Config config = MakeConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PrometheusOo7 db(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.DeleteS2(kDeleteBatch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kDeleteBatch);
+}
+BENCHMARK(BM_S2Prometheus)
+    ->Arg(10)
+    ->Arg(40)
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_S2Baseline(benchmark::State& state) {
+  Config config = MakeConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BaselineOo7 db(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.DeleteS2(kDeleteBatch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kDeleteBatch);
+}
+BENCHMARK(BM_S2Baseline)
+    ->Arg(10)
+    ->Arg(40)
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure46();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E3 — Figure 44: traversal-with-update T5. The thesis' figure shows the
+// Prometheus/storage cost ratio staying roughly constant as the database
+// grows: the per-update feature cost (events, undo log, type checks) does
+// not depend on database size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "oo7/oo7.h"
+
+namespace {
+
+using prometheus::oo7::BaselineOo7;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+
+Config MakeConfig(int composites) {
+  Config config;
+  config.composite_parts = composites;
+  // The assembly tree grows with the part library so traversal work scales
+  // with database size, as in OO7's small/medium databases.
+  config.assembly_levels =
+      composites <= 10 ? 4 : (composites <= 20 ? 5 : (composites <= 40 ? 6 : 7));
+  return config;
+}
+
+void PrintFigure44() {
+  prometheus::bench::PrintTableHeader(
+      "Figure 44: constant increase in cost (T5 traversal + update)",
+      "  comps  atoms   prom_ms    base_ms    ratio  (ratio expected "
+      "~constant across sizes)");
+  for (int comps : {10, 20, 40, 80}) {
+    Config config = MakeConfig(comps);
+    PrometheusOo7 prom(config);
+    BaselineOo7 base(config);
+    std::int64_t tick = 0;
+    double prom_ms = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(prom.TraverseT5(++tick)); }, 5);
+    double base_ms = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(base.TraverseT5(++tick)); }, 5);
+    std::printf("  %5d  %5d   %8.3f   %8.4f   %5.1f\n", comps,
+                config.total_atomic_parts(), prom_ms, base_ms,
+                base_ms > 0 ? prom_ms / base_ms : 0.0);
+  }
+}
+
+void BM_T5Prometheus(benchmark::State& state) {
+  PrometheusOo7 db(MakeConfig(static_cast<int>(state.range(0))));
+  std::int64_t tick = 0;
+  std::uint64_t updated = 0;
+  for (auto _ : state) {
+    updated = db.TraverseT5(++tick).updated;
+    benchmark::DoNotOptimize(updated);
+  }
+  state.counters["updates"] = static_cast<double>(updated);
+}
+BENCHMARK(BM_T5Prometheus)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_T5Baseline(benchmark::State& state) {
+  BaselineOo7 db(MakeConfig(static_cast<int>(state.range(0))));
+  std::int64_t tick = 0;
+  std::uint64_t updated = 0;
+  for (auto _ : state) {
+    updated = db.TraverseT5(++tick).updated;
+    benchmark::DoNotOptimize(updated);
+  }
+  state.counters["updates"] = static_cast<double>(updated);
+}
+BENCHMARK(BM_T5Baseline)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure44();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

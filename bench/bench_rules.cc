@@ -1,0 +1,165 @@
+// E10 — rule overhead (thesis 7.1.3.2 constraints + 5.2 scheduling): cost
+// of attribute updates under growing rule sets, immediate vs deferred
+// scheduling, and the PCL compilation path. Expected shape: cost grows
+// linearly with the number of *matching* rules; deferred rules move the
+// cost to commit; non-matching rules are cheap to skip.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "rules/pcl.h"
+#include "rules/rule_engine.h"
+
+namespace {
+
+using prometheus::AttributeDef;
+using prometheus::Database;
+using prometheus::Oid;
+using prometheus::RuleEngine;
+using prometheus::RuleSpec;
+using prometheus::RuleTiming;
+using prometheus::Value;
+using prometheus::ValueType;
+
+AttributeDef Attr(std::string name, ValueType type) {
+  AttributeDef a;
+  a.name = std::move(name);
+  a.type = type;
+  return a;
+}
+
+struct Fixture {
+  Fixture() {
+    (void)db.DefineClass("Taxon", {},
+                         {Attr("year", ValueType::kInt),
+                          Attr("rank", ValueType::kString)});
+    (void)db.DefineClass("Other", {}, {Attr("year", ValueType::kInt)});
+    for (int i = 0; i < 500; ++i) {
+      taxa.push_back(db.CreateObject("Taxon", {{"year", Value::Int(1753)}})
+                         .value());
+    }
+    rules = std::make_unique<RuleEngine>(&db);
+  }
+
+  void AddInvariants(int n, const char* target) {
+    for (int i = 0; i < n; ++i) {
+      (void)rules->AddInvariant("inv_" + std::string(target) +
+                                    std::to_string(i),
+                                target, "self.year > 0", "positive year");
+    }
+  }
+
+  Database db;
+  std::vector<Oid> taxa;
+  std::unique_ptr<RuleEngine> rules;
+};
+
+void PrintSeries() {
+  prometheus::bench::PrintTableHeader(
+      "E10: rule-checking overhead (2000 attribute updates on 500 taxa)",
+      "  configuration              ms       vs_no_rules");
+  double baseline_ms = 0;
+  auto run = [&](const char* label, int matching, int foreign,
+                 bool deferred_txn) {
+    double ms = prometheus::bench::MedianMillis(
+        [&] {
+          Fixture fx;
+          fx.AddInvariants(matching, "Taxon");
+          fx.AddInvariants(foreign, "Other");
+          if (deferred_txn) {
+            // Replace the immediate rules with deferred ones.
+            Fixture* f = &fx;
+            (void)f;
+          }
+          if (deferred_txn) (void)fx.db.Begin();
+          for (int i = 0; i < 2000; ++i) {
+            (void)fx.db.SetAttribute(fx.taxa[i % fx.taxa.size()], "year",
+                                     Value::Int(1753 + i));
+          }
+          if (deferred_txn) (void)fx.db.Commit();
+        },
+        3);
+    if (baseline_ms == 0) baseline_ms = ms;
+    std::printf("  %-26s %8.3f   %5.2fx\n", label, ms, ms / baseline_ms);
+  };
+  run("no rules", 0, 0, false);
+  run("1 matching invariant", 1, 0, false);
+  run("5 matching invariants", 5, 0, false);
+  run("10 matching invariants", 10, 0, false);
+  run("10 non-matching rules", 0, 10, false);
+  run("5 invariants, in txn", 5, 0, true);
+}
+
+void BM_UpdateWithRules(benchmark::State& state) {
+  Fixture fx;
+  fx.AddInvariants(static_cast<int>(state.range(0)), "Taxon");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.db.SetAttribute(fx.taxa[static_cast<std::size_t>(i) %
+                                   fx.taxa.size()],
+                           "year", Value::Int(1753 + i))
+            .ok());
+    ++i;
+  }
+  state.counters["evaluations"] =
+      static_cast<double>(fx.rules->evaluations());
+}
+BENCHMARK(BM_UpdateWithRules)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeferredCommit(benchmark::State& state) {
+  // Cost of committing a transaction with N queued deferred checks.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture fx;
+    RuleSpec spec;
+    spec.name = "deferred_pos";
+    spec.events = {{prometheus::EventKind::kAfterSetAttribute, "Taxon"}};
+    spec.condition = "self.year > 0";
+    spec.timing = RuleTiming::kDeferred;
+    spec.message = "positive";
+    (void)fx.rules->AddRule(spec);
+    (void)fx.db.Begin();
+    for (int i = 0; i < n; ++i) {
+      (void)fx.db.SetAttribute(fx.taxa[static_cast<std::size_t>(i) %
+                                       fx.taxa.size()],
+                               "year", Value::Int(1 + i));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fx.db.Commit().ok());
+  }
+}
+BENCHMARK(BM_DeferredCommit)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Iterations(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PclCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prometheus::CompilePcl(
+            "context Taxon inv cap: if self.rank = 'Genus' then "
+            "substr(self.rank, 0, 1) != lower(substr(self.rank, 0, 1))")
+            .ok());
+  }
+}
+BENCHMARK(BM_PclCompile)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation — storage substrate throughput: snapshot save/load and journal
+// write/replay over OO7-shaped databases. Expected shape: snapshot cost is
+// linear in database size; journal appends add a small constant per
+// mutation; replay costs roughly one Create* call per record.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "bench_util.h"
+#include "oo7/oo7.h"
+#include "storage/journal.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+using prometheus::Database;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+
+Config MakeConfig(int composites) {
+  Config config;
+  config.composite_parts = composites;
+  config.assembly_levels = 4;
+  return config;
+}
+
+void PrintSeries() {
+  prometheus::bench::PrintTableHeader(
+      "Ablation: storage substrate (snapshot & journal)",
+      "  comps  objects  links   save_ms   load_ms   journal_ms  replay_ms");
+  for (int comps : {10, 40}) {
+    Config config = MakeConfig(comps);
+    PrometheusOo7 prom(config);
+    Database& db = prom.db();
+
+    std::string snapshot_text;
+    double save_ms = prometheus::bench::MedianMillis(
+        [&] {
+          std::ostringstream out;
+          benchmark::DoNotOptimize(
+              prometheus::storage::SaveSnapshot(db, out).ok());
+          snapshot_text = out.str();
+        },
+        3);
+    double load_ms = prometheus::bench::MedianMillis(
+        [&] {
+          Database fresh;
+          std::istringstream in(snapshot_text);
+          benchmark::DoNotOptimize(
+              prometheus::storage::LoadSnapshot(&fresh, in).ok());
+        },
+        3);
+    // Journal: time only the journalled S1 workload (database build and
+    // journal open are outside the timed region).
+    const std::string journal_path = "/tmp/prometheus_bench_journal.log";
+    double journal_ms;
+    {
+      std::vector<double> samples;
+      for (int rep = 0; rep < 3; ++rep) {
+        PrometheusOo7 tmp(config);
+        auto journal =
+            prometheus::storage::Journal::Open(&tmp.db(), journal_path);
+        samples.push_back(prometheus::bench::MedianMillis(
+            [&] { benchmark::DoNotOptimize(tmp.InsertS1(5).ok()); }, 1));
+      }
+      std::sort(samples.begin(), samples.end());
+      journal_ms = samples[samples.size() / 2];
+    }
+    double replay_ms = prometheus::bench::MedianMillis(
+        [&] {
+          Database fresh;
+          benchmark::DoNotOptimize(
+              prometheus::storage::Journal::Replay(&fresh, journal_path)
+                  .ok());
+        },
+        3);
+    std::printf("  %5d  %7zu  %5zu   %7.3f   %7.3f   %9.3f  %8.3f\n", comps,
+                db.object_count(), db.link_count(), save_ms, load_ms,
+                journal_ms, replay_ms);
+  }
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  PrometheusOo7 prom(MakeConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::ostringstream out;
+    benchmark::DoNotOptimize(
+        prometheus::storage::SaveSnapshot(prom.db(), out).ok());
+  }
+}
+BENCHMARK(BM_SnapshotSave)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  PrometheusOo7 prom(MakeConfig(static_cast<int>(state.range(0))));
+  std::ostringstream out;
+  (void)prometheus::storage::SaveSnapshot(prom.db(), out);
+  std::string text = out.str();
+  for (auto _ : state) {
+    Database fresh;
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(
+        prometheus::storage::LoadSnapshot(&fresh, in).ok());
+  }
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_JournalledCreate(benchmark::State& state) {
+  // Per-object creation cost with (1) / without (0) a journal attached.
+  Database db;
+  prometheus::AttributeDef attr;
+  attr.name = "n";
+  attr.type = prometheus::ValueType::kInt;
+  (void)db.DefineClass("Node", {}, {attr});
+  std::unique_ptr<prometheus::storage::Journal> journal;
+  if (state.range(0) == 1) {
+    auto opened = prometheus::storage::Journal::Open(
+        &db, "/tmp/prometheus_bench_journal2.log");
+    if (opened.ok()) journal = std::move(opened).value();
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.CreateObject("Node", {{"n", prometheus::Value::Int(i++)}}).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalledCreate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+#ifndef PROMETHEUS_BENCH_BENCH_UTIL_H_
+#define PROMETHEUS_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+namespace prometheus::bench {
+
+/// Milliseconds taken by the median of `reps` runs of `fn`.
+template <typename Fn>
+double MedianMillis(Fn&& fn, int reps = 3) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Prints the header of a paper-style series table.
+inline void PrintTableHeader(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace prometheus::bench
+
+#endif  // PROMETHEUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Ablation — view strategy (thesis 3.2.2 discusses the cost trade-off the
+// prototype resolved in favour of virtual views): virtual views pay at
+// read time, materialised views pay at write time. Expected shape:
+// materialised reads are O(result) regardless of database size; virtual
+// reads scan; write-side maintenance adds a bounded per-mutation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "views/view_manager.h"
+
+namespace {
+
+using prometheus::AttributeDef;
+using prometheus::Database;
+using prometheus::Oid;
+using prometheus::Value;
+using prometheus::ValueType;
+using prometheus::ViewDef;
+using prometheus::ViewManager;
+
+AttributeDef Attr(std::string name, ValueType type) {
+  AttributeDef a;
+  a.name = std::move(name);
+  a.type = type;
+  return a;
+}
+
+void Populate(Database* db, int objects) {
+  (void)db->DefineClass("Taxon", {},
+                        {Attr("rank", ValueType::kString),
+                         Attr("year", ValueType::kInt)});
+  for (int i = 0; i < objects; ++i) {
+    (void)db->CreateObject(
+        "Taxon", {{"rank", Value::String(i % 10 == 0 ? "Genus" : "Species")},
+                  {"year", Value::Int(1700 + i % 300)}});
+  }
+}
+
+ViewDef GenusView() {
+  ViewDef def;
+  def.name = "genera";
+  def.class_name = "Taxon";
+  def.predicate = "self.rank = 'Genus'";
+  return def;
+}
+
+void PrintSeries() {
+  prometheus::bench::PrintTableHeader(
+      "Ablation: virtual vs materialised views (10% selectivity)",
+      "  objects   virtual_read_ms  materialised_read_ms  "
+      "update_plain_ms  update_maintained_ms");
+  for (int objects : {1000, 4000}) {
+    Database db;
+    Populate(&db, objects);
+    ViewManager views(&db);
+    (void)views.Define(GenusView());
+    ViewDef mat = GenusView();
+    mat.name = "genera_mat";
+    (void)views.DefineMaterialized(mat);
+
+    double virtual_read = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(views.Evaluate("genera").ok()); }, 5);
+    double mat_read = prometheus::bench::MedianMillis(
+        [&] { benchmark::DoNotOptimize(views.Evaluate("genera_mat").ok()); },
+        5);
+
+    // Write-side: 1000 attribute updates with and without maintenance.
+    std::vector<Oid> taxa = db.Extent("Taxon");
+    double update_maintained = prometheus::bench::MedianMillis(
+        [&] {
+          for (int i = 0; i < 1000; ++i) {
+            (void)db.SetAttribute(taxa[static_cast<std::size_t>(i) %
+                                       taxa.size()],
+                                  "year", Value::Int(1800 + i));
+          }
+        },
+        3);
+    Database plain_db;
+    Populate(&plain_db, objects);
+    std::vector<Oid> plain_taxa = plain_db.Extent("Taxon");
+    double update_plain = prometheus::bench::MedianMillis(
+        [&] {
+          for (int i = 0; i < 1000; ++i) {
+            (void)plain_db.SetAttribute(
+                plain_taxa[static_cast<std::size_t>(i) % plain_taxa.size()],
+                "year", Value::Int(1800 + i));
+          }
+        },
+        3);
+    std::printf("  %7d   %15.3f  %20.4f  %15.3f  %20.3f\n", objects,
+                virtual_read, mat_read, update_plain, update_maintained);
+  }
+}
+
+void BM_VirtualRead(benchmark::State& state) {
+  Database db;
+  Populate(&db, static_cast<int>(state.range(0)));
+  ViewManager views(&db);
+  (void)views.Define(GenusView());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views.Evaluate("genera").ok());
+  }
+}
+BENCHMARK(BM_VirtualRead)->Arg(1000)->Arg(4000)->Unit(benchmark::kMicrosecond);
+
+void BM_MaterializedRead(benchmark::State& state) {
+  Database db;
+  Populate(&db, static_cast<int>(state.range(0)));
+  ViewManager views(&db);
+  (void)views.DefineMaterialized(GenusView());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views.Evaluate("genera").ok());
+  }
+}
+BENCHMARK(BM_MaterializedRead)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,202 @@
+// prometheus_shell — an interactive POOL console over a Prometheus
+// database, standing in for the thesis prototype's interactive front end
+// (the HTTP layer of 6.1.7 played this role remotely).
+//
+//   ./build/examples/prometheus_shell [snapshot.pdb]
+//
+// Commands:
+//   .help                    this text
+//   .classes                 list classes
+//   .relationships           list relationship classes
+//   .extent <name>           count + first members of an extent
+//   .rule <pcl statement>    install a PCL constraint
+//   .warnings                show rule warnings
+//   .save <file> / .load <file>
+//   .demo                    load a small demonstration taxonomy
+//   .quit
+// Anything else is run as a POOL query, e.g.:
+//   select t.name from Taxon t where t.rank = 'Genus'
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index/index_manager.h"
+#include "query/query_engine.h"
+#include "rules/pcl.h"
+#include "rules/rule_engine.h"
+#include "storage/snapshot.h"
+
+using namespace prometheus;
+
+namespace {
+
+AttributeDef Attr(std::string name, ValueType type) {
+  AttributeDef a;
+  a.name = std::move(name);
+  a.type = type;
+  return a;
+}
+
+void PrintResultSet(const pool::ResultSet& rs) {
+  // Column widths from headers and cells.
+  std::vector<std::size_t> widths;
+  for (const std::string& c : rs.columns) widths.push_back(c.size());
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : rs.rows) {
+    std::vector<std::string> line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::string text = row[i].ToString();
+      if (i < widths.size() && text.size() > widths[i]) {
+        widths[i] = text.size();
+      }
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  for (std::size_t i = 0; i < rs.columns.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths[i]), rs.columns[i].c_str());
+  }
+  std::printf("\n");
+  for (const auto& line : cells) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), line[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", rs.rows.size());
+}
+
+void LoadDemo(Database* db) {
+  if (db->FindClass("Taxon") == nullptr) {
+    (void)db->DefineClass("Taxon", {},
+                          {Attr("name", ValueType::kString),
+                           Attr("rank", ValueType::kString),
+                           Attr("year", ValueType::kInt)});
+    (void)db->DefineRelationship("placed_in", "Taxon", "Taxon", {},
+                                 {Attr("motivation", ValueType::kString)});
+  }
+  auto mk = [&](const char* name, const char* rank, int year) {
+    return db->CreateObject("Taxon", {{"name", Value::String(name)},
+                                      {"rank", Value::String(rank)},
+                                      {"year", Value::Int(year)}})
+        .value_or(kNullOid);
+  };
+  Oid apiaceae = mk("Apiaceae", "Familia", 1789);
+  Oid apium = mk("Apium", "Genus", 1753);
+  Oid helio = mk("Heliosciadium", "Genus", 1824);
+  Oid graveolens = mk("graveolens", "Species", 1753);
+  Oid repens = mk("repens", "Species", 1821);
+  (void)db->CreateLink("placed_in", apiaceae, apium);
+  (void)db->CreateLink("placed_in", apiaceae, helio);
+  (void)db->CreateLink("placed_in", apium, graveolens);
+  (void)db->CreateLink("placed_in", helio, repens);
+  std::printf("demo taxonomy loaded: %zu taxa, %zu placements\n",
+              db->object_count(), db->link_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  if (argc > 1) {
+    Status st = storage::LoadSnapshot(&db, argv[1]);
+    if (!st.ok()) {
+      std::printf("cannot load %s: %s\n", argv[1], st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %zu objects, %zu links\n", argv[1],
+                db.object_count(), db.link_count());
+  }
+  IndexManager indexes(&db);
+  RuleEngine rules(&db);
+  pool::QueryEngine engine(&db, &indexes);
+
+  std::printf("Prometheus shell — type .help for commands, .quit to exit\n");
+  std::string line;
+  while (std::printf("pool> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    // Trim.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '.') {
+      std::istringstream in(line);
+      std::string cmd;
+      in >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf(
+            ".classes .relationships .extent <name> .explain <query> "
+            ".rule <pcl> .warnings .save <f> .load <f> .demo .quit\n"
+            "anything else runs as POOL\n");
+      } else if (cmd == ".classes") {
+        for (const ClassDef* cls : db.classes()) {
+          std::printf("%s%s (%zu attributes)\n", cls->name().c_str(),
+                      cls->is_abstract() ? " [abstract]" : "",
+                      cls->attributes().size());
+        }
+      } else if (cmd == ".relationships") {
+        for (const RelationshipDef* rel : db.relationships()) {
+          std::printf("%s: %s -> %s\n", rel->name().c_str(),
+                      rel->source_class()->name().c_str(),
+                      rel->target_class()->name().c_str());
+        }
+      } else if (cmd == ".extent") {
+        std::string name;
+        in >> name;
+        std::vector<Oid> extent = db.FindClass(name) != nullptr
+                                      ? db.Extent(name)
+                                      : db.LinkExtent(name);
+        std::printf("%zu members", extent.size());
+        for (std::size_t i = 0; i < extent.size() && i < 10; ++i) {
+          std::printf(" @%llu", static_cast<unsigned long long>(extent[i]));
+        }
+        std::printf("\n");
+      } else if (cmd == ".explain") {
+        std::string q = line.substr(9);
+        auto plan = engine.Explain(q);
+        std::printf("%s", plan.ok() ? plan.value().c_str()
+                                    : (plan.status().ToString() + "\n")
+                                          .c_str());
+      } else if (cmd == ".rule") {
+        std::string pcl = line.substr(5);
+        auto installed = InstallPcl(&rules, pcl);
+        std::printf("%s\n", installed.ok()
+                                ? "rule installed"
+                                : installed.status().ToString().c_str());
+      } else if (cmd == ".warnings") {
+        for (const RuleViolation& v : rules.warnings()) {
+          std::printf("%s: %s\n", v.rule_name.c_str(), v.message.c_str());
+        }
+        std::printf("(%zu warnings)\n", rules.warnings().size());
+      } else if (cmd == ".save") {
+        std::string path;
+        in >> path;
+        Status st = storage::SaveSnapshot(db, path);
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == ".load") {
+        std::string path;
+        in >> path;
+        Status st = storage::LoadSnapshot(&db, path);
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == ".demo") {
+        LoadDemo(&db);
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+    auto rs = engine.Execute(line);
+    if (rs.ok()) {
+      PrintResultSet(rs.value());
+    } else {
+      std::printf("error: %s\n", rs.status().ToString().c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

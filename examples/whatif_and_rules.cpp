@@ -1,0 +1,98 @@
+// What-if scenarios and the constraint machinery (thesis 7.1.3.2 and
+// 7.1.4): ICBN rules vetoing invalid nomenclature, an interactive rule
+// consulting the taxonomist, PCL-defined constraints, a speculative
+// re-classification run inside a transaction and rolled back, and a
+// snapshot round-trip through the storage substrate.
+
+#include <cstdio>
+
+#include "rules/pcl.h"
+#include "storage/snapshot.h"
+#include "taxonomy/synthetic.h"
+#include "taxonomy/taxonomy_db.h"
+
+using namespace prometheus;
+using namespace prometheus::taxonomy;
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::printf("FAILED %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  TaxonomyDatabase tdb;
+  Check(tdb.InstallIcbnRules(), "install ICBN rules");
+
+  // --- Rules in action -------------------------------------------------
+  std::printf("--- ICBN rules ---\n");
+  Status bad_family =
+      tdb.PublishName("Apium", Rank::kFamilia, "L.", 1753).status();
+  std::printf("family without -aceae: %s\n", bad_family.ToString().c_str());
+  Status bad_genus =
+      tdb.PublishName("apium", Rank::kGenus, "L.", 1753).status();
+  std::printf("lowercase genus:       %s\n", bad_genus.ToString().c_str());
+
+  // Interactive rules (thesis 5.2.1.4): the taxonomist may knowingly
+  // override. Here the handler allows one historical exception.
+  Check(InstallPcl(&tdb.rules(),
+                   "context NomenclaturalTaxon interactive inv "
+                   "post_linnaean: self.year >= 1753")
+            .status(),
+        "install interactive rule");
+  tdb.rules().set_interactive_handler([](const RuleViolation& v) {
+    std::printf("  interactive rule '%s' fired -> taxonomist allows it\n",
+                v.rule_name.c_str());
+    return true;  // allow
+  });
+  Status pre_linnaean =
+      tdb.PublishName("Vetustum", Rank::kGenus, "Anon.", 1700).status();
+  std::printf("pre-Linnaean name allowed interactively: %s\n",
+              pre_linnaean.ToString().c_str());
+
+  // --- What-if scenario -------------------------------------------------
+  std::printf("\n--- what-if: speculative revision ---\n");
+  FloraConfig config;
+  config.families = 1;
+  config.genera_per_family = 3;
+  config.species_per_genus = 4;
+  config.specimens_per_species = 3;
+  TaxonomyDatabase flora_db;  // fresh database without the strict rules
+  auto flora = GenerateFlora(&flora_db, config);
+  Check(flora.status(), "generate flora");
+  auto revision = GenerateRevision(&flora_db, flora.value(), 2, 7);
+  Check(revision.status(), "generate revision");
+
+  Database& db = flora_db.db();
+  std::size_t names_before = db.Extent(kNameClass).size();
+  Check(db.Begin(), "begin what-if");
+  Check(flora_db.DeriveAllNames(revision.value(), "Reviser", 2001),
+        "derive speculative names");
+  std::printf("speculative names for the revised genera:\n");
+  for (Oid root : flora_db.classifications().Roots(revision.value())) {
+    Oid name = flora_db.CalculatedNameOf(root);
+    if (name != kNullOid) {
+      std::printf("  %s\n", flora_db.FullName(name).value().c_str());
+    }
+  }
+  Check(db.Abort(), "abort what-if");
+  std::printf("after abort: %zu names (was %zu) — nothing was published\n",
+              db.Extent(kNameClass).size(), names_before);
+
+  // --- Persistence ------------------------------------------------------
+  std::printf("\n--- snapshot round-trip ---\n");
+  const std::string path = "/tmp/prometheus_whatif.pdb";
+  Check(storage::SaveSnapshot(db, path), "save snapshot");
+  Database loaded;
+  Check(storage::LoadSnapshot(&loaded, path), "load snapshot");
+  std::printf("restored %zu objects and %zu links from %s\n",
+              loaded.object_count(), loaded.link_count(), path.c_str());
+
+  std::printf("whatif_and_rules OK\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+#ifndef PROMETHEUS_CLASSIFICATION_CLASSIFICATION_H_
+#define PROMETHEUS_CLASSIFICATION_CLASSIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus {
+
+/// Name of the built-in class that classification objects instantiate.
+/// Defined by `ClassificationManager` on first use (attributes: `name`,
+/// `author`, `year`, `publication`).
+inline constexpr char kClassificationClassName[] = "Classification";
+
+/// Degree of overlap between two classified groups, computed from the
+/// objective fixed points — their leaf sets (thesis 2.1.3: specimens are the
+/// only objective information; synonymous leaves are unified first).
+enum class SynonymyKind {
+  kNone,      ///< disjoint leaf sets
+  kProParte,  ///< partial overlap ("pro parte" synonyms)
+  kFull,      ///< identical leaf sets (full synonyms)
+};
+
+/// Result of comparing the leaf sets of two groups.
+struct OverlapReport {
+  SynonymyKind kind = SynonymyKind::kNone;
+  /// Canonical leaf oids present under both groups.
+  std::vector<Oid> shared;
+  /// Canonical leaf oids only under the first / second group.
+  std::vector<Oid> only_a;
+  std::vector<Oid> only_b;
+};
+
+/// Management of multiple overlapping classifications (thesis 4.6).
+///
+/// A classification is an ordinary database object (so it can be queried,
+/// carries author/publication data, and serves as the *context* of links).
+/// The classified structure is the set of links created in that context:
+/// classification is orthogonal to the classified data (requirement 12) —
+/// the same objects may participate in any number of classifications
+/// through different link sets, which is exactly how the thesis represents
+/// multiple overlapping taxonomies.
+///
+/// Edge convention: classification links run from the classifying group
+/// (parent) to its members (children).
+class ClassificationManager {
+ public:
+  /// Binds to `db` and defines the `Classification` class if absent.
+  /// `db` must outlive the manager.
+  explicit ClassificationManager(Database* db);
+
+  ClassificationManager(const ClassificationManager&) = delete;
+  ClassificationManager& operator=(const ClassificationManager&) = delete;
+
+  /// Creates a classification entity. `year` uses 0 for "unknown".
+  Result<Oid> Create(const std::string& name, const std::string& author,
+                     std::int64_t year = 0,
+                     const std::string& publication = "");
+
+  /// Adds a parent→child edge of relationship class `rel_name` inside
+  /// `classification`. `motivation` (traceability, requirement 4) is stored
+  /// on the link when the relationship class declares a `motivation`
+  /// attribute; otherwise it must be empty.
+  Result<Oid> AddEdge(Oid classification, const std::string& rel_name,
+                      Oid parent, Oid child,
+                      const std::string& motivation = "");
+
+  /// Removes an edge (the link must belong to `classification`).
+  Status RemoveEdge(Oid classification, Oid link);
+
+  /// All links of the classification.
+  const std::vector<Oid>& Edges(Oid classification) const;
+
+  /// All distinct objects participating in the classification.
+  std::vector<Oid> Members(Oid classification) const;
+
+  /// Objects that appear as parents but never as children (the tops of the
+  /// hierarchy) within the classification.
+  std::vector<Oid> Roots(Oid classification) const;
+
+  /// Direct children of `node` within the classification.
+  std::vector<Oid> Children(Oid classification, Oid node) const;
+
+  /// Direct parents of `node` within the classification.
+  std::vector<Oid> Parents(Oid classification, Oid node) const;
+
+  /// Every object reachable downward from `node` (excluding `node`).
+  std::vector<Oid> Descendants(Oid classification, Oid node) const;
+
+  /// Descendants of `node` (or `node` itself) with no children in the
+  /// classification — for taxonomy, the specimens (requirement 9's
+  /// "recurse until specimens are found").
+  std::vector<Oid> Leaves(Oid classification, Oid node) const;
+
+  /// True when the classification's edges form a forest free of cycles
+  /// (every node reachable from a root, no back edges).
+  bool IsHierarchy(Oid classification) const;
+
+  /// Compares two groups by canonical leaf sets; synonymous leaves
+  /// (Database::DeclareSynonym) are unified before comparison.
+  OverlapReport Compare(Oid classification_a, Oid node_a,
+                        Oid classification_b, Oid node_b) const;
+
+  /// Convenience wrapper around `Compare` returning only the kind.
+  SynonymyKind Synonymy(Oid classification_a, Oid node_a,
+                        Oid classification_b, Oid node_b) const;
+
+  /// Copies every edge of `source` into a brand-new classification (same
+  /// classified objects, fresh links) — the "copy a classification to begin
+  /// a revision" operation of requirement 1. Link attributes are copied.
+  Result<Oid> Clone(Oid source, const std::string& new_name,
+                    const std::string& new_author, std::int64_t year = 0,
+                    const std::string& publication = "");
+
+  /// Copies only the subtree of `source` rooted at `node` (the node, its
+  /// descendants, and the edges between them) into the existing
+  /// classification `target` — partial revisions work on one group at a
+  /// time. Link attributes are copied.
+  Status CloneSubtree(Oid source, Oid node, Oid target);
+
+  /// One correspondence found by `Align`.
+  struct Alignment {
+    Oid taxon_a = kNullOid;
+    /// Best-matching group of the other classification; kNullOid when no
+    /// group shares any leaf.
+    Oid taxon_b = kNullOid;
+    /// Jaccard similarity of the canonical leaf sets (0..1).
+    double similarity = 0;
+    SynonymyKind kind = SynonymyKind::kNone;
+  };
+
+  /// Aligns two overlapping classifications: for every internal (non-leaf)
+  /// group of `a`, the internal group of `b` whose canonical leaf set is
+  /// most similar. This is the system-side of the thesis' "compare and
+  /// contrast existing and new classifications" goal — synonym candidates
+  /// fall out as the high-similarity pairs.
+  std::vector<Alignment> Align(Oid a, Oid b) const;
+
+  /// Structural difference between two classifications over the same
+  /// objects (e.g. a clone and its revised copy): edges of `a` with no
+  /// structural counterpart — same relationship class, source and target —
+  /// in `b`, and vice versa. Link oids are reported so attributes can be
+  /// inspected.
+  struct DiffReport {
+    std::vector<Oid> only_a;
+    std::vector<Oid> only_b;
+  };
+  DiffReport Diff(Oid a, Oid b) const;
+
+  /// Deletes a classification: removes its links, then the classification
+  /// object itself. The classified objects are untouched (orthogonality).
+  Status Destroy(Oid classification);
+
+  /// All classification objects in the database.
+  std::vector<Oid> All() const;
+
+  /// True when `oid` designates a classification object.
+  bool IsClassification(Oid oid) const;
+
+ private:
+  Status RequireClassification(Oid oid) const;
+
+  Database* db_;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_CLASSIFICATION_CLASSIFICATION_H_

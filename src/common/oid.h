@@ -1,0 +1,22 @@
+#ifndef PROMETHEUS_COMMON_OID_H_
+#define PROMETHEUS_COMMON_OID_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace prometheus {
+
+/// Database-wide stable object identifier.
+///
+/// A single Oid space covers objects, relationship instances (links) and
+/// classifications, matching the thesis' treatment of relationships as
+/// first-class citizens: anything addressable in the database has an Oid and
+/// can appear in a query result. Oid 0 is never allocated.
+using Oid = std::uint64_t;
+
+/// The null / "no object" identifier.
+inline constexpr Oid kNullOid = 0;
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_COMMON_OID_H_

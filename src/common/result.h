@@ -1,0 +1,79 @@
+#ifndef PROMETHEUS_COMMON_RESULT_H_
+#define PROMETHEUS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace prometheus {
+
+/// A value of type `T` or the `Status` explaining why it could not be
+/// produced. The database returns `Result<Oid>`, the query layer
+/// `Result<ResultSet>`, and so on.
+///
+/// Invariant: exactly one of {status not ok, value present} holds.
+template <typename T>
+class Result {
+ public:
+  /// Success. Implicit so functions can `return value;`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Failure. Implicit so functions can `return Status::NotFound(...);`.
+  /// `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` on failure.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace prometheus
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define PROMETHEUS_RETURN_IF_ERROR(expr)              \
+  do {                                                \
+    ::prometheus::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result-returning expression, assigns its value to `lhs`, and
+/// propagates the status on failure.
+#define PROMETHEUS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto PROMETHEUS_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!PROMETHEUS_CONCAT_(_res_, __LINE__).ok())      \
+    return PROMETHEUS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PROMETHEUS_CONCAT_(_res_, __LINE__)).value()
+
+#define PROMETHEUS_CONCAT_(a, b) PROMETHEUS_CONCAT_IMPL_(a, b)
+#define PROMETHEUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PROMETHEUS_COMMON_RESULT_H_

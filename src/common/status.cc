@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace prometheus {
+
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kConstraintViolation:
+      return "ConstraintViolation";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kTypeError:
+      return "TypeError";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace prometheus

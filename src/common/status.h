@@ -1,0 +1,100 @@
+#ifndef PROMETHEUS_COMMON_STATUS_H_
+#define PROMETHEUS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prometheus {
+
+/// Outcome of a database operation.
+///
+/// Prometheus does not throw exceptions across library boundaries; every
+/// fallible operation returns a `Status` (or a `Result<T>`, see result.h).
+/// The codes mirror the error classes the thesis' rule layer distinguishes:
+/// user errors (invalid argument, not found), integrity violations raised by
+/// the constraint machinery of chapter 4/5, and aborted transactions.
+class Status {
+ public:
+  /// Error categories.
+  enum class Code {
+    kOk = 0,
+    /// A name or oid does not designate anything in the database.
+    kNotFound,
+    /// The caller supplied an argument the model rejects (bad type, bad
+    /// cardinality specification, duplicate name, ...).
+    kInvalidArgument,
+    /// A relationship semantic (exclusivity, sharability, constancy,
+    /// cardinality, lifetime dependency) or a user rule vetoed the operation.
+    kConstraintViolation,
+    /// The enclosing transaction was aborted (by a rule or by the user).
+    kAborted,
+    /// POOL / PCL source text failed to parse.
+    kParseError,
+    /// POOL / PCL expression is type-incorrect for the schema.
+    kTypeError,
+    /// I/O failure in the storage substrate.
+    kIoError,
+    /// The operation is not valid in the current state (e.g. nested
+    /// transaction, mutating a committed classification).
+    kFailedPrecondition,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Factory helpers, one per code.
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(Code::kConstraintViolation, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(Code::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The error category.
+  Code code() const { return code_; }
+
+  /// Human-readable error description; empty when ok().
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("NotFound", ...).
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_COMMON_STATUS_H_

@@ -1,0 +1,332 @@
+#ifndef PROMETHEUS_CORE_DATABASE_H_
+#define PROMETHEUS_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "event/event_bus.h"
+
+namespace prometheus {
+
+/// Direction selector for link traversal.
+enum class Direction : std::uint8_t {
+  kOut,   ///< follow links from source to target
+  kIn,    ///< follow links from target to source
+  kBoth,  ///< follow links either way (undirected view)
+};
+
+/// Named initial attribute assignment used at object/link creation.
+using AttrInit = std::pair<std::string, Value>;
+
+/// The Prometheus database: schema registry, object store, first-class
+/// relationship store, instance synonyms and transactions, publishing every
+/// mutation on an `EventBus` (thesis chapter 4 model; chapter 6
+/// architecture: event layer + object layer).
+///
+/// Thread-compatibility: a `Database` confines itself to one thread, like a
+/// session in the thesis' prototype.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---------------------------------------------------------------- schema
+
+  /// Defines a class. `supers` name previously defined classes.
+  /// Fails with kInvalidArgument on duplicate names, unknown supers, or
+  /// attribute names that collide with inherited attributes.
+  Result<const ClassDef*> DefineClass(
+      const std::string& name, const std::vector<std::string>& supers = {},
+      std::vector<AttributeDef> attributes = {}, bool is_abstract = false);
+
+  /// Defines a relationship class between two existing classes.
+  /// `link_attributes` are carried by each link; `supers` name previously
+  /// defined relationship classes (source/target must covariantly refine
+  /// the super's).
+  Result<const RelationshipDef*> DefineRelationship(
+      const std::string& name, const std::string& source_class,
+      const std::string& target_class,
+      RelationshipSemantics semantics = RelationshipSemantics{},
+      std::vector<AttributeDef> link_attributes = {},
+      const std::vector<std::string>& supers = {});
+
+  /// Declares a method signature on an existing class (thesis 4.2). The
+  /// signature is schema metadata; behaviour is implemented host-side, as
+  /// in the ODMG language bindings.
+  Status DefineMethod(const std::string& class_name, MethodDef method);
+
+  /// Defines a relationship *template* (thesis figure 34): a reusable
+  /// bundle of semantics and link attributes that can be instantiated
+  /// against concrete classes any number of times.
+  Status DefineRelationshipTemplate(const std::string& name,
+                                    RelationshipSemantics semantics,
+                                    std::vector<AttributeDef> link_attributes);
+
+  /// Instantiates a template into a concrete relationship class.
+  Result<const RelationshipDef*> InstantiateRelationship(
+      const std::string& template_name, const std::string& rel_name,
+      const std::string& source_class, const std::string& target_class);
+
+  /// Names of the defined relationship templates.
+  std::vector<std::string> relationship_templates() const;
+
+  /// A template's semantics / link attributes; nullptr when absent.
+  const RelationshipSemantics* FindTemplateSemantics(
+      const std::string& name) const;
+  const std::vector<AttributeDef>* FindTemplateAttributes(
+      const std::string& name) const;
+
+  /// Looks up a class by name; nullptr when absent.
+  const ClassDef* FindClass(std::string_view name) const;
+
+  /// Looks up a relationship class by name; nullptr when absent.
+  const RelationshipDef* FindRelationship(std::string_view name) const;
+
+  /// All defined classes, in definition order.
+  std::vector<const ClassDef*> classes() const;
+
+  /// All defined relationship classes, in definition order.
+  std::vector<const RelationshipDef*> relationships() const;
+
+  // --------------------------------------------------------------- objects
+
+  /// Creates an instance of `class_name` with defaults applied and `inits`
+  /// overriding them. Vetoable by before-rules.
+  Result<Oid> CreateObject(const std::string& class_name,
+                           std::vector<AttrInit> inits = {});
+
+  /// Deletes an object: removes incident links (cascading through
+  /// lifetime-dependent relationships) and removes it from its extent.
+  Status DeleteObject(Oid oid);
+
+  /// Sets an attribute, type-checked against the declaration.
+  Status SetAttribute(Oid oid, const std::string& name, Value value);
+
+  /// Reads an attribute. Falls back to attributes inherited from incoming
+  /// links whose relationship class enables `inherit_attributes`
+  /// (thesis 4.4.5, figures 17–18).
+  Result<Value> GetAttribute(Oid oid, const std::string& name) const;
+
+  /// Non-owning instance lookup; nullptr when the oid is dead or unknown.
+  const Object* GetObject(Oid oid) const;
+
+  /// True when `oid` designates a live object of `class_name` (or one of
+  /// its subclasses).
+  bool IsInstanceOf(Oid oid, std::string_view class_name) const;
+
+  /// The extent of a class; with `include_subclasses` (the default) this is
+  /// the deep extent.
+  std::vector<Oid> Extent(const std::string& class_name,
+                          bool include_subclasses = true) const;
+
+  /// Number of live objects.
+  std::size_t object_count() const { return live_objects_; }
+
+  // ----------------------------------------------------------------- links
+
+  /// Creates a link of `rel_name` from `source` to `target`, optionally in
+  /// classification `context`. Enforces typing, cardinality, exclusivity
+  /// and sharability; vetoable by before-rules.
+  Result<Oid> CreateLink(const std::string& rel_name, Oid source, Oid target,
+                         Oid context = kNullOid,
+                         std::vector<AttrInit> inits = {});
+
+  /// Deletes a link. Vetoed for constant relationships.
+  Status DeleteLink(Oid oid);
+
+  /// Sets a link attribute. Vetoed for constant relationships.
+  Status SetLinkAttribute(Oid oid, const std::string& name, Value value);
+
+  /// Reads a link attribute.
+  Result<Value> GetLinkAttribute(Oid oid, const std::string& name) const;
+
+  /// Non-owning link lookup; nullptr when dead or unknown.
+  const Link* GetLink(Oid oid) const;
+
+  /// All live links of a relationship class (its extent); with
+  /// `include_subrelationships`, links of sub-relationship classes too.
+  std::vector<Oid> LinkExtent(const std::string& rel_name,
+                              bool include_subrelationships = true) const;
+
+  /// All live links whose classification context is `context` (thesis
+  /// 4.6.2: a classification *is* the set of links created in its context).
+  /// Maintained incrementally; O(result).
+  const std::vector<Oid>& LinksInContext(Oid context) const;
+
+  /// Number of live links.
+  std::size_t link_count() const { return live_links_; }
+
+  // ------------------------------------------------------------- traversal
+
+  /// Links incident to `oid` in `dir`, optionally restricted to a
+  /// relationship class (and its subs) and/or a classification context.
+  std::vector<Oid> IncidentLinks(Oid oid, Direction dir,
+                                 const RelationshipDef* def = nullptr,
+                                 Oid context = kNullOid) const;
+
+  /// Objects one hop away from `oid` over `rel_name` links.
+  /// `context == kNullOid` means "any context".
+  std::vector<Oid> Neighbors(Oid oid, const std::string& rel_name,
+                             Direction dir = Direction::kOut,
+                             Oid context = kNullOid) const;
+
+  /// Recursive closure (requirement 9): every object reachable from `start`
+  /// over `rel_name` links within `[min_depth, max_depth]` hops
+  /// (`max_depth == 0` means unbounded). Breadth-first; each object is
+  /// reported once at its smallest depth. The start itself is reported only
+  /// when `min_depth == 0`.
+  Result<std::vector<Oid>> Traverse(Oid start, const std::string& rel_name,
+                                    std::uint32_t min_depth,
+                                    std::uint32_t max_depth,
+                                    Direction dir = Direction::kOut,
+                                    Oid context = kNullOid) const;
+
+  // ----------------------------------------------- instance synonyms (4.5)
+
+  /// Declares that two objects denote the same real-world entity
+  /// (thesis 4.5). Synonymy is an equivalence relation maintained with a
+  /// union-find structure; it never merges storage.
+  Status DeclareSynonym(Oid a, Oid b);
+
+  /// True when the two oids are in the same synonym set (reflexive).
+  bool AreSynonyms(Oid a, Oid b) const;
+
+  /// Canonical representative of `oid`'s synonym set (itself if alone).
+  Oid CanonicalOf(Oid oid) const;
+
+  /// All *live* members of `oid`'s synonym set, including `oid` when it is
+  /// alive. Synonym chains survive member deletion (the remaining
+  /// duplicates stay unified), but deleted members are not reported.
+  std::vector<Oid> SynonymSet(Oid oid) const;
+
+  // ---------------------------------------------------------- transactions
+
+  /// Begins a transaction. Nested transactions are not supported.
+  Status Begin();
+
+  /// Runs deferred rules (kBeforeCommit event); on veto the transaction is
+  /// rolled back and kAborted returned. Otherwise makes changes permanent.
+  Status Commit();
+
+  /// Rolls back every mutation since Begin().
+  Status Abort();
+
+  bool in_transaction() const { return in_transaction_; }
+
+  // ------------------------------------------------------------ validation
+
+  /// Verifies min-cardinality of every live object against every
+  /// relationship class (thesis: deferred structural constraints).
+  Status ValidateCardinality() const;
+
+  // ----------------------------------------------------- storage substrate
+
+  /// Raw restore of an object under a chosen oid — used by the storage
+  /// layer when loading a snapshot. Bypasses events, rules and semantic
+  /// checks (a snapshot is already consistent). Fails when the oid is in
+  /// use or the class is unknown. Not valid inside a transaction.
+  Status RestoreObjectRaw(Oid oid, const std::string& class_name,
+                          std::vector<AttrInit> attrs);
+
+  /// Raw restore of a link under a chosen oid (see RestoreObjectRaw). The
+  /// endpoints must already exist.
+  Status RestoreLinkRaw(Oid oid, const std::string& rel_name, Oid source,
+                        Oid target, Oid context, std::vector<AttrInit> attrs);
+
+  /// Raw restore of a synonym edge (child's set is merged under parent).
+  Status RestoreSynonymRaw(Oid child, Oid parent);
+
+  /// Guarantees future oids are allocated strictly above `oid`.
+  void EnsureNextOidAbove(Oid oid);
+
+  // --------------------------------------------------------------- plumbing
+
+  /// The event bus all mutations are published on.
+  EventBus& bus() { return bus_; }
+  const EventBus& bus() const { return bus_; }
+
+  /// When false, before/after events are not published (used by the
+  /// feature-cost benchmark E7 to isolate the event layer's overhead).
+  void set_events_enabled(bool enabled) { events_enabled_ = enabled; }
+  bool events_enabled() const { return events_enabled_; }
+
+  /// When false, relationship semantic checks (exclusivity, sharability,
+  /// cardinality, constancy) are skipped (feature-cost benchmark only).
+  void set_semantics_enabled(bool enabled) { semantics_enabled_ = enabled; }
+  bool semantics_enabled() const { return semantics_enabled_; }
+
+ private:
+  // Undo machinery (transactions).
+  struct UndoRecord;
+
+  Object* MutableObject(Oid oid);
+  Link* MutableLink(Oid oid);
+
+  Status CheckLinkSemantics(const RelationshipDef* def, const Object& source,
+                            const Object& target) const;
+  Status DeleteLinkInternal(Oid oid, bool ignore_constancy);
+  Status DeleteObjectInternal(Oid oid, std::vector<Oid>* cascade);
+  Status PublishEvent(const Event& event);
+  void RecordUndo(UndoRecord record);
+  void RemoveFromExtent(Object* obj);
+  void RestoreToExtent(Object* obj);
+  void DetachLinkFromEndpoints(const Link& link);
+  void AttachLinkToEndpoints(const Link& link);
+  void AddToContextIndex(Link* link);
+  void RemoveFromContextIndex(Link* link);
+  void RemoveLinkFromExtent(Link* link);
+  void RestoreLinkToExtent(Link* link);
+
+  // Rollback helpers used by Abort().
+  void UndoAll();
+
+  EventBus bus_;
+  bool events_enabled_ = true;
+  bool semantics_enabled_ = true;
+
+  // Schema.
+  std::vector<std::unique_ptr<ClassDef>> class_storage_;
+  std::unordered_map<std::string, ClassDef*> classes_by_name_;
+  std::vector<std::unique_ptr<RelationshipDef>> rel_storage_;
+  std::unordered_map<std::string, RelationshipDef*> rels_by_name_;
+  struct RelationshipTemplate {
+    RelationshipSemantics semantics;
+    std::vector<AttributeDef> attributes;
+  };
+  std::unordered_map<std::string, RelationshipTemplate> rel_templates_;
+  std::vector<std::string> rel_template_order_;
+
+  // Instances.
+  std::unordered_map<Oid, std::unique_ptr<Object>> objects_;
+  std::unordered_map<Oid, std::unique_ptr<Link>> links_;
+  std::unordered_map<const ClassDef*, std::vector<Oid>> extents_;
+  std::unordered_map<const RelationshipDef*, std::vector<Oid>> link_extents_;
+  std::unordered_map<Oid, std::vector<Oid>> context_index_;
+  std::size_t live_objects_ = 0;
+  std::size_t live_links_ = 0;
+  Oid next_oid_ = 1;
+
+  // Synonyms: parent pointers of a union-find without path compression
+  // (undoability); absent key == singleton set.
+  std::unordered_map<Oid, Oid> synonym_parent_;
+
+  // Transactions.
+  bool in_transaction_ = false;
+  std::vector<UndoRecord> undo_log_;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_CORE_DATABASE_H_

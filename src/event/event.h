@@ -1,0 +1,74 @@
+#ifndef PROMETHEUS_EVENT_EVENT_H_
+#define PROMETHEUS_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/oid.h"
+#include "common/value.h"
+
+namespace prometheus {
+
+/// The primitive database events of the thesis' event layer (section 6.1.1,
+/// figure 27). Every structural mutation of the database raises a *before*
+/// event (which constraint listeners may veto) and an *after* event (which
+/// observers such as the index layer and deferred rules consume).
+enum class EventKind : std::uint8_t {
+  kBeforeCreateObject,
+  kAfterCreateObject,
+  kBeforeDeleteObject,
+  kAfterDeleteObject,
+  kBeforeSetAttribute,
+  kAfterSetAttribute,
+  kBeforeCreateLink,
+  kAfterCreateLink,
+  kBeforeDeleteLink,
+  kAfterDeleteLink,
+  kBeforeSetLinkAttribute,
+  kAfterSetLinkAttribute,
+  kTransactionBegin,
+  kBeforeCommit,  ///< Deferred rules run here; a veto aborts the transaction.
+  kAfterCommit,
+  kAfterAbort,
+  /// Two objects were declared instance synonyms (thesis 4.5); `source`
+  /// and `target` carry the two canonical roots that were united.
+  kAfterDeclareSynonym,
+};
+
+/// Returns the canonical name of an event kind.
+const char* EventKindName(EventKind kind);
+
+/// True for the `kBefore*` kinds whose listeners may veto the mutation.
+bool IsBeforeEvent(EventKind kind);
+
+/// A concrete event instance delivered to listeners.
+///
+/// Fields are populated per kind; unused fields are empty / kNullOid:
+///  - object events: `subject` = object oid, `type_name` = class name.
+///  - attribute events: additionally `attribute`, `old_value`, `new_value`.
+///  - link events: `subject` = link oid, `type_name` = relationship class
+///    name, `source`/`target` = participant oids, `context` = classification.
+///  - transaction events: only `kind`.
+struct Event {
+  Event() = default;
+  explicit Event(EventKind k) : kind(k) {}
+
+  EventKind kind = EventKind::kAfterCommit;
+
+  /// True for the compensating after-events published while a transaction
+  /// rolls back: they describe the inverse mutations so that derived state
+  /// (indexes, views) stays consistent. Rule engines must ignore them.
+  bool compensating = false;
+  Oid subject = kNullOid;
+  std::string type_name;
+  Oid source = kNullOid;
+  Oid target = kNullOid;
+  Oid context = kNullOid;
+  std::string attribute;
+  Value old_value;
+  Value new_value;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_EVENT_EVENT_H_

@@ -1,0 +1,102 @@
+#include "event/event_bus.h"
+
+#include <algorithm>
+
+namespace prometheus {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBeforeCreateObject:
+      return "BeforeCreateObject";
+    case EventKind::kAfterCreateObject:
+      return "AfterCreateObject";
+    case EventKind::kBeforeDeleteObject:
+      return "BeforeDeleteObject";
+    case EventKind::kAfterDeleteObject:
+      return "AfterDeleteObject";
+    case EventKind::kBeforeSetAttribute:
+      return "BeforeSetAttribute";
+    case EventKind::kAfterSetAttribute:
+      return "AfterSetAttribute";
+    case EventKind::kBeforeCreateLink:
+      return "BeforeCreateLink";
+    case EventKind::kAfterCreateLink:
+      return "AfterCreateLink";
+    case EventKind::kBeforeDeleteLink:
+      return "BeforeDeleteLink";
+    case EventKind::kAfterDeleteLink:
+      return "AfterDeleteLink";
+    case EventKind::kBeforeSetLinkAttribute:
+      return "BeforeSetLinkAttribute";
+    case EventKind::kAfterSetLinkAttribute:
+      return "AfterSetLinkAttribute";
+    case EventKind::kTransactionBegin:
+      return "TransactionBegin";
+    case EventKind::kBeforeCommit:
+      return "BeforeCommit";
+    case EventKind::kAfterCommit:
+      return "AfterCommit";
+    case EventKind::kAfterAbort:
+      return "AfterAbort";
+    case EventKind::kAfterDeclareSynonym:
+      return "AfterDeclareSynonym";
+  }
+  return "Unknown";
+}
+
+bool IsBeforeEvent(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBeforeCreateObject:
+    case EventKind::kBeforeDeleteObject:
+    case EventKind::kBeforeSetAttribute:
+    case EventKind::kBeforeCreateLink:
+    case EventKind::kBeforeDeleteLink:
+    case EventKind::kBeforeSetLinkAttribute:
+    case EventKind::kBeforeCommit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ListenerId EventBus::Subscribe(Listener listener, int priority) {
+  ListenerId id = next_id_++;
+  Entry entry{id, priority, std::move(listener)};
+  auto pos = std::find_if(
+      entries_.begin(), entries_.end(),
+      [priority](const Entry& e) { return e.priority < priority; });
+  entries_.insert(pos, std::move(entry));
+  return id;
+}
+
+void EventBus::Unsubscribe(ListenerId id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+Status EventBus::Publish(const Event& event) {
+  ++published_count_;
+  const bool vetoable = IsBeforeEvent(event.kind);
+  // Listeners may subscribe/unsubscribe while handling an event (the rule
+  // engine does when rules create rules), so iterate over a snapshot of ids.
+  std::vector<ListenerId> ids;
+  ids.reserve(entries_.size());
+  for (const Entry& e : entries_) ids.push_back(e.id);
+  Status first_violation;
+  for (ListenerId id : ids) {
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [id](const Entry& e) { return e.id == id; });
+    if (it == entries_.end()) continue;  // removed mid-delivery
+    Status st = it->listener(event);
+    if (!st.ok()) {
+      if (vetoable) return st;  // before events short-circuit
+      if (first_violation.ok()) first_violation = st;
+    }
+  }
+  // After events deliver to every listener; the first violation is still
+  // surfaced so invariant rules can trigger an undo or a commit failure.
+  return first_violation;
+}
+
+}  // namespace prometheus

@@ -1,0 +1,69 @@
+#ifndef PROMETHEUS_EVENT_EVENT_BUS_H_
+#define PROMETHEUS_EVENT_EVENT_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+
+namespace prometheus {
+
+/// Identifier of a registered listener, used to unsubscribe.
+using ListenerId = std::uint64_t;
+
+/// Synchronous publish/subscribe hub for database events.
+///
+/// The event layer sits at the bottom of the Prometheus architecture
+/// (figure 26): the object layer publishes, and the index layer, the rule
+/// engine and user observers subscribe. Listeners of *before* events return
+/// a Status — the first non-OK status vetoes the mutation and is surfaced to
+/// the caller, which is how pre-condition rules and built-in relationship
+/// semantics (exclusivity, constancy, ...) reject operations. Listeners of
+/// *after* events are observers; their status is ignored.
+class EventBus {
+ public:
+  /// A listener receives every published event. Returning non-OK from a
+  /// before-event vetoes it.
+  using Listener = std::function<Status(const Event&)>;
+
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Registers `listener`; higher `priority` runs earlier. Built-in layers
+  /// (semantics enforcement, indexes) register at priority >= 100 so user
+  /// rules observe a consistent database.
+  ListenerId Subscribe(Listener listener, int priority = 0);
+
+  /// Removes a listener. Unknown ids are ignored.
+  void Unsubscribe(ListenerId id);
+
+  /// Delivers `event` to all listeners in priority order. For before-events
+  /// the first veto short-circuits delivery and is returned. For
+  /// after-events every listener runs; the first non-OK status (if any) is
+  /// returned afterwards so invariant rules can undo the mutation.
+  Status Publish(const Event& event);
+
+  /// Number of currently registered listeners.
+  std::size_t listener_count() const { return entries_.size(); }
+
+  /// Total number of events delivered (for the feature-cost benchmarks).
+  std::uint64_t published_count() const { return published_count_; }
+
+ private:
+  struct Entry {
+    ListenerId id;
+    int priority;
+    Listener listener;
+  };
+
+  std::vector<Entry> entries_;  // kept sorted by descending priority
+  ListenerId next_id_ = 1;
+  std::uint64_t published_count_ = 0;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_EVENT_EVENT_BUS_H_

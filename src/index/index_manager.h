@@ -1,0 +1,99 @@
+#ifndef PROMETHEUS_INDEX_INDEX_MANAGER_H_
+#define PROMETHEUS_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus {
+
+/// The index layer (thesis 6.1.4): secondary attribute indexes over class
+/// extents, kept consistent through the event layer. The query layer
+/// (6.1.5.2) consults these indexes to replace extent scans by lookups.
+///
+/// Two flavours:
+///  - hash indexes: exact-match lookup, any value type;
+///  - ordered indexes: additionally range lookup, for int/double/string.
+///
+/// Indexes follow transactions: rollback publishes compensating events,
+/// which the manager applies like ordinary mutations.
+class IndexManager {
+ public:
+  /// Subscribes to `db`'s event bus. `db` must outlive the manager.
+  explicit IndexManager(Database* db);
+  ~IndexManager();
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Creates an index on `class_name.attr` (covering subclasses) and
+  /// backfills it from the current extent. `ordered` selects the range-
+  /// capable flavour.
+  Status CreateIndex(const std::string& class_name, const std::string& attr,
+                     bool ordered = false);
+
+  /// Drops an index. Unknown indexes report kNotFound.
+  Status DropIndex(const std::string& class_name, const std::string& attr);
+
+  /// True when `class_name.attr` is indexed.
+  bool HasIndex(const std::string& class_name, const std::string& attr) const;
+
+  /// Exact-match lookup. Returns kNotFound when no such index exists.
+  Result<std::vector<Oid>> Lookup(const std::string& class_name,
+                                  const std::string& attr,
+                                  const Value& value) const;
+
+  /// Range lookup over an ordered index: lo <= value <= hi; a null bound is
+  /// open. Returns kFailedPrecondition on a hash index.
+  Result<std::vector<Oid>> RangeLookup(const std::string& class_name,
+                                       const std::string& attr,
+                                       const Value& lo, const Value& hi) const;
+
+  /// Number of entries across all indexes (diagnostics).
+  std::size_t total_entries() const;
+
+ private:
+  /// Ordering key for ordered indexes: numerics sort before strings;
+  /// other types are not range-indexable and use only hash indexes.
+  struct OrderedKey {
+    bool is_numeric = false;
+    double num = 0;
+    std::string str;
+
+    static OrderedKey FromValue(const Value& v);
+    bool operator<(const OrderedKey& o) const {
+      if (is_numeric != o.is_numeric) return is_numeric;  // numerics first
+      if (is_numeric) return num < o.num;
+      return str < o.str;
+    }
+  };
+
+  struct Index {
+    const ClassDef* cls = nullptr;
+    std::string attr;
+    bool ordered = false;
+    std::unordered_multimap<std::string, Oid> hash;
+    std::multimap<OrderedKey, Oid> tree;
+    /// Current indexed key per object, for removal on delete/update.
+    std::unordered_map<Oid, Value> current;
+  };
+
+  void OnEvent(const Event& event);
+  void InsertEntry(Index* index, Oid oid, const Value& value);
+  void RemoveEntry(Index* index, Oid oid);
+  const Index* FindIndex(const std::string& class_name,
+                         const std::string& attr) const;
+
+  Database* db_;
+  ListenerId listener_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_INDEX_INDEX_MANAGER_H_

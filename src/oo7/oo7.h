@@ -1,0 +1,183 @@
+#ifndef PROMETHEUS_OO7_OO7_H_
+#define PROMETHEUS_OO7_OO7_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus::oo7 {
+
+/// Parameters of the OO7-derived benchmark database (thesis 7.2.1.1,
+/// figures 41–43: the benchmark schema follows OO7's design hierarchy —
+/// module → complex assemblies → base assemblies → composite parts →
+/// atomic parts with typed connections — scaled to laptop sizes).
+struct Config {
+  /// Composite parts in the library.
+  int composite_parts = 50;
+  /// Atomic parts per composite part (OO7 small: 20).
+  int atomic_per_composite = 20;
+  /// Outgoing connections per atomic part (OO7: 3, 6 or 9).
+  int connections_per_atomic = 3;
+  /// Fan-out of complex assemblies.
+  int assembly_fanout = 3;
+  /// Levels of the assembly tree (leaves are base assemblies).
+  int assembly_levels = 4;
+  /// Composite parts referenced by each base assembly.
+  int components_per_base = 3;
+  /// RNG seed; identical seeds produce identical databases in both the
+  /// Prometheus and the baseline build.
+  unsigned seed = 42;
+
+  /// Number of atomic parts this configuration generates.
+  int total_atomic_parts() const {
+    return composite_parts * atomic_per_composite;
+  }
+};
+
+/// Counters shared by the traversal/query/structural operations so the
+/// benchmark can verify both implementations did the same work.
+struct OpCounts {
+  std::uint64_t visited = 0;
+  std::uint64_t updated = 0;
+};
+
+/// The OO7 workload on **Prometheus**: atomic/composite parts and
+/// assemblies are objects, connections and design references are
+/// first-class links with semantics (aggregation, lifetime dependency,
+/// exclusivity), exactly the features whose cost the thesis measures
+/// against the underlying plain store.
+class PrometheusOo7 {
+ public:
+  /// Builds schema and data. Deterministic in `config.seed`.
+  explicit PrometheusOo7(const Config& config);
+
+  Database& db() { return db_; }
+  const Config& config() const { return config_; }
+
+  /// T1: raw traversal — walk the assembly tree, and from every referenced
+  /// composite part depth-first over atomic-part connections. Returns the
+  /// number of atomic-part visits.
+  std::uint64_t TraverseT1() const;
+
+  /// T5 (figure 44): T1 plus an update of one attribute per visited atomic
+  /// part.
+  OpCounts TraverseT5(std::int64_t new_value);
+
+  /// Q1: exact-match lookups of `n` random atomic parts by id; returns the
+  /// number found. Uses extent scan or POOL+index externally; this is the
+  /// hand-coded API variant.
+  std::uint64_t LookupQ1(int n, std::uint32_t* checksum) const;
+
+  /// Q2: range scan — atomic parts with build_date in [lo, hi].
+  std::uint64_t RangeQ2(std::int64_t lo, std::int64_t hi) const;
+
+  /// Q4: reverse traversal — from `n` random atomic parts climb to their
+  /// composite part and the base assemblies using it.
+  std::uint64_t ReverseQ4(int n) const;
+
+  /// S1 (figure 45): structural insert — create `k` composite parts (with
+  /// their atomic parts and connections) and attach each to a random base
+  /// assembly.
+  Status InsertS1(int k);
+
+  /// S2 (figure 46): structural delete — delete `k` composite parts;
+  /// lifetime-dependent aggregation cascades over their atomic parts and
+  /// documents.
+  Status DeleteS2(int k);
+
+  /// Oids for external (POOL) querying.
+  const std::vector<Oid>& composite_parts() const { return composites_; }
+  const std::vector<Oid>& base_assemblies() const { return bases_; }
+  Oid module() const { return module_; }
+
+ private:
+  Result<Oid> BuildCompositePart(int id);
+  Oid BuildAssembly(int level, int* next_id);
+
+  Config config_;
+  Database db_;
+  std::mt19937 rng_;
+  Oid module_ = kNullOid;
+  std::vector<Oid> composites_;
+  std::vector<Oid> bases_;
+  int next_part_id_ = 0;
+};
+
+/// The OO7 workload on the **plain baseline store**: the same shapes held
+/// as concrete structs with raw pointers, standing in for the underlying
+/// storage system (POET in the thesis) — no events, no semantics, no undo.
+/// The benchmark reports Prometheus cost relative to this.
+class BaselineOo7 {
+ public:
+  explicit BaselineOo7(const Config& config);
+
+  std::uint64_t TraverseT1() const;
+  OpCounts TraverseT5(std::int64_t new_value);
+  std::uint64_t LookupQ1(int n, std::uint32_t* checksum) const;
+  std::uint64_t RangeQ2(std::int64_t lo, std::int64_t hi) const;
+  std::uint64_t ReverseQ4(int n) const;
+  Status InsertS1(int k);
+  Status DeleteS2(int k);
+
+  const Config& config() const { return config_; }
+  std::size_t atomic_part_count() const { return atomic_count_; }
+
+ private:
+  struct AtomicPart;
+  struct CompositePart;
+  struct Assembly;
+
+  struct Connection {
+    AtomicPart* to = nullptr;
+    std::int64_t length = 0;
+  };
+
+  struct AtomicPart {
+    int id = 0;
+    std::int64_t x = 0;
+    std::int64_t build_date = 0;
+    CompositePart* owner = nullptr;
+    std::vector<Connection> out;
+    std::vector<AtomicPart*> in;
+  };
+
+  struct CompositePart {
+    int id = 0;
+    std::int64_t build_date = 0;
+    std::string document;
+    std::vector<std::unique_ptr<AtomicPart>> parts;
+    AtomicPart* root = nullptr;
+    std::vector<Assembly*> used_by;
+    bool alive = true;
+  };
+
+  struct Assembly {
+    int id = 0;
+    bool is_base = false;
+    std::vector<Assembly*> subs;
+    std::vector<CompositePart*> components;
+  };
+
+  CompositePart* BuildCompositePart(int id);
+  Assembly* BuildAssembly(int level, int* next_id);
+
+  Config config_;
+  std::mt19937 rng_;
+  std::deque<std::unique_ptr<CompositePart>> composites_;
+  std::deque<Assembly> assemblies_;
+  Assembly* root_ = nullptr;
+  std::vector<Assembly*> bases_;
+  std::unordered_map<int, AtomicPart*> atomic_by_id_;
+  std::size_t atomic_count_ = 0;
+  int next_part_id_ = 0;
+};
+
+}  // namespace prometheus::oo7
+
+#endif  // PROMETHEUS_OO7_OO7_H_

@@ -1,0 +1,21 @@
+#ifndef PROMETHEUS_QUERY_PARSER_H_
+#define PROMETHEUS_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace prometheus::pool {
+
+/// Parses a complete POOL `select` query.
+Result<std::unique_ptr<SelectQuery>> ParseQuery(const std::string& source);
+
+/// Parses a standalone POOL expression (used by the rule layer, PCL and
+/// views, which attach expressions to events rather than running queries).
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& source);
+
+}  // namespace prometheus::pool
+
+#endif  // PROMETHEUS_QUERY_PARSER_H_

@@ -1,0 +1,106 @@
+#ifndef PROMETHEUS_QUERY_QUERY_ENGINE_H_
+#define PROMETHEUS_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "index/index_manager.h"
+#include "query/ast.h"
+
+namespace prometheus::pool {
+
+/// Variable bindings visible to an expression: range variables during query
+/// evaluation, `$self` / `$link` / `$old` / `$new` in rule conditions.
+using Environment = std::unordered_map<std::string, Value>;
+
+/// A query result: named columns over rows of Values. Object-valued results
+/// are references to the stored objects (POOL's object conservation,
+/// 5.1.2.2) — the engine never copies database objects.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Convenience: the single column of a one-column result as a flat list.
+  std::vector<Value> Column(std::size_t i = 0) const;
+};
+
+/// The POOL query processor (thesis ch. 5.1; architecture 6.1.5).
+///
+/// Evaluates `select` queries and standalone expressions against a
+/// `Database`. Ranges iterate class extents *and* relationship extents
+/// uniformly; expressions provide path navigation, selective downcast,
+/// graph traversal (`traverse`, `children`, `parents`, `leaves`), context
+/// restriction and subqueries. When an `IndexManager` is supplied, equality
+/// conjuncts over indexed attributes replace extent scans (6.1.5.2/3).
+class QueryEngine {
+ public:
+  /// `db` (and `indexes`, when given) must outlive the engine.
+  explicit QueryEngine(Database* db, IndexManager* indexes = nullptr)
+      : db_(db), indexes_(indexes) {}
+
+  /// Parses and runs a query.
+  Result<ResultSet> Execute(const std::string& query) const;
+
+  /// Runs a parsed query; `outer` provides correlated bindings.
+  Result<ResultSet> Execute(const SelectQuery& query,
+                            const Environment& outer) const;
+
+  /// Parses and evaluates a standalone expression under `env`.
+  Result<Value> Eval(const std::string& expr, const Environment& env) const;
+
+  /// Describes the execution strategy chosen for `query`, one line per
+  /// range: extent scan, index lookup (with the attribute), or dependent
+  /// expression — the observable face of the optimiser (6.1.5.3).
+  Result<std::string> Explain(const std::string& query) const;
+
+  /// Evaluates a parsed expression under `env`.
+  Result<Value> Eval(const Expr& expr, const Environment& env) const;
+
+  const Database* db() const { return db_; }
+
+ private:
+  struct RangeBinding;
+
+  Result<Value> EvalPath(const Expr& expr, const Environment& env) const;
+  Result<Value> EvalBinary(const Expr& expr, const Environment& env) const;
+  Result<Value> EvalCall(const Expr& expr, const Environment& env) const;
+  Result<Value> MemberOf(Oid oid, const std::string& member) const;
+
+  /// Applies an already-evaluated binary operator (no short-circuiting).
+  static Result<Value> ApplyBinaryOp(BinaryOp op, const Value& lhs,
+                                     const Value& rhs);
+
+  /// Evaluates an expression over a *group* of bindings: `count`, `sum`,
+  /// `min`, `max` and `avg` calls aggregate their argument across the
+  /// group; all other subexpressions evaluate under the group's first
+  /// binding (they must be group-constant for meaningful results).
+  Result<Value> EvalGrouped(const Expr& expr,
+                            const std::vector<Environment>& group) const;
+
+  /// Candidate oids for an extent range, narrowed through an index when the
+  /// where-clause pins `var.attr` to a constant.
+  Result<std::vector<Value>> RangeCandidates(const SelectQuery& query,
+                                             const FromRange& range,
+                                             const Environment& env) const;
+
+  /// The where-clause conjunct `range.var.attr = literal` usable through
+  /// an existing index, or nullptr. `*attr` receives the attribute name.
+  const Expr* FindIndexableConjunct(const SelectQuery& query,
+                                    const FromRange& range,
+                                    std::string* attr) const;
+
+  Database* db_;
+  IndexManager* indexes_;
+};
+
+/// True when `text` matches the SQL-style `like` pattern (`%` = any run,
+/// `_` = any single character). Exposed for tests.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace prometheus::pool
+
+#endif  // PROMETHEUS_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,206 @@
+#include "query/token.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace prometheus::pool {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto& kMap = *new std::unordered_map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect},   {"distinct", TokenKind::kDistinct},
+      {"from", TokenKind::kFrom},       {"where", TokenKind::kWhere},
+      {"order", TokenKind::kOrder},     {"by", TokenKind::kBy},
+      {"group", TokenKind::kGroup},     {"having", TokenKind::kHaving},
+      {"asc", TokenKind::kAsc},         {"desc", TokenKind::kDesc},
+      {"limit", TokenKind::kLimit},     {"as", TokenKind::kAs},
+      {"and", TokenKind::kAnd},         {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},         {"in", TokenKind::kIn},
+      {"like", TokenKind::kLike},       {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},     {"null", TokenKind::kNull},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  auto push = [&](TokenKind kind, std::size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_' || source[j] == '$')) {
+        ++j;
+      }
+      std::string word = source.substr(i, j - i);
+      auto kw = Keywords().find(ToLower(word));
+      Token t;
+      t.offset = start;
+      if (kw != Keywords().end()) {
+        t.kind = kw->second;
+      } else {
+        t.kind = TokenKind::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          ++j;
+        }
+      }
+      Token t;
+      t.offset = start;
+      std::string num = source.substr(i, j - i);
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::stod(num);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::stoll(num);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;  // escape
+        text += source[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        break;
+      case '%':
+        push(TokenKind::kPercent, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace prometheus::pool

@@ -1,0 +1,76 @@
+#ifndef PROMETHEUS_QUERY_TOKEN_H_
+#define PROMETHEUS_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prometheus::pool {
+
+/// Lexical token kinds of POOL (thesis 5.1.1). Keywords are
+/// case-insensitive, identifiers case-sensitive.
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,
+  kInt,
+  kDouble,
+  kString,
+  // Keywords.
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kOrder,
+  kBy,
+  kGroup,
+  kHaving,
+  kAsc,
+  kDesc,
+  kLimit,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kLike,
+  kTrue,
+  kFalse,
+  kNull,
+  // Punctuation / operators.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// A lexical token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< identifier / string payload
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::size_t offset = 0;  ///< byte offset into the source
+};
+
+/// Tokenizes POOL source text. Unterminated strings and unknown characters
+/// produce kParseError.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace prometheus::pool
+
+#endif  // PROMETHEUS_QUERY_TOKEN_H_

@@ -1,0 +1,202 @@
+#include "rules/pcl.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace prometheus {
+
+namespace {
+
+/// Splits `header` into whitespace-separated words.
+std::vector<std::string> Words(const std::string& header) {
+  std::vector<std::string> out;
+  std::istringstream in(header);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Finds the header/body separator: the first ':' that is not part of '::'.
+std::size_t FindSeparator(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != ':') continue;
+    if (i + 1 < s.size() && s[i + 1] == ':') {
+      ++i;  // skip the second ':' of '::'
+      continue;
+    }
+    return i;
+  }
+  return std::string::npos;
+}
+
+/// Splits `if A then C` sugar into applicability + condition. The keywords
+/// are recognised only at the very start / at depth 0 so conditions may
+/// contain parenthesised sub-expressions freely.
+void SplitApplicability(const std::string& body, std::string* applicability,
+                        std::string* condition) {
+  std::string text = Trim(body);
+  if (text.rfind("if ", 0) != 0) {
+    *condition = text;
+    return;
+  }
+  int depth = 0;
+  for (std::size_t i = 3; i + 6 <= text.size(); ++i) {
+    char c = text[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0 && text.compare(i, 6, " then ") == 0) {
+      *applicability = Trim(text.substr(3, i - 3));
+      *condition = Trim(text.substr(i + 6));
+      return;
+    }
+  }
+  *condition = text;  // no 'then': treat the whole text as the condition
+}
+
+}  // namespace
+
+Result<RuleSpec> CompilePcl(const std::string& source) {
+  std::size_t sep = FindSeparator(source);
+  if (sep == std::string::npos) {
+    return Status::ParseError("PCL statement lacks ':' separator");
+  }
+  std::string header = Trim(source.substr(0, sep));
+  std::string body = Trim(source.substr(sep + 1));
+  if (body.empty()) {
+    return Status::ParseError("PCL statement has an empty condition");
+  }
+  std::vector<std::string> words = Words(header);
+  std::size_t i = 0;
+  if (words.size() < 2 || words[i] != "context") {
+    return Status::ParseError("PCL statement must start with 'context'");
+  }
+  ++i;
+  std::string target = words[i++];
+  // `Class::op` form for pre/post conditions.
+  std::string op;
+  std::size_t scope = target.find("::");
+  if (scope != std::string::npos) {
+    op = target.substr(scope + 2);
+    target = target.substr(0, scope);
+    if (op != "create" && op != "update" && op != "delete") {
+      return Status::ParseError("unknown operation '" + op +
+                                "' (use create, update or delete)");
+    }
+  }
+
+  RuleSpec spec;
+  // Modifiers.
+  while (i < words.size() &&
+         (words[i] == "deferred" || words[i] == "warn" ||
+          words[i] == "interactive")) {
+    if (words[i] == "deferred") spec.timing = RuleTiming::kDeferred;
+    if (words[i] == "warn") spec.action = RuleAction::kWarn;
+    if (words[i] == "interactive") spec.action = RuleAction::kInteractive;
+    ++i;
+  }
+  if (i >= words.size()) {
+    return Status::ParseError("PCL statement lacks a kind (inv, relinv, "
+                              "pre or post)");
+  }
+  std::string kind = words[i++];
+  if (i < words.size()) {
+    spec.name = words[i++];
+  } else {
+    spec.name = target + "_" + kind;
+  }
+  if (i != words.size()) {
+    return Status::ParseError("unexpected token '" + words[i] +
+                              "' in PCL header");
+  }
+
+  SplitApplicability(body, &spec.applicability, &spec.condition);
+  spec.message = "PCL " + kind + " " + spec.name + " violated";
+
+  if (kind == "inv") {
+    if (!op.empty()) {
+      return Status::ParseError("'inv' does not take an operation");
+    }
+    spec.events = {{EventKind::kAfterCreateObject, target},
+                   {EventKind::kAfterSetAttribute, target}};
+  } else if (kind == "relinv") {
+    if (!op.empty()) {
+      return Status::ParseError("'relinv' does not take an operation");
+    }
+    spec.events = {{EventKind::kAfterCreateLink, target},
+                   {EventKind::kAfterSetLinkAttribute, target}};
+  } else if (kind == "pre" || kind == "post") {
+    if (op.empty()) {
+      return Status::ParseError("'" + kind +
+                                "' requires 'Class::operation'");
+    }
+    // The compiler does not know whether `target` names a class or a
+    // relationship, so it selects both the object and the link event for
+    // the operation — type filters keep the wrong one from ever matching.
+    const bool pre = kind == "pre";
+    EventKind obj_ev;
+    EventKind link_ev;
+    if (op == "create") {
+      obj_ev = pre ? EventKind::kBeforeCreateObject
+                   : EventKind::kAfterCreateObject;
+      link_ev =
+          pre ? EventKind::kBeforeCreateLink : EventKind::kAfterCreateLink;
+    } else if (op == "update") {
+      obj_ev = pre ? EventKind::kBeforeSetAttribute
+                   : EventKind::kAfterSetAttribute;
+      link_ev = pre ? EventKind::kBeforeSetLinkAttribute
+                    : EventKind::kAfterSetLinkAttribute;
+    } else {
+      obj_ev = pre ? EventKind::kBeforeDeleteObject
+                   : EventKind::kAfterDeleteObject;
+      link_ev =
+          pre ? EventKind::kBeforeDeleteLink : EventKind::kAfterDeleteLink;
+    }
+    spec.events = {{obj_ev, target}, {link_ev, target}};
+  } else {
+    return Status::ParseError("unknown PCL kind '" + kind + "'");
+  }
+  return spec;
+}
+
+Result<std::vector<RuleSpec>> CompilePclProgram(const std::string& source) {
+  std::vector<RuleSpec> specs;
+  std::size_t start = 0;
+  while (start < source.size()) {
+    std::size_t end = source.find(';', start);
+    std::string stmt =
+        Trim(end == std::string::npos ? source.substr(start)
+                                      : source.substr(start, end - start));
+    if (!stmt.empty()) {
+      PROMETHEUS_ASSIGN_OR_RETURN(RuleSpec spec, CompilePcl(stmt));
+      specs.push_back(std::move(spec));
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  if (specs.empty()) {
+    return Status::ParseError("PCL program contains no statements");
+  }
+  return specs;
+}
+
+Result<std::vector<RuleId>> InstallPcl(RuleEngine* engine,
+                                       const std::string& source) {
+  PROMETHEUS_ASSIGN_OR_RETURN(std::vector<RuleSpec> specs,
+                              CompilePclProgram(source));
+  std::vector<RuleId> ids;
+  ids.reserve(specs.size());
+  for (const RuleSpec& spec : specs) {
+    PROMETHEUS_ASSIGN_OR_RETURN(RuleId id, engine->AddRule(spec));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace prometheus

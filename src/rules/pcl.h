@@ -1,0 +1,51 @@
+#ifndef PROMETHEUS_RULES_PCL_H_
+#define PROMETHEUS_RULES_PCL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/rule_engine.h"
+
+namespace prometheus {
+
+/// PCL — the Prometheus Constraint Language (thesis 5.2.3), an OCL-inspired
+/// surface syntax that compiles to ECA rules (figure 25's translation).
+///
+/// Statement forms:
+///
+///   context <Class> [deferred] [warn|interactive] inv [<name>]: <cond>
+///       — invariant over a class: checked after creation and after every
+///         attribute change; `self` is the instance.
+///
+///   context <Rel> [deferred] [warn|interactive] relinv [<name>]: <cond>
+///       — relationship rule: checked after link creation and link
+///         attribute changes; `link`, `source`, `target`, `context` bound.
+///
+///   context <Class>::<create|update|delete> pre [<name>]: <cond>
+///       — pre-condition: checked before the operation; a false condition
+///         vetoes it.
+///
+///   context <Class>::<create|update|delete> post [<name>]: <cond>
+///       — post-condition: checked after the operation.
+///
+/// The condition is a POOL boolean expression. PCL extends OCL with the
+/// thesis' *condition of applicability*: a condition of the form
+/// `if <A> then <C>` compiles to applicability `A` and condition `C`, so
+/// the rule is simply not applicable (rather than violated) when `A` is
+/// false.
+///
+/// `CompilePcl` translates one statement into a `RuleSpec`;
+/// `CompilePclProgram` accepts several statements separated by `;`.
+Result<RuleSpec> CompilePcl(const std::string& source);
+
+/// Compiles a `;`-separated sequence of PCL statements.
+Result<std::vector<RuleSpec>> CompilePclProgram(const std::string& source);
+
+/// Compiles `source` and installs every resulting rule into `engine`.
+Result<std::vector<RuleId>> InstallPcl(RuleEngine* engine,
+                                       const std::string& source);
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_RULES_PCL_H_

@@ -1,0 +1,199 @@
+#ifndef PROMETHEUS_RULES_RULE_ENGINE_H_
+#define PROMETHEUS_RULES_RULE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "query/query_engine.h"
+
+namespace prometheus {
+
+/// Identifier of an installed rule.
+using RuleId = std::uint64_t;
+
+/// When a rule's condition is checked (thesis 5.2.2.1, scheduling):
+/// immediate rules run as part of the triggering operation; deferred rules
+/// are queued and run at commit (or at once outside a transaction).
+enum class RuleTiming : std::uint8_t {
+  kImmediate,
+  kDeferred,
+};
+
+/// What happens when a rule's condition fails (thesis 5.2.2.2, error
+/// handling):
+///  - kAbort: the operation is vetoed / the transaction aborts;
+///  - kWarn: the violation is recorded but the operation proceeds;
+///  - kInteractive: the registered handler decides (the thesis' interactive
+///    rules, used by taxonomists to override the ICBN knowingly).
+enum class RuleAction : std::uint8_t {
+  kAbort,
+  kWarn,
+  kInteractive,
+};
+
+/// Which event(s) a rule reacts to: an event kind plus an optional type
+/// filter (class name for object events, relationship name for link events;
+/// subclasses / sub-relationships match).
+struct RuleEventSelector {
+  EventKind kind;
+  std::string type_filter;  ///< empty = any type
+};
+
+/// Declarative specification of an ECA rule (thesis 5.2.1: Event,
+/// Condition of applicability, Condition, action).
+///
+/// Conditions are POOL boolean expressions evaluated with these bindings:
+///   `self`     — the subject object (or the link, for link events)
+///   `link`     — the link (link events only)
+///   `source`, `target`, `context` — link participants (link events)
+///   `attribute` — attribute name (attribute events, as a string)
+///   `old`, `new` — attribute values (attribute events)
+///   `event`    — the event kind name (string)
+/// A rule fires when `applicability` (if any) evaluates true; it is
+/// violated when `condition` then evaluates false (or fails to evaluate —
+/// abort rules fail closed).
+struct RuleSpec {
+  std::string name;
+  std::vector<RuleEventSelector> events;
+  std::string applicability;  ///< POOL expr; empty = always applicable
+  std::string condition;      ///< POOL expr; must evaluate true
+  RuleTiming timing = RuleTiming::kImmediate;
+  RuleAction action = RuleAction::kAbort;
+  std::string message;        ///< human-readable violation text
+
+  /// Composite event (thesis 5.2.1.1): when true the selectors form a
+  /// *conjunction* — the rule fires only once every selector has matched
+  /// within the current transaction (evaluated at commit, with the
+  /// bindings of the last matching event). When false (the default) the
+  /// selectors are a disjunction: any match fires the rule.
+  bool composite = false;
+};
+
+/// A recorded violation (for kWarn rules and diagnostics).
+struct RuleViolation {
+  std::string rule_name;
+  std::string message;
+  Oid subject = kNullOid;
+};
+
+/// The rule layer (thesis 5.2, architecture 6.1.6): subscribes to the
+/// database's event bus and evaluates ECA rules.
+///
+/// Immediate abort rules on before-events veto the operation; on
+/// after-events their violation status makes the database undo the
+/// auto-committed operation (or surfaces to the caller inside a
+/// transaction). Deferred rules are queued per transaction and checked when
+/// the database publishes kBeforeCommit; a violation aborts the commit.
+class RuleEngine {
+ public:
+  /// Handler for kInteractive rules: returns true to allow the operation
+  /// despite the violated condition.
+  using InteractiveHandler = std::function<bool(const RuleViolation&)>;
+
+  /// Subscribes to `db`'s bus (priority below the built-in layers so rules
+  /// observe consistent derived state). `db` must outlive the engine.
+  explicit RuleEngine(Database* db);
+  ~RuleEngine();
+
+  RuleEngine(const RuleEngine&) = delete;
+  RuleEngine& operator=(const RuleEngine&) = delete;
+
+  /// Installs a rule. Both expressions are parsed now; parse errors are
+  /// reported here, not at event time.
+  Result<RuleId> AddRule(const RuleSpec& spec);
+
+  /// Removes / disables / enables a rule.
+  Status RemoveRule(RuleId id);
+  Status SetRuleEnabled(RuleId id, bool enabled);
+
+  /// Convenience factories for the thesis' rule taxonomy (5.2.1.4).
+  /// Invariant: must hold after every creation of / attribute change to an
+  /// instance of `class_name`.
+  Result<RuleId> AddInvariant(const std::string& name,
+                              const std::string& class_name,
+                              const std::string& condition,
+                              const std::string& message,
+                              RuleTiming timing = RuleTiming::kImmediate,
+                              RuleAction action = RuleAction::kAbort);
+
+  /// Pre-condition: must hold before deleting an instance of `class_name`.
+  Result<RuleId> AddDeletePrecondition(const std::string& name,
+                                       const std::string& class_name,
+                                       const std::string& condition,
+                                       const std::string& message);
+
+  /// Relationship rule: must hold after creating a link of `rel_name`
+  /// (vetoes the link when violated — evaluated on the before event so the
+  /// half-created link never becomes visible).
+  Result<RuleId> AddRelationshipRule(const std::string& name,
+                                     const std::string& rel_name,
+                                     const std::string& condition,
+                                     const std::string& message,
+                                     RuleAction action = RuleAction::kAbort);
+
+  /// Registers the handler consulted by kInteractive rules. Without a
+  /// handler, interactive violations abort.
+  void set_interactive_handler(InteractiveHandler handler) {
+    interactive_ = std::move(handler);
+  }
+
+  /// Violations recorded by kWarn rules (and allowed interactive ones).
+  const std::vector<RuleViolation>& warnings() const { return warnings_; }
+  void clear_warnings() { warnings_.clear(); }
+
+  /// Counters for the rule-overhead benchmark (E10).
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t violations() const { return violations_; }
+
+  /// Number of installed (enabled or disabled) rules.
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct CompiledRule {
+    RuleId id;
+    RuleSpec spec;
+    std::unique_ptr<pool::Expr> applicability;  // null = always
+    std::unique_ptr<pool::Expr> condition;
+    bool enabled = true;
+  };
+
+  struct DeferredCheck {
+    const CompiledRule* rule;
+    pool::Environment env;
+  };
+
+  /// Progress of a composite rule within the current transaction.
+  struct CompositeProgress {
+    std::vector<bool> matched;  ///< one flag per selector
+    pool::Environment last_env;
+  };
+
+  Status OnEvent(const Event& event);
+  Status EvaluateRule(const CompiledRule& rule, const pool::Environment& env);
+  static pool::Environment BindEnvironment(const Event& event);
+  bool Matches(const CompiledRule& rule, const Event& event) const;
+  bool SelectorMatches(const RuleEventSelector& selector,
+                       const Event& event) const;
+
+  Database* db_;
+  pool::QueryEngine engine_;
+  ListenerId listener_ = 0;
+  std::vector<std::unique_ptr<CompiledRule>> rules_;
+  std::vector<DeferredCheck> deferred_;
+  std::unordered_map<const CompiledRule*, CompositeProgress> composites_;
+  std::vector<RuleViolation> warnings_;
+  InteractiveHandler interactive_;
+  RuleId next_id_ = 1;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_RULES_RULE_ENGINE_H_

@@ -1,0 +1,46 @@
+#ifndef PROMETHEUS_STORAGE_IMPORT_H_
+#define PROMETHEUS_STORAGE_IMPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus::storage {
+
+/// Outcome of merging a snapshot into an existing database.
+struct ImportReport {
+  /// Mapping from oids in the imported snapshot to the fresh oids they
+  /// received in the target database.
+  std::unordered_map<Oid, Oid> oid_map;
+  std::size_t objects_imported = 0;
+  std::size_t links_imported = 0;
+  std::size_t synonyms_imported = 0;
+  std::size_t classes_defined = 0;
+  std::size_t relationships_defined = 0;
+};
+
+/// Merges a snapshot into a *non-empty* database — the "integration of
+/// multiple sources" the thesis motivates in chapter 1 and the first step
+/// of the chapter-8 future work on distributing Prometheus over many
+/// localised taxonomic databases.
+///
+/// Schema records are merged by name: unknown classes / relationship
+/// classes are defined; existing ones must already declare every imported
+/// attribute (otherwise kInvalidArgument — the sources disagree). Objects
+/// and links receive *fresh* oids; every reference (link endpoints,
+/// classification contexts, `kRef` attribute values, refs inside lists,
+/// synonym edges) is remapped. Imported mutations flow through the normal
+/// public API, so events fire and indexes/views/rules stay consistent.
+///
+/// After an import the two sources' classifications coexist as
+/// overlapping classifications over the merged specimen pool — exactly
+/// the state `ClassificationManager::Compare` / `Align` analyse.
+Result<ImportReport> ImportSnapshot(Database* db, std::istream& in);
+Result<ImportReport> ImportSnapshot(Database* db, const std::string& path);
+
+}  // namespace prometheus::storage
+
+#endif  // PROMETHEUS_STORAGE_IMPORT_H_

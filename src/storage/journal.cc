@@ -1,0 +1,147 @@
+#include "storage/journal.h"
+
+#include <sstream>
+
+#include "storage/snapshot.h"
+
+namespace prometheus::storage {
+
+namespace {
+constexpr char kJournalMagic[] = "PROMETHEUS-JOURNAL-1";
+}  // namespace
+
+Result<std::unique_ptr<Journal>> Journal::Open(Database* db,
+                                               const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << kJournalMagic << "\n";
+  PROMETHEUS_RETURN_IF_ERROR(WriteSchemaRecords(*db, out));
+  if (!out.good()) return Status::IoError("write failure");
+  std::unique_ptr<Journal> journal(new Journal(db, std::move(out)));
+  return journal;
+}
+
+Journal::Journal(Database* db, std::ofstream out)
+    : db_(db), out_(std::move(out)) {
+  listener_ = db_->bus().Subscribe(
+      [this](const Event& e) {
+        OnEvent(e);
+        return Status::Ok();
+      },
+      /*priority=*/40);
+}
+
+Journal::~Journal() {
+  db_->bus().Unsubscribe(listener_);
+  out_ << "END\n";
+  out_.flush();
+}
+
+Status Journal::Flush() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("journal write failure");
+  return Status::Ok();
+}
+
+void Journal::Emit(std::string record) {
+  if (record.empty()) return;
+  if (in_transaction_) {
+    pending_.push_back(std::move(record));
+  } else {
+    out_ << record << "\n";
+    ++record_count_;
+  }
+}
+
+void Journal::OnEvent(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kTransactionBegin:
+      in_transaction_ = true;
+      pending_.clear();
+      break;
+    case EventKind::kAfterCommit:
+      in_transaction_ = false;
+      for (std::string& record : pending_) {
+        out_ << record << "\n";
+        ++record_count_;
+      }
+      pending_.clear();
+      break;
+    case EventKind::kAfterAbort:
+      // The transaction never happened; its records (including the
+      // compensating ones published during rollback) are dropped.
+      in_transaction_ = false;
+      pending_.clear();
+      break;
+    case EventKind::kAfterCreateObject:
+      Emit(ObjectRecord(*db_, event.subject));
+      break;
+    case EventKind::kAfterDeleteObject:
+      Emit("DELO " + std::to_string(event.subject));
+      break;
+    case EventKind::kAfterSetAttribute: {
+      std::ostringstream rec;
+      rec << "SETA " << event.subject << " "
+          << std::to_string(event.attribute.size()) << ":" << event.attribute
+          << " " << EncodeValue(event.new_value);
+      Emit(rec.str());
+      break;
+    }
+    case EventKind::kAfterCreateLink:
+      Emit(LinkRecord(*db_, event.subject));
+      break;
+    case EventKind::kAfterDeleteLink:
+      Emit("DELL " + std::to_string(event.subject));
+      break;
+    case EventKind::kAfterSetLinkAttribute: {
+      std::ostringstream rec;
+      rec << "SETL " << event.subject << " "
+          << std::to_string(event.attribute.size()) << ":" << event.attribute
+          << " " << EncodeValue(event.new_value);
+      Emit(rec.str());
+      break;
+    }
+    case EventKind::kAfterDeclareSynonym:
+      // `target` is the child root united under `source`.
+      Emit("SYN " + std::to_string(event.target) + " " +
+           std::to_string(event.source));
+      break;
+    default:
+      break;
+  }
+}
+
+Status Journal::Replay(Database* db, std::istream& in) {
+  if (!db->classes().empty() || db->object_count() != 0) {
+    return Status::FailedPrecondition(
+        "journals replay into an empty database");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kJournalMagic) {
+    return Status::IoError("not a Prometheus journal");
+  }
+  // The journal is validated history: suspend semantic checks so that e.g.
+  // constant links recorded as deleted (via participant death) replay.
+  db->set_semantics_enabled(false);
+  Status st = Status::Ok();
+  bool end = false;
+  while (!end && std::getline(in, line)) {
+    st = ApplyRecord(db, line, &end);
+    if (!st.ok()) break;
+  }
+  db->set_semantics_enabled(true);
+  PROMETHEUS_RETURN_IF_ERROR(st);
+  // A missing END record means the writer is still live or crashed; all
+  // complete records were applied, which is the contract of a WAL.
+  return Status::Ok();
+}
+
+Status Journal::Replay(Database* db, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return Replay(db, in);
+}
+
+}  // namespace prometheus::storage

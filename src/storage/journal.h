@@ -1,0 +1,70 @@
+#ifndef PROMETHEUS_STORAGE_JOURNAL_H_
+#define PROMETHEUS_STORAGE_JOURNAL_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus::storage {
+
+/// Append-only operation journal: the incremental persistence mechanism
+/// complementing snapshots (together they play the role of the thesis'
+/// underlying storage system).
+///
+/// A journal file starts with the schema records of the database at open
+/// time, followed by one record per committed mutation, captured through
+/// the event layer:
+///  - mutations outside a transaction are appended immediately;
+///  - mutations inside a transaction are buffered and flushed at commit —
+///    an aborted transaction leaves no trace (its compensating events are
+///    buffered and discarded too);
+///  - schema changes after opening are not journalled (define classes
+///    before opening, as the thesis' prototype fixes its schema at start).
+///
+/// `Replay` reconstructs the database state by applying the records to an
+/// empty database (semantic checks are suspended during replay: the
+/// journal is already-validated history).
+class Journal {
+ public:
+  /// Opens `path` (truncating), writes the schema prologue and subscribes
+  /// to `db`'s event bus. `db` must outlive the journal.
+  static Result<std::unique_ptr<Journal>> Open(Database* db,
+                                               const std::string& path);
+
+  /// Unsubscribes and closes the file (appending the END record).
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Forces buffered committed records to the file.
+  Status Flush();
+
+  /// Number of records written so far (excluding the schema prologue).
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// Rebuilds a database from a journal file. `db` must be empty.
+  static Status Replay(Database* db, const std::string& path);
+  static Status Replay(Database* db, std::istream& in);
+
+ private:
+  Journal(Database* db, std::ofstream out);
+
+  void OnEvent(const Event& event);
+  void Emit(std::string record);
+
+  Database* db_;
+  std::ofstream out_;
+  ListenerId listener_ = 0;
+  bool in_transaction_ = false;
+  std::vector<std::string> pending_;  ///< records of the open transaction
+  std::uint64_t record_count_ = 0;
+};
+
+}  // namespace prometheus::storage
+
+#endif  // PROMETHEUS_STORAGE_JOURNAL_H_

@@ -1,0 +1,488 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace prometheus::storage {
+
+namespace {
+
+constexpr char kMagic[] = "PROMETHEUS-SNAPSHOT-1";
+
+/// Length-prefixed string: "<n>:<bytes>".
+std::string EncodeString(const std::string& s) {
+  return std::to_string(s.size()) + ":" + s;
+}
+
+Result<std::string> DecodeString(const std::string& text, std::size_t* pos) {
+  std::size_t colon = text.find(':', *pos);
+  if (colon == std::string::npos) {
+    return Status::IoError("corrupt record: missing string length");
+  }
+  std::size_t len = 0;
+  for (std::size_t i = *pos; i < colon; ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::IoError("corrupt record: bad string length");
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (colon + 1 + len > text.size()) {
+    return Status::IoError("corrupt record: truncated string");
+  }
+  std::string out = text.substr(colon + 1, len);
+  *pos = colon + 1 + len;
+  return out;
+}
+
+/// Sorted attribute view for deterministic output.
+std::map<std::string, Value> Sorted(
+    const std::unordered_map<std::string, Value>& m) {
+  return {m.begin(), m.end()};
+}
+
+void WriteAttributeDef(std::ostream& out, const AttributeDef& attr) {
+  out << " " << EncodeString(attr.name) << " " << static_cast<int>(attr.type)
+      << " " << EncodeString(attr.ref_class) << " "
+      << EncodeValue(attr.default_value);
+}
+
+Result<AttributeDef> ReadAttributeDef(const std::string& line,
+                                      std::size_t* pos) {
+  auto skip_space = [&] {
+    while (*pos < line.size() && line[*pos] == ' ') ++(*pos);
+  };
+  AttributeDef attr;
+  skip_space();
+  PROMETHEUS_ASSIGN_OR_RETURN(attr.name, DecodeString(line, pos));
+  skip_space();
+  std::size_t end = line.find(' ', *pos);
+  if (end == std::string::npos) {
+    return Status::IoError("corrupt record: attribute type");
+  }
+  attr.type = static_cast<ValueType>(std::stoi(line.substr(*pos, end - *pos)));
+  *pos = end;
+  skip_space();
+  PROMETHEUS_ASSIGN_OR_RETURN(attr.ref_class, DecodeString(line, pos));
+  skip_space();
+  PROMETHEUS_ASSIGN_OR_RETURN(attr.default_value, DecodeValue(line, pos));
+  return attr;
+}
+
+struct LineCursor;
+Result<RelationshipSemantics> ReadSemantics(LineCursor* cur);
+
+/// Cursor helpers for reading a record line after its tag.
+struct LineCursor {
+  const std::string& line;
+  std::size_t pos;
+
+  void SkipSpace() {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+  }
+  std::string Word() {
+    SkipSpace();
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    std::string w = line.substr(pos, end - pos);
+    pos = end;
+    return w;
+  }
+  Result<std::string> Str() {
+    SkipSpace();
+    return DecodeString(line, &pos);
+  }
+  Result<Value> Val() {
+    SkipSpace();
+    return DecodeValue(line, &pos);
+  }
+  Result<std::vector<AttrInit>> Attrs(std::size_t count) {
+    std::vector<AttrInit> attrs;
+    attrs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string name, Str());
+      PROMETHEUS_ASSIGN_OR_RETURN(Value v, Val());
+      attrs.emplace_back(std::move(name), std::move(v));
+    }
+    return attrs;
+  }
+};
+
+Result<RelationshipSemantics> ReadSemantics(LineCursor* cur) {
+  RelationshipSemantics sem;
+  sem.kind = static_cast<RelationshipKind>(std::stoi(cur->Word()));
+  sem.exclusive = cur->Word() == "1";
+  PROMETHEUS_ASSIGN_OR_RETURN(sem.exclusivity_group, cur->Str());
+  sem.shareable = cur->Word() == "1";
+  sem.lifetime_dependent = cur->Word() == "1";
+  sem.constant = cur->Word() == "1";
+  sem.inherit_attributes = cur->Word() == "1";
+  sem.directed = cur->Word() == "1";
+  sem.max_out = static_cast<std::uint32_t>(std::stoul(cur->Word()));
+  sem.max_in = static_cast<std::uint32_t>(std::stoul(cur->Word()));
+  sem.min_out = static_cast<std::uint32_t>(std::stoul(cur->Word()));
+  sem.min_in = static_cast<std::uint32_t>(std::stoul(cur->Word()));
+  return sem;
+}
+
+}  // namespace
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "n";
+    case ValueType::kBool:
+      return value.AsBool() ? "b1" : "b0";
+    case ValueType::kInt:
+      return "i" + EncodeString(std::to_string(value.AsInt()));
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << value.AsDouble();
+      return "d" + EncodeString(os.str());
+    }
+    case ValueType::kString:
+      return "s" + EncodeString(value.AsString());
+    case ValueType::kRef:
+      return "r" + EncodeString(std::to_string(value.AsRef()));
+    case ValueType::kList: {
+      std::string out = "l" + std::to_string(value.AsList().size()) + ":";
+      for (const Value& v : value.AsList()) out += EncodeValue(v);
+      return out;
+    }
+  }
+  return "n";
+}
+
+Result<Value> DecodeValue(const std::string& text, std::size_t* pos) {
+  if (*pos >= text.size()) {
+    return Status::IoError("corrupt record: truncated value");
+  }
+  char tag = text[(*pos)++];
+  switch (tag) {
+    case 'n':
+      return Value::Null();
+    case 'b': {
+      if (*pos >= text.size()) {
+        return Status::IoError("corrupt record: truncated bool");
+      }
+      char b = text[(*pos)++];
+      return Value::Bool(b == '1');
+    }
+    case 'i': {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
+      return Value::Int(std::stoll(s));
+    }
+    case 'd': {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
+      return Value::Double(std::stod(s));
+    }
+    case 's': {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
+      return Value::String(std::move(s));
+    }
+    case 'r': {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
+      return Value::Ref(std::stoull(s));
+    }
+    case 'l': {
+      std::size_t colon = text.find(':', *pos);
+      if (colon == std::string::npos) {
+        return Status::IoError("corrupt record: bad list length");
+      }
+      std::size_t count = std::stoull(text.substr(*pos, colon - *pos));
+      *pos = colon + 1;
+      Value::List items;
+      items.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        PROMETHEUS_ASSIGN_OR_RETURN(Value v, DecodeValue(text, pos));
+        items.push_back(std::move(v));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    default:
+      return Status::IoError("corrupt record: unknown value tag");
+  }
+}
+
+namespace {
+
+void WriteSemantics(std::ostream& out, const RelationshipSemantics& sem) {
+  out << static_cast<int>(sem.kind) << " " << (sem.exclusive ? 1 : 0) << " "
+      << EncodeString(sem.exclusivity_group) << " " << (sem.shareable ? 1 : 0)
+      << " " << (sem.lifetime_dependent ? 1 : 0) << " "
+      << (sem.constant ? 1 : 0) << " " << (sem.inherit_attributes ? 1 : 0)
+      << " " << (sem.directed ? 1 : 0) << " " << sem.max_out << " "
+      << sem.max_in << " " << sem.min_out << " " << sem.min_in;
+}
+
+}  // namespace
+
+Status WriteSchemaRecords(const Database& db, std::ostream& out) {
+  for (const ClassDef* cls : db.classes()) {
+    out << "CLASS " << EncodeString(cls->name()) << " "
+        << (cls->is_abstract() ? 1 : 0) << " " << cls->supers().size();
+    for (const ClassDef* s : cls->supers()) {
+      out << " " << EncodeString(s->name());
+    }
+    out << " " << cls->attributes().size();
+    for (const AttributeDef& a : cls->attributes()) {
+      WriteAttributeDef(out, a);
+    }
+    out << " " << cls->methods().size();
+    for (const MethodDef& m : cls->methods()) {
+      out << " " << EncodeString(m.name) << " "
+          << EncodeString(m.return_type) << " " << m.parameters.size();
+      for (const auto& [type, pname] : m.parameters) {
+        out << " " << EncodeString(type) << " " << EncodeString(pname);
+      }
+    }
+    out << "\n";
+  }
+  for (const std::string& name : db.relationship_templates()) {
+    const RelationshipSemantics* sem = db.FindTemplateSemantics(name);
+    const std::vector<AttributeDef>* attrs = db.FindTemplateAttributes(name);
+    if (sem == nullptr || attrs == nullptr) continue;
+    out << "TMPL " << EncodeString(name) << " ";
+    WriteSemantics(out, *sem);
+    out << " " << attrs->size();
+    for (const AttributeDef& a : *attrs) {
+      WriteAttributeDef(out, a);
+    }
+    out << "\n";
+  }
+  for (const RelationshipDef* rel : db.relationships()) {
+    out << "REL " << EncodeString(rel->name()) << " "
+        << EncodeString(rel->source_class()->name()) << " "
+        << EncodeString(rel->target_class()->name()) << " ";
+    WriteSemantics(out, rel->semantics());
+    out << " " << rel->supers().size();
+    for (const RelationshipDef* s : rel->supers()) {
+      out << " " << EncodeString(s->name());
+    }
+    out << " " << rel->attributes().size();
+    for (const AttributeDef& a : rel->attributes()) {
+      WriteAttributeDef(out, a);
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failure");
+  return Status::Ok();
+}
+
+std::string ObjectRecord(const Database& db, Oid oid) {
+  const Object* obj = db.GetObject(oid);
+  if (obj == nullptr) return "";
+  std::ostringstream out;
+  out << "OBJ " << oid << " " << EncodeString(obj->cls->name()) << " "
+      << obj->attrs.size();
+  for (const auto& [name, value] : Sorted(obj->attrs)) {
+    out << " " << EncodeString(name) << " " << EncodeValue(value);
+  }
+  return out.str();
+}
+
+std::string LinkRecord(const Database& db, Oid oid) {
+  const Link* link = db.GetLink(oid);
+  if (link == nullptr) return "";
+  std::ostringstream out;
+  out << "LINK " << oid << " " << EncodeString(link->def->name()) << " "
+      << link->source << " " << link->target << " " << link->context << " "
+      << link->attrs.size();
+  for (const auto& [name, value] : Sorted(link->attrs)) {
+    out << " " << EncodeString(name) << " " << EncodeValue(value);
+  }
+  return out.str();
+}
+
+Status ApplyRecord(Database* db, const std::string& line, bool* end) {
+  *end = false;
+  if (line.empty()) return Status::Ok();
+  std::size_t space = line.find(' ');
+  std::string tag = space == std::string::npos ? line : line.substr(0, space);
+  LineCursor cur{line, space == std::string::npos ? line.size() : space};
+  if (tag == "END") {
+    *end = true;
+    return Status::Ok();
+  }
+  if (tag == "CLASS") {
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
+    bool is_abstract = cur.Word() == "1";
+    std::size_t nsupers = std::stoull(cur.Word());
+    std::vector<std::string> supers;
+    for (std::size_t i = 0; i < nsupers; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, cur.Str());
+      supers.push_back(std::move(s));
+    }
+    std::size_t nattrs = std::stoull(cur.Word());
+    std::vector<AttributeDef> attrs;
+    for (std::size_t i = 0; i < nattrs; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
+                                  ReadAttributeDef(line, &cur.pos));
+      attrs.push_back(std::move(a));
+    }
+    PROMETHEUS_RETURN_IF_ERROR(
+        db->DefineClass(name, supers, std::move(attrs), is_abstract)
+            .status());
+    // Method signatures (optional trailing section).
+    cur.SkipSpace();
+    if (cur.pos < line.size()) {
+      std::size_t nmethods = std::stoull(cur.Word());
+      for (std::size_t i = 0; i < nmethods; ++i) {
+        MethodDef method;
+        PROMETHEUS_ASSIGN_OR_RETURN(method.name, cur.Str());
+        PROMETHEUS_ASSIGN_OR_RETURN(method.return_type, cur.Str());
+        std::size_t nparams = std::stoull(cur.Word());
+        for (std::size_t p = 0; p < nparams; ++p) {
+          PROMETHEUS_ASSIGN_OR_RETURN(std::string type, cur.Str());
+          PROMETHEUS_ASSIGN_OR_RETURN(std::string pname, cur.Str());
+          method.parameters.emplace_back(std::move(type), std::move(pname));
+        }
+        PROMETHEUS_RETURN_IF_ERROR(db->DefineMethod(name, std::move(method)));
+      }
+    }
+    return Status::Ok();
+  }
+  if (tag == "TMPL") {
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(RelationshipSemantics sem,
+                                ReadSemantics(&cur));
+    std::size_t nattrs = std::stoull(cur.Word());
+    std::vector<AttributeDef> attrs;
+    for (std::size_t i = 0; i < nattrs; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
+                                  ReadAttributeDef(line, &cur.pos));
+      attrs.push_back(std::move(a));
+    }
+    return db->DefineRelationshipTemplate(name, sem, std::move(attrs));
+  }
+  if (tag == "REL") {
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string src, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string dst, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(RelationshipSemantics sem,
+                                ReadSemantics(&cur));
+    std::size_t nsupers = std::stoull(cur.Word());
+    std::vector<std::string> supers;
+    for (std::size_t i = 0; i < nsupers; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(std::string s, cur.Str());
+      supers.push_back(std::move(s));
+    }
+    std::size_t nattrs = std::stoull(cur.Word());
+    std::vector<AttributeDef> attrs;
+    for (std::size_t i = 0; i < nattrs; ++i) {
+      PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
+                                  ReadAttributeDef(line, &cur.pos));
+      attrs.push_back(std::move(a));
+    }
+    return db->DefineRelationship(name, src, dst, sem, std::move(attrs),
+                                  supers)
+        .status();
+  }
+  if (tag == "OBJ") {
+    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string cls, cur.Str());
+    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::vector<AttrInit> attrs,
+                                cur.Attrs(nattrs));
+    return db->RestoreObjectRaw(oid, cls, std::move(attrs));
+  }
+  if (tag == "LINK") {
+    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, cur.Str());
+    Oid src = std::stoull(cur.Word());
+    Oid dst = std::stoull(cur.Word());
+    Oid ctx = std::stoull(cur.Word());
+    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::vector<AttrInit> attrs,
+                                cur.Attrs(nattrs));
+    return db->RestoreLinkRaw(oid, rel, src, dst, ctx, std::move(attrs));
+  }
+  if (tag == "SYN") {
+    Oid child = std::stoull(cur.Word());
+    Oid parent = std::stoull(cur.Word());
+    return db->RestoreSynonymRaw(child, parent);
+  }
+  if (tag == "DELO") {
+    Oid oid = std::stoull(cur.Word());
+    if (db->GetObject(oid) == nullptr) return Status::Ok();  // cascaded
+    return db->DeleteObject(oid);
+  }
+  if (tag == "DELL") {
+    Oid oid = std::stoull(cur.Word());
+    if (db->GetLink(oid) == nullptr) return Status::Ok();  // cascaded
+    return db->DeleteLink(oid);
+  }
+  if (tag == "SETA") {
+    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(Value v, cur.Val());
+    return db->SetAttribute(oid, name, std::move(v));
+  }
+  if (tag == "SETL") {
+    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
+    PROMETHEUS_ASSIGN_OR_RETURN(Value v, cur.Val());
+    return db->SetLinkAttribute(oid, name, std::move(v));
+  }
+  return Status::IoError("unknown record '" + tag + "'");
+}
+
+Status SaveSnapshot(const Database& db, std::ostream& out) {
+  out << kMagic << "\n";
+  PROMETHEUS_RETURN_IF_ERROR(WriteSchemaRecords(db, out));
+  // Objects first (contexts are objects, so link records resolve), then
+  // links, then synonym edges.
+  for (const ClassDef* cls : db.classes()) {
+    for (Oid oid : db.Extent(cls->name(), /*include_subclasses=*/false)) {
+      out << ObjectRecord(db, oid) << "\n";
+    }
+  }
+  for (const RelationshipDef* rel : db.relationships()) {
+    for (Oid oid :
+         db.LinkExtent(rel->name(), /*include_subrelationships=*/false)) {
+      out << LinkRecord(db, oid) << "\n";
+    }
+  }
+  for (const ClassDef* cls : db.classes()) {
+    for (Oid oid : db.Extent(cls->name(), /*include_subclasses=*/false)) {
+      Oid root = db.CanonicalOf(oid);
+      if (root != oid) out << "SYN " << oid << " " << root << "\n";
+    }
+  }
+  out << "END\n";
+  if (!out.good()) return Status::IoError("write failure");
+  return Status::Ok();
+}
+
+Status SaveSnapshot(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  return SaveSnapshot(db, out);
+}
+
+Status LoadSnapshot(Database* db, std::istream& in) {
+  if (!db->classes().empty() || db->object_count() != 0) {
+    return Status::FailedPrecondition(
+        "snapshots load into an empty database");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::IoError("not a Prometheus snapshot");
+  }
+  bool end = false;
+  while (!end && std::getline(in, line)) {
+    PROMETHEUS_RETURN_IF_ERROR(ApplyRecord(db, line, &end));
+  }
+  if (!end) return Status::IoError("truncated snapshot (no END record)");
+  return Status::Ok();
+}
+
+Status LoadSnapshot(Database* db, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return LoadSnapshot(db, in);
+}
+
+}  // namespace prometheus::storage

@@ -1,0 +1,53 @@
+#ifndef PROMETHEUS_STORAGE_SNAPSHOT_H_
+#define PROMETHEUS_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus::storage {
+
+/// Serialises a Value into the storage wire format (type tag +
+/// length-prefixed payload; lists recurse). Exposed for tests.
+std::string EncodeValue(const Value& value);
+
+/// Parses a Value from `text` starting at `*pos`; advances `*pos`.
+Result<Value> DecodeValue(const std::string& text, std::size_t* pos);
+
+/// One-line records shared by snapshots and journals:
+///   CLASS/REL  — schema definitions
+///   OBJ/LINK   — full object / link state (used for creations)
+///   SETA/SETL  — single attribute updates
+///   DELO/DELL  — deletions
+///   SYN        — synonym declaration
+///   END        — end of stream
+/// `WriteSchemaRecords` emits the CLASS/REL prologue; `ObjectRecord` /
+/// `LinkRecord` render one instance; `ApplyRecord` parses and applies any
+/// record to a database (with semantic checks suspended — records describe
+/// already-validated history).
+Status WriteSchemaRecords(const Database& db, std::ostream& out);
+std::string ObjectRecord(const Database& db, Oid oid);
+std::string LinkRecord(const Database& db, Oid oid);
+
+/// Applies one record line. Returns true in `*end` for the END record.
+/// DELO/DELL of already-absent targets are ignored (cascades may have
+/// removed them first).
+Status ApplyRecord(Database* db, const std::string& line, bool* end);
+
+/// The storage substrate (the role POET played under the thesis'
+/// prototype): full-database snapshots.
+///
+/// `SaveSnapshot` writes schema, all live objects and links (with their
+/// classification contexts and attributes) and the synonym sets.
+/// `LoadSnapshot` restores them into an *empty* database, preserving every
+/// Oid, so persisted references stay valid across processes.
+Status SaveSnapshot(const Database& db, const std::string& path);
+Status SaveSnapshot(const Database& db, std::ostream& out);
+Status LoadSnapshot(Database* db, const std::string& path);
+Status LoadSnapshot(Database* db, std::istream& in);
+
+}  // namespace prometheus::storage
+
+#endif  // PROMETHEUS_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,95 @@
+#include "taxonomy/rank.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace prometheus::taxonomy {
+
+namespace {
+
+constexpr const char* kNames[kRankCount] = {
+    "Regnum",     "Subregnum",   "Divisio",  "Subdivisio", "Classis",
+    "Subclassis", "Ordo",        "Subordo",  "Familia",    "Subfamilia",
+    "Tribus",     "Subtribus",   "Genus",    "Subgenus",   "Sectio",
+    "Subsectio",  "Series",      "Subseries", "Species",   "Subspecies",
+    "Varietas",   "Subvarietas", "Forma",    "Subforma",
+};
+
+}  // namespace
+
+int RankOrder(Rank rank) { return static_cast<int>(rank); }
+
+const char* RankName(Rank rank) {
+  int i = static_cast<int>(rank);
+  return (i >= 0 && i < kRankCount) ? kNames[i] : "?";
+}
+
+Result<Rank> RankFromName(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (int i = 0; i < kRankCount; ++i) {
+    std::string candidate = kNames[i];
+    std::transform(candidate.begin(), candidate.end(), candidate.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (candidate == lower) return static_cast<Rank>(i);
+  }
+  // Common aliases.
+  if (lower == "phyllum" || lower == "phylum") return Rank::kDivisio;
+  if (lower == "family") return Rank::kFamilia;
+  if (lower == "order") return Rank::kOrdo;
+  if (lower == "class") return Rank::kClassis;
+  if (lower == "kingdom") return Rank::kRegnum;
+  return Status::NotFound("unknown rank '" + name + "'");
+}
+
+bool IsPrimaryRank(Rank rank) {
+  switch (rank) {
+    case Rank::kRegnum:
+    case Rank::kDivisio:
+    case Rank::kClassis:
+    case Rank::kOrdo:
+    case Rank::kFamilia:
+    case Rank::kGenus:
+    case Rank::kSpecies:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSecondaryRank(Rank rank) {
+  switch (rank) {
+    case Rank::kTribus:
+    case Rank::kSectio:
+    case Rank::kSeries:
+    case Rank::kVarietas:
+    case Rank::kForma:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSubRank(Rank rank) {
+  // Sub ranks are exactly the odd positions: each follows the rank whose
+  // name it derives from.
+  return static_cast<int>(rank) % 2 == 1;
+}
+
+bool IsBelow(Rank a, Rank b) { return RankOrder(a) > RankOrder(b); }
+
+bool IsMultinomial(Rank rank) {
+  return RankOrder(rank) >= RankOrder(Rank::kSpecies);
+}
+
+const std::vector<Rank>& AllRanks() {
+  static const auto& kAll = *new std::vector<Rank>([] {
+    std::vector<Rank> all;
+    for (int i = 0; i < kRankCount; ++i) all.push_back(static_cast<Rank>(i));
+    return all;
+  }());
+  return kAll;
+}
+
+}  // namespace prometheus::taxonomy

@@ -1,0 +1,78 @@
+#ifndef PROMETHEUS_TAXONOMY_RANK_H_
+#define PROMETHEUS_TAXONOMY_RANK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prometheus::taxonomy {
+
+/// The ICBN rank hierarchy (thesis figure 1): primary ranks, secondary
+/// ranks and "sub" ranks, in their mandatory order from Regnum down to
+/// Subforma.
+enum class Rank : std::uint8_t {
+  kRegnum = 0,
+  kSubregnum,
+  kDivisio,
+  kSubdivisio,
+  kClassis,
+  kSubclassis,
+  kOrdo,
+  kSubordo,
+  kFamilia,
+  kSubfamilia,
+  kTribus,
+  kSubtribus,
+  kGenus,
+  kSubgenus,
+  kSectio,
+  kSubsectio,
+  kSeries,
+  kSubseries,
+  kSpecies,
+  kSubspecies,
+  kVarietas,
+  kSubvarietas,
+  kForma,
+  kSubforma,
+};
+
+/// Number of ranks in the hierarchy.
+inline constexpr int kRankCount = 24;
+
+/// Position in the hierarchy; smaller = higher (Regnum is 0). Consecutive
+/// integers, so classifications may legally skip ranks but never invert
+/// them (requirement 2: the rank order is standardised).
+int RankOrder(Rank rank);
+
+/// Canonical latin name ("Regnum", "Subfamilia", ...).
+const char* RankName(Rank rank);
+
+/// Parses a rank name (case-insensitive). kNotFound for unknown names.
+Result<Rank> RankFromName(const std::string& name);
+
+/// The seven compulsory primary ranks (Regnum, Divisio, Classis, Ordo,
+/// Familia, Genus, Species).
+bool IsPrimaryRank(Rank rank);
+
+/// The secondary ranks (Tribus, Sectio, Series, Varietas, Forma).
+bool IsSecondaryRank(Rank rank);
+
+/// The "sub" subdivision ranks.
+bool IsSubRank(Rank rank);
+
+/// True when `a` is strictly below `b` in the hierarchy.
+bool IsBelow(Rank a, Rank b);
+
+/// Ranks at or below Species form multinomial (binomial etc.) names whose
+/// derivation requires the enclosing genus combination (thesis 2.1.2).
+bool IsMultinomial(Rank rank);
+
+/// All ranks in hierarchy order (for iteration / parameterised tests).
+const std::vector<Rank>& AllRanks();
+
+}  // namespace prometheus::taxonomy
+
+#endif  // PROMETHEUS_TAXONOMY_RANK_H_

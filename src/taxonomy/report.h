@@ -1,0 +1,37 @@
+#ifndef PROMETHEUS_TAXONOMY_REPORT_H_
+#define PROMETHEUS_TAXONOMY_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "taxonomy/taxonomy_db.h"
+
+namespace prometheus::taxonomy {
+
+/// Human-readable reports over a taxonomic database — the working-practice
+/// outputs taxonomists otherwise compile by hand on "several sheets of
+/// paper" (thesis 1.1): classification trees, nomenclature dossiers and
+/// cross-classification synonymy overviews.
+
+/// Renders a classification as an indented tree. Each taxon line shows
+/// rank, working name, and ascribed/calculated name when present;
+/// specimens appear as leaf entries with collector and sheet number.
+/// Multi-rooted and overlapping structures render every root.
+Result<std::string> RenderClassificationTree(const TaxonomyDatabase& tdb,
+                                             Oid classification);
+
+/// Renders the nomenclatural dossier of a name: full name, rank, status,
+/// publication, placement chain, taxonomic types (with kinds) and the
+/// names it typifies.
+Result<std::string> RenderNameDossier(const TaxonomyDatabase& tdb, Oid name);
+
+/// Renders a synonymy overview between two classifications: for each
+/// internal group of the first, its best-aligned group of the second with
+/// the overlap class (full / pro parte / none) and similarity.
+Result<std::string> RenderSynonymyReport(const TaxonomyDatabase& tdb,
+                                         Oid classification_a,
+                                         Oid classification_b);
+
+}  // namespace prometheus::taxonomy
+
+#endif  // PROMETHEUS_TAXONOMY_REPORT_H_

@@ -1,0 +1,159 @@
+#include "taxonomy/synthetic.h"
+
+#include <random>
+#include <string>
+
+namespace prometheus::taxonomy {
+
+namespace {
+
+/// Pronounceable deterministic latin-ish name for index `i`.
+std::string SyntheticElement(const char* stem, int i, bool capital) {
+  static const char* kSyllables[] = {"pa", "re", "li", "no", "ta",
+                                     "ve", "mu", "si", "co", "da"};
+  std::string word = stem;
+  int n = i;
+  for (int k = 0; k < 3; ++k) {
+    word += kSyllables[n % 10];
+    n /= 10;
+  }
+  if (capital && !word.empty()) {
+    word[0] = static_cast<char>(std::toupper(word[0]));
+  } else if (!capital && !word.empty()) {
+    word[0] = static_cast<char>(std::tolower(word[0]));
+  }
+  return word;
+}
+
+}  // namespace
+
+Result<Flora> GenerateFlora(TaxonomyDatabase* tdb,
+                            const FloraConfig& config) {
+  Flora flora;
+  std::mt19937 rng(config.seed);
+  PROMETHEUS_ASSIGN_OR_RETURN(
+      flora.classification,
+      tdb->NewClassification("synthetic flora", "generator",
+                             config.base_year));
+  std::int64_t year = config.base_year;
+  int species_counter = 0;
+  for (int f = 0; f < config.families; ++f) {
+    std::string family_element =
+        SyntheticElement("fam", f, /*capital=*/true) + "aceae";
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        Oid family_taxon,
+        tdb->NewTaxon(flora.classification, Rank::kFamilia, family_element));
+    flora.family_taxa.push_back(family_taxon);
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        Oid family_name, tdb->PublishName(family_element, Rank::kFamilia,
+                                          "Gen.", year));
+    flora.names.push_back(family_name);
+    PROMETHEUS_RETURN_IF_ERROR(tdb->AscribeName(family_taxon, family_name));
+
+    for (int g = 0; g < config.genera_per_family; ++g) {
+      std::string genus_element = SyntheticElement(
+          "g", f * config.genera_per_family + g, /*capital=*/true);
+      PROMETHEUS_ASSIGN_OR_RETURN(
+          Oid genus_taxon,
+          tdb->NewTaxon(flora.classification, Rank::kGenus, genus_element));
+      flora.genus_taxa.push_back(genus_taxon);
+      PROMETHEUS_RETURN_IF_ERROR(tdb->PlaceTaxon(
+          flora.classification, family_taxon, genus_taxon,
+          "synthetic placement"));
+      PROMETHEUS_ASSIGN_OR_RETURN(
+          Oid genus_name,
+          tdb->PublishName(genus_element, Rank::kGenus, "Gen.", year));
+      flora.names.push_back(genus_name);
+      PROMETHEUS_RETURN_IF_ERROR(tdb->AscribeName(genus_taxon, genus_name));
+
+      Oid first_species_name = kNullOid;
+      for (int s = 0; s < config.species_per_genus; ++s) {
+        std::string species_element = SyntheticElement(
+            "s", species_counter++, /*capital=*/false);
+        PROMETHEUS_ASSIGN_OR_RETURN(
+            Oid species_taxon,
+            tdb->NewTaxon(flora.classification, Rank::kSpecies,
+                          species_element));
+        flora.species_taxa.push_back(species_taxon);
+        PROMETHEUS_RETURN_IF_ERROR(
+            tdb->PlaceTaxon(flora.classification, genus_taxon, species_taxon,
+                            "synthetic placement"));
+        PROMETHEUS_ASSIGN_OR_RETURN(
+            Oid species_name,
+            tdb->PublishName(species_element, Rank::kSpecies, "Gen.",
+                             year + s));
+        flora.names.push_back(species_name);
+        PROMETHEUS_RETURN_IF_ERROR(
+            tdb->RecordPlacement(species_name, genus_name));
+        PROMETHEUS_RETURN_IF_ERROR(
+            tdb->AscribeName(species_taxon, species_name));
+        if (first_species_name == kNullOid) {
+          first_species_name = species_name;
+        }
+
+        for (int i = 0; i < config.specimens_per_species; ++i) {
+          PROMETHEUS_ASSIGN_OR_RETURN(
+              Oid specimen,
+              tdb->AddSpecimen("Collector" + std::to_string(rng() % 20), "E",
+                               std::to_string(species_counter) + "-" +
+                                   std::to_string(i),
+                               1900 + static_cast<std::int64_t>(rng() % 100)));
+          flora.specimens.push_back(specimen);
+          PROMETHEUS_RETURN_IF_ERROR(tdb->Circumscribe(
+              flora.classification, species_taxon, specimen));
+          if (i == 0) {
+            PROMETHEUS_RETURN_IF_ERROR(
+                tdb->Typify(species_name, specimen, TypeKind::kHolotype));
+          }
+        }
+      }
+      // The genus is typified by its first species name (figure 2).
+      if (first_species_name != kNullOid) {
+        PROMETHEUS_RETURN_IF_ERROR(
+            tdb->Typify(genus_name, first_species_name,
+                        TypeKind::kHolotype));
+      }
+    }
+  }
+  return flora;
+}
+
+Result<Oid> GenerateRevision(TaxonomyDatabase* tdb, const Flora& flora,
+                             int groups, unsigned seed) {
+  std::mt19937 rng(seed);
+  PROMETHEUS_ASSIGN_OR_RETURN(
+      Oid revision,
+      tdb->NewClassification("synthetic revision", "reviser", 2000));
+  if (groups < 1) groups = 1;
+  // New genera regrouping all species' specimens by hash.
+  std::vector<Oid> new_genera;
+  for (int g = 0; g < groups; ++g) {
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        Oid taxon, tdb->NewTaxon(revision, Rank::kGenus,
+                                 SyntheticElement("rev", g, true)));
+    new_genera.push_back(taxon);
+  }
+  // Each original species taxon is re-created and dropped into a random
+  // new genus, keeping its circumscribed specimens.
+  for (Oid species : flora.species_taxa) {
+    auto specimens = tdb->SpecimensUnder(flora.classification, species);
+    if (!specimens.ok()) return specimens.status();
+    auto working = tdb->db().GetAttribute(species, "working_name");
+    std::string name = working.ok() &&
+                               working.value().type() == ValueType::kString
+                           ? working.value().AsString()
+                           : "sp";
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        Oid copy, tdb->NewTaxon(revision, Rank::kSpecies, name));
+    Oid genus = new_genera[rng() % new_genera.size()];
+    PROMETHEUS_RETURN_IF_ERROR(
+        tdb->PlaceTaxon(revision, genus, copy, "revision regrouping"));
+    for (Oid specimen : specimens.value()) {
+      PROMETHEUS_RETURN_IF_ERROR(
+          tdb->Circumscribe(revision, copy, specimen));
+    }
+  }
+  return revision;
+}
+
+}  // namespace prometheus::taxonomy

@@ -1,0 +1,50 @@
+#ifndef PROMETHEUS_TAXONOMY_SYNTHETIC_H_
+#define PROMETHEUS_TAXONOMY_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "taxonomy/taxonomy_db.h"
+
+namespace prometheus::taxonomy {
+
+/// Parameters of a synthetic flora (substitute for the Royal Botanic
+/// Garden Edinburgh datasets the thesis evaluated with; see DESIGN.md's
+/// substitution table). Sizes follow the thesis' observation that genera
+/// with hundreds of species are common.
+struct FloraConfig {
+  int families = 2;
+  int genera_per_family = 5;
+  int species_per_genus = 10;
+  int specimens_per_species = 4;
+  /// Publication year assigned to the oldest names; later names increment.
+  std::int64_t base_year = 1753;
+  unsigned seed = 42;
+};
+
+/// Handles into a generated flora.
+struct Flora {
+  Oid classification = kNullOid;
+  std::vector<Oid> family_taxa;
+  std::vector<Oid> genus_taxa;
+  std::vector<Oid> species_taxa;
+  std::vector<Oid> specimens;
+  std::vector<Oid> names;  ///< published NTs, typified and placed
+};
+
+/// Populates `tdb` with a fully classified, typified and named synthetic
+/// flora: one classification whose families contain genera contain species
+/// circumscribe specimens; every species/genus/family has a published,
+/// typified nomenclatural taxon. Deterministic in `config.seed`.
+Result<Flora> GenerateFlora(TaxonomyDatabase* tdb, const FloraConfig& config);
+
+/// Builds a second classification over the same specimens by regrouping
+/// every genus's species into `groups` new genera (a synthetic revision) —
+/// the source of overlapping classifications for the synonym-detection
+/// benchmarks. Returns the new classification.
+Result<Oid> GenerateRevision(TaxonomyDatabase* tdb, const Flora& flora,
+                             int groups, unsigned seed);
+
+}  // namespace prometheus::taxonomy
+
+#endif  // PROMETHEUS_TAXONOMY_SYNTHETIC_H_

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "classification/classification.h"
+
+namespace prometheus {
+namespace {
+
+bool Contains(const std::vector<Oid>& v, Oid x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+AttributeDef StrAttr(std::string name) {
+  AttributeDef a;
+  a.name = std::move(name);
+  a.type = ValueType::kString;
+  return a;
+}
+
+/// Builds the "shapes" scenario of thesis figure 4: a pool of specimen
+/// objects classified independently by several taxonomists.
+class ClassificationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mgr = std::make_unique<ClassificationManager>(&db);
+    ASSERT_TRUE(db.DefineClass("Specimen", {}, {StrAttr("shape")}).ok());
+    ASSERT_TRUE(db.DefineClass("Taxon", {}, {StrAttr("label")}).ok());
+    ASSERT_TRUE(db.DefineRelationship("classified_in", "Taxon", "Specimen",
+                                      {}, {StrAttr("motivation")})
+                    .ok());
+    ASSERT_TRUE(db.DefineRelationship("placed_in", "Taxon", "Taxon", {},
+                                      {StrAttr("motivation")})
+                    .ok());
+  }
+
+  Oid NewSpecimen(const std::string& shape) {
+    return db.CreateObject("Specimen", {{"shape", Value::String(shape)}})
+        .value();
+  }
+
+  Oid NewTaxon(const std::string& label) {
+    return db.CreateObject("Taxon", {{"label", Value::String(label)}})
+        .value();
+  }
+
+  Database db;
+  std::unique_ptr<ClassificationManager> mgr;
+};
+
+TEST_F(ClassificationFixture, CreateCarriesMetadata) {
+  auto c = mgr->Create("Shapes 1890", "Linnaeus", 1890, "Species Plantarum");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(mgr->IsClassification(c.value()));
+  EXPECT_TRUE(db.GetAttribute(c.value(), "author")
+                  .value()
+                  .Equals(Value::String("Linnaeus")));
+  EXPECT_TRUE(
+      db.GetAttribute(c.value(), "year").value().Equals(Value::Int(1890)));
+  EXPECT_EQ(mgr->All().size(), 1u);
+}
+
+TEST_F(ClassificationFixture, EdgesMembersRootsChildren) {
+  Oid c = mgr->Create("C", "t1").value();
+  Oid genus = NewTaxon("Shapes");
+  Oid squares = NewTaxon("Squares");
+  Oid s1 = NewSpecimen("square");
+  Oid s2 = NewSpecimen("square");
+  ASSERT_TRUE(mgr->AddEdge(c, "placed_in", genus, squares).ok());
+  ASSERT_TRUE(mgr->AddEdge(c, "classified_in", squares, s1).ok());
+  ASSERT_TRUE(mgr->AddEdge(c, "classified_in", squares, s2).ok());
+  EXPECT_EQ(mgr->Edges(c).size(), 3u);
+  EXPECT_EQ(mgr->Members(c).size(), 4u);
+  EXPECT_EQ(mgr->Roots(c), std::vector<Oid>{genus});
+  EXPECT_EQ(mgr->Children(c, genus), std::vector<Oid>{squares});
+  EXPECT_EQ(mgr->Parents(c, s1), std::vector<Oid>{squares});
+  std::vector<Oid> desc = mgr->Descendants(c, genus);
+  EXPECT_EQ(desc.size(), 3u);
+  std::vector<Oid> leaves = mgr->Leaves(c, genus);
+  EXPECT_EQ(leaves.size(), 2u);
+  EXPECT_TRUE(Contains(leaves, s1));
+  EXPECT_TRUE(Contains(leaves, s2));
+}
+
+TEST_F(ClassificationFixture, MotivationTraceability) {
+  Oid c = mgr->Create("C", "t1").value();
+  Oid a = NewTaxon("A");
+  Oid s = NewSpecimen("oval");
+  auto link = mgr->AddEdge(c, "classified_in", a, s, "leaf shape is ovoid");
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(db.GetLinkAttribute(link.value(), "motivation")
+                  .value()
+                  .Equals(Value::String("leaf shape is ovoid")));
+}
+
+TEST_F(ClassificationFixture, MotivationRequiresDeclaredAttribute) {
+  ASSERT_TRUE(db.DefineRelationship("bare", "Taxon", "Specimen").ok());
+  Oid c = mgr->Create("C", "t1").value();
+  Oid a = NewTaxon("A");
+  Oid s = NewSpecimen("x");
+  EXPECT_EQ(mgr->AddEdge(c, "bare", a, s, "why").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_TRUE(mgr->AddEdge(c, "bare", a, s).ok());
+}
+
+TEST_F(ClassificationFixture, OverlappingClassificationsAreIndependent) {
+  // Two taxonomists classify the same specimens differently (figure 4).
+  Oid s_square = NewSpecimen("square");
+  Oid s_oval = NewSpecimen("oval");
+  Oid s_tri = NewSpecimen("triangle");
+
+  Oid c1 = mgr->Create("by shape", "t1").value();
+  Oid angled1 = NewTaxon("Angled");
+  Oid round1 = NewTaxon("Round");
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", angled1, s_square).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", angled1, s_tri).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", round1, s_oval).ok());
+
+  Oid c2 = mgr->Create("by brightness", "t2").value();
+  Oid light2 = NewTaxon("Light");
+  Oid dark2 = NewTaxon("Dark");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", light2, s_square).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", light2, s_oval).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", dark2, s_tri).ok());
+
+  // Context-restricted structure: same specimen, different parents.
+  EXPECT_EQ(mgr->Parents(c1, s_square), std::vector<Oid>{angled1});
+  EXPECT_EQ(mgr->Parents(c2, s_square), std::vector<Oid>{light2});
+  // Each classification sees only its own edges.
+  EXPECT_EQ(mgr->Edges(c1).size(), 3u);
+  EXPECT_EQ(mgr->Edges(c2).size(), 3u);
+}
+
+TEST_F(ClassificationFixture, SynonymyDetectionFromLeafSets) {
+  Oid s1 = NewSpecimen("a");
+  Oid s2 = NewSpecimen("b");
+  Oid s3 = NewSpecimen("c");
+
+  Oid c1 = mgr->Create("C1", "t1").value();
+  Oid g1 = NewTaxon("G1");
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1, s1).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1, s2).ok());
+
+  Oid c2 = mgr->Create("C2", "t2").value();
+  Oid g_full = NewTaxon("Gfull");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g_full, s1).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g_full, s2).ok());
+  Oid g_partial = NewTaxon("Gpartial");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g_partial, s2).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g_partial, s3).ok());
+  Oid g_disjoint = NewTaxon("Gdisjoint");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g_disjoint, s3).ok());
+
+  EXPECT_EQ(mgr->Synonymy(c1, g1, c2, g_full), SynonymyKind::kFull);
+  EXPECT_EQ(mgr->Synonymy(c1, g1, c2, g_partial), SynonymyKind::kProParte);
+  EXPECT_EQ(mgr->Synonymy(c1, g1, c2, g_disjoint), SynonymyKind::kNone);
+
+  OverlapReport rep = mgr->Compare(c1, g1, c2, g_partial);
+  EXPECT_EQ(rep.shared, std::vector<Oid>{s2});
+  EXPECT_EQ(rep.only_a, std::vector<Oid>{s1});
+  EXPECT_EQ(rep.only_b, std::vector<Oid>{s3});
+}
+
+TEST_F(ClassificationFixture, SynonymousSpecimensUnifyBeforeComparison) {
+  // Two herbaria hold duplicates of the same collection (instance synonyms,
+  // thesis 4.5); groups circumscribed over either duplicate must compare
+  // as full synonyms.
+  Oid dup1 = NewSpecimen("x");
+  Oid dup2 = NewSpecimen("x");
+  ASSERT_TRUE(db.DeclareSynonym(dup1, dup2).ok());
+
+  Oid c1 = mgr->Create("C1", "t1").value();
+  Oid g1 = NewTaxon("G1");
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1, dup1).ok());
+  Oid c2 = mgr->Create("C2", "t2").value();
+  Oid g2 = NewTaxon("G2");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g2, dup2).ok());
+
+  EXPECT_EQ(mgr->Synonymy(c1, g1, c2, g2), SynonymyKind::kFull);
+}
+
+TEST_F(ClassificationFixture, CloneProducesIndependentCopy) {
+  Oid c1 = mgr->Create("original", "t1").value();
+  Oid g = NewTaxon("G");
+  Oid s = NewSpecimen("x");
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g, s, "original reason").ok());
+
+  auto c2 = mgr->Clone(c1, "revision", "t2", 2001);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  EXPECT_EQ(mgr->Edges(c2.value()).size(), 1u);
+  // Same classified objects...
+  EXPECT_EQ(mgr->Parents(c2.value(), s), std::vector<Oid>{g});
+  // ...but link attributes were copied,
+  Oid copied_link = mgr->Edges(c2.value())[0];
+  EXPECT_TRUE(db.GetLinkAttribute(copied_link, "motivation")
+                  .value()
+                  .Equals(Value::String("original reason")));
+  // and edits to the copy do not affect the original.
+  ASSERT_TRUE(mgr->RemoveEdge(c2.value(), copied_link).ok());
+  EXPECT_EQ(mgr->Edges(c1).size(), 1u);
+  EXPECT_EQ(mgr->Edges(c2.value()).size(), 0u);
+}
+
+TEST_F(ClassificationFixture, CloneSubtreeCopiesOnlyTheSubtree) {
+  Oid src = mgr->Create("src", "t1").value();
+  Oid root = NewTaxon("Root");
+  Oid left = NewTaxon("Left");
+  Oid right = NewTaxon("Right");
+  Oid s1 = NewSpecimen("a");
+  Oid s2 = NewSpecimen("b");
+  ASSERT_TRUE(mgr->AddEdge(src, "placed_in", root, left).ok());
+  ASSERT_TRUE(mgr->AddEdge(src, "placed_in", root, right).ok());
+  ASSERT_TRUE(mgr->AddEdge(src, "classified_in", left, s1, "why").ok());
+  ASSERT_TRUE(mgr->AddEdge(src, "classified_in", right, s2).ok());
+
+  Oid dst = mgr->Create("dst", "t2").value();
+  ASSERT_TRUE(mgr->CloneSubtree(src, left, dst).ok());
+  // Only the left subtree's edge came across.
+  EXPECT_EQ(mgr->Edges(dst).size(), 1u);
+  EXPECT_EQ(mgr->Leaves(dst, left), std::vector<Oid>{s1});
+  // Attributes were copied.
+  EXPECT_TRUE(db.GetLinkAttribute(mgr->Edges(dst)[0], "motivation")
+                  .value()
+                  .Equals(Value::String("why")));
+  // The source is untouched.
+  EXPECT_EQ(mgr->Edges(src).size(), 4u);
+}
+
+TEST_F(ClassificationFixture, AlignFindsBestMatches) {
+  Oid s1 = NewSpecimen("1");
+  Oid s2 = NewSpecimen("2");
+  Oid s3 = NewSpecimen("3");
+  Oid s4 = NewSpecimen("4");
+
+  Oid c1 = mgr->Create("C1", "t1").value();
+  Oid g1a = NewTaxon("G1a");  // {s1, s2}
+  Oid g1b = NewTaxon("G1b");  // {s3, s4}
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1a, s1).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1a, s2).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1b, s3).ok());
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1b, s4).ok());
+
+  Oid c2 = mgr->Create("C2", "t2").value();
+  Oid g2a = NewTaxon("G2a");  // {s1, s2} — full match of g1a
+  Oid g2b = NewTaxon("G2b");  // {s3} — partial match of g1b
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g2a, s1).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g2a, s2).ok());
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g2b, s3).ok());
+
+  std::vector<ClassificationManager::Alignment> alignment =
+      mgr->Align(c1, c2);
+  ASSERT_EQ(alignment.size(), 2u);  // the two internal nodes of c1
+  for (const auto& entry : alignment) {
+    if (entry.taxon_a == g1a) {
+      EXPECT_EQ(entry.taxon_b, g2a);
+      EXPECT_DOUBLE_EQ(entry.similarity, 1.0);
+      EXPECT_EQ(entry.kind, SynonymyKind::kFull);
+    } else {
+      EXPECT_EQ(entry.taxon_a, g1b);
+      EXPECT_EQ(entry.taxon_b, g2b);
+      EXPECT_DOUBLE_EQ(entry.similarity, 0.5);  // {s3} of {s3,s4}
+      EXPECT_EQ(entry.kind, SynonymyKind::kProParte);
+    }
+  }
+}
+
+TEST_F(ClassificationFixture, AlignReportsUnmatchedGroups) {
+  Oid s1 = NewSpecimen("1");
+  Oid s2 = NewSpecimen("2");
+  Oid c1 = mgr->Create("C1", "t1").value();
+  Oid g1 = NewTaxon("G1");
+  ASSERT_TRUE(mgr->AddEdge(c1, "classified_in", g1, s1).ok());
+  Oid c2 = mgr->Create("C2", "t2").value();
+  Oid g2 = NewTaxon("G2");
+  ASSERT_TRUE(mgr->AddEdge(c2, "classified_in", g2, s2).ok());
+  auto alignment = mgr->Align(c1, c2);
+  ASSERT_EQ(alignment.size(), 1u);
+  EXPECT_EQ(alignment[0].taxon_b, kNullOid);
+  EXPECT_EQ(alignment[0].kind, SynonymyKind::kNone);
+}
+
+TEST_F(ClassificationFixture, DiffAgainstARevisedClone) {
+  Oid original = mgr->Create("original", "t1").value();
+  Oid g = NewTaxon("G");
+  Oid s1 = NewSpecimen("a");
+  Oid s2 = NewSpecimen("b");
+  Oid kept = mgr->AddEdge(original, "classified_in", g, s1).value();
+  Oid dropped = mgr->AddEdge(original, "classified_in", g, s2).value();
+  Oid revision = mgr->Clone(original, "revision", "t2").value();
+  // The revision drops s2 and adds s3.
+  for (Oid lid : mgr->Edges(revision)) {
+    if (db.GetLink(lid)->target == s2) {
+      ASSERT_TRUE(mgr->RemoveEdge(revision, lid).ok());
+    }
+  }
+  Oid s3 = NewSpecimen("c");
+  Oid added = mgr->AddEdge(revision, "classified_in", g, s3).value();
+
+  ClassificationManager::DiffReport diff = mgr->Diff(original, revision);
+  EXPECT_EQ(diff.only_a, std::vector<Oid>{dropped});
+  EXPECT_EQ(diff.only_b, std::vector<Oid>{added});
+  // Identical classifications diff empty.
+  ClassificationManager::DiffReport self_diff =
+      mgr->Diff(original, original);
+  EXPECT_TRUE(self_diff.only_a.empty());
+  EXPECT_TRUE(self_diff.only_b.empty());
+  (void)kept;
+}
+
+TEST_F(ClassificationFixture, DestroyRemovesEdgesButNotObjects) {
+  Oid c = mgr->Create("C", "t1").value();
+  Oid g = NewTaxon("G");
+  Oid s = NewSpecimen("x");
+  ASSERT_TRUE(mgr->AddEdge(c, "classified_in", g, s).ok());
+  ASSERT_TRUE(mgr->Destroy(c).ok());
+  EXPECT_FALSE(mgr->IsClassification(c));
+  EXPECT_NE(db.GetObject(g), nullptr);
+  EXPECT_NE(db.GetObject(s), nullptr);
+  EXPECT_EQ(db.link_count(), 0u);
+}
+
+TEST_F(ClassificationFixture, IsHierarchyDetectsCycles) {
+  Oid c = mgr->Create("C", "t1").value();
+  Oid a = NewTaxon("A");
+  Oid b = NewTaxon("B");
+  Oid d = NewTaxon("D");
+  ASSERT_TRUE(mgr->AddEdge(c, "placed_in", a, b).ok());
+  ASSERT_TRUE(mgr->AddEdge(c, "placed_in", b, d).ok());
+  EXPECT_TRUE(mgr->IsHierarchy(c));
+  ASSERT_TRUE(mgr->AddEdge(c, "placed_in", d, a).ok());
+  EXPECT_FALSE(mgr->IsHierarchy(c));
+}
+
+TEST_F(ClassificationFixture, RemoveEdgeValidatesOwnership) {
+  Oid c1 = mgr->Create("C1", "t1").value();
+  Oid c2 = mgr->Create("C2", "t2").value();
+  Oid g = NewTaxon("G");
+  Oid s = NewSpecimen("x");
+  Oid l = mgr->AddEdge(c1, "classified_in", g, s).value();
+  EXPECT_EQ(mgr->RemoveEdge(c2, l).code(), Status::Code::kNotFound);
+  EXPECT_TRUE(mgr->RemoveEdge(c1, l).ok());
+}
+
+TEST_F(ClassificationFixture, AbortRestoresClassificationEdges) {
+  Oid c = mgr->Create("C", "t1").value();
+  Oid g = NewTaxon("G");
+  Oid s = NewSpecimen("x");
+  ASSERT_TRUE(mgr->AddEdge(c, "classified_in", g, s).ok());
+  ASSERT_TRUE(db.Begin().ok());
+  Oid s2 = NewSpecimen("y");
+  ASSERT_TRUE(mgr->AddEdge(c, "classified_in", g, s2).ok());
+  EXPECT_EQ(mgr->Edges(c).size(), 2u);
+  ASSERT_TRUE(db.Abort().ok());
+  // The context index was rolled back with the data.
+  EXPECT_EQ(mgr->Edges(c).size(), 1u);
+  EXPECT_EQ(mgr->Leaves(c, g), std::vector<Oid>{s});
+}
+
+}  // namespace
+}  // namespace prometheus

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace prometheus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(Status::Code::kConstraintViolation),
+               "ConstraintViolation");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kTypeError), "TypeError");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  PROMETHEUS_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = UseAssignOrReturn(7, &out);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Ref(99).AsRef(), 99u);
+  Value list = Value::MakeList({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(list.AsList().size(), 2u);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(1).Equals(Value::Double(1.0)));
+  EXPECT_FALSE(Value::Int(1).Equals(Value::Double(1.5)));
+  EXPECT_FALSE(Value::Int(1).Equals(Value::String("1")));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, RefDistinctFromInt) {
+  EXPECT_FALSE(Value::Ref(1).Equals(Value::Int(1)));
+  EXPECT_NE(Value::Ref(1).IndexKey(), Value::Int(1).IndexKey());
+}
+
+TEST(ValueTest, ListEquality) {
+  Value a = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value b = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value c = Value::MakeList({Value::Int(1)});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)).value(), -1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)).value(), 0);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("a")).value(), 1);
+  EXPECT_FALSE(Value::Int(1).Compare(Value::String("a")).ok());
+  EXPECT_FALSE(Value::Null().Compare(Value::Null()).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(3).ToString(), "3");
+  EXPECT_EQ(Value::String("a").ToString(), "\"a\"");
+  EXPECT_EQ(Value::Ref(5).ToString(), "@5");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::MakeList({Value::Int(1), Value::Int(2)}).ToString(),
+            "[1, 2]");
+}
+
+TEST(ValueTest, IndexKeyCollapsesEqualNumerics) {
+  EXPECT_EQ(Value::Int(4).IndexKey(), Value::Double(4.0).IndexKey());
+  EXPECT_NE(Value::Int(4).IndexKey(), Value::Double(4.5).IndexKey());
+  EXPECT_NE(Value::String("4").IndexKey(), Value::Int(4).IndexKey());
+}
+
+class ValueRoundTrip : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueRoundTrip, EqualsItselfAndKeysAreStable) {
+  const Value& v = GetParam();
+  EXPECT_TRUE(v.Equals(v));
+  EXPECT_EQ(v.IndexKey(), v.IndexKey());
+  EXPECT_EQ(v.ToString(), v.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ValueRoundTrip,
+    ::testing::Values(Value::Null(), Value::Bool(false), Value::Int(-3),
+                      Value::Double(3.25), Value::String(""),
+                      Value::String("taxon"), Value::Ref(17),
+                      Value::MakeList({Value::Int(1), Value::Null()})));
+
+}  // namespace
+}  // namespace prometheus

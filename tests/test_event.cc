@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_bus.h"
+
+namespace prometheus {
+namespace {
+
+Event MakeEvent(EventKind kind) { return Event(kind); }
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(EventKindName(EventKind::kBeforeCreateObject),
+               "BeforeCreateObject");
+  EXPECT_STREQ(EventKindName(EventKind::kAfterCommit), "AfterCommit");
+}
+
+TEST(EventKindTest, BeforeClassification) {
+  EXPECT_TRUE(IsBeforeEvent(EventKind::kBeforeCreateLink));
+  EXPECT_TRUE(IsBeforeEvent(EventKind::kBeforeCommit));
+  EXPECT_FALSE(IsBeforeEvent(EventKind::kAfterCreateLink));
+  EXPECT_FALSE(IsBeforeEvent(EventKind::kTransactionBegin));
+}
+
+TEST(EventBusTest, DeliversToAllListeners) {
+  EventBus bus;
+  int calls = 0;
+  bus.Subscribe([&](const Event&) {
+    ++calls;
+    return Status::Ok();
+  });
+  bus.Subscribe([&](const Event&) {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(bus.Publish(MakeEvent(EventKind::kAfterCreateObject)).ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(bus.published_count(), 1u);
+}
+
+TEST(EventBusTest, BeforeEventVetoShortCircuits) {
+  EventBus bus;
+  int later_calls = 0;
+  bus.Subscribe(
+      [&](const Event&) { return Status::ConstraintViolation("no"); },
+      /*priority=*/10);
+  bus.Subscribe([&](const Event&) {
+    ++later_calls;
+    return Status::Ok();
+  });
+  Status st = bus.Publish(MakeEvent(EventKind::kBeforeDeleteObject));
+  EXPECT_EQ(st.code(), Status::Code::kConstraintViolation);
+  EXPECT_EQ(later_calls, 0);
+}
+
+TEST(EventBusTest, AfterEventDeliversToAllThenReportsFirstViolation) {
+  EventBus bus;
+  int later_calls = 0;
+  bus.Subscribe(
+      [&](const Event&) { return Status::ConstraintViolation("no"); },
+      /*priority=*/10);
+  bus.Subscribe([&](const Event&) {
+    ++later_calls;
+    return Status::Ok();
+  });
+  Status st = bus.Publish(MakeEvent(EventKind::kAfterDeleteObject));
+  EXPECT_EQ(st.code(), Status::Code::kConstraintViolation);
+  EXPECT_EQ(later_calls, 1);  // no short-circuit for after events
+}
+
+TEST(EventBusTest, PriorityOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.Subscribe([&](const Event&) {
+    order.push_back(1);
+    return Status::Ok();
+  });
+  bus.Subscribe(
+      [&](const Event&) {
+        order.push_back(2);
+        return Status::Ok();
+      },
+      /*priority=*/100);
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(EventBusTest, Unsubscribe) {
+  EventBus bus;
+  int calls = 0;
+  ListenerId id = bus.Subscribe([&](const Event&) {
+    ++calls;
+    return Status::Ok();
+  });
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  bus.Unsubscribe(id);
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bus.listener_count(), 0u);
+}
+
+TEST(EventBusTest, ListenerMayUnsubscribeDuringDelivery) {
+  EventBus bus;
+  ListenerId self = 0;
+  int calls = 0;
+  self = bus.Subscribe([&](const Event&) {
+    ++calls;
+    bus.Unsubscribe(self);
+    return Status::Ok();
+  });
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventBusTest, ListenerMaySubscribeDuringDelivery) {
+  EventBus bus;
+  int second_calls = 0;
+  bus.Subscribe([&](const Event&) {
+    if (bus.listener_count() == 1) {
+      bus.Subscribe([&](const Event&) {
+        ++second_calls;
+        return Status::Ok();
+      });
+    }
+    return Status::Ok();
+  });
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  bus.Publish(MakeEvent(EventKind::kAfterCreateObject));
+  // The listener added mid-delivery sees at least the second publish.
+  EXPECT_GE(second_calls, 1);
+}
+
+TEST(EventBusTest, EqualPriorityPreservesSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    bus.Subscribe(
+        [&order, i](const Event&) {
+          order.push_back(i);
+          return Status::Ok();
+        },
+        /*priority=*/7);
+  }
+  bus.Publish(Event(EventKind::kAfterCreateObject));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventBusTest, CompensatingDefaultsToFalse) {
+  Event ev(EventKind::kAfterDeleteObject);
+  EXPECT_FALSE(ev.compensating);
+}
+
+TEST(EventBusTest, EventPayloadReachesListener) {
+  EventBus bus;
+  Event seen;
+  bus.Subscribe([&](const Event& e) {
+    seen = e;
+    return Status::Ok();
+  });
+  Event ev(EventKind::kAfterSetAttribute);
+  ev.subject = 42;
+  ev.type_name = "Taxon";
+  ev.attribute = "rank";
+  ev.old_value = Value::String("Genus");
+  ev.new_value = Value::String("Species");
+  bus.Publish(ev);
+  EXPECT_EQ(seen.subject, 42u);
+  EXPECT_EQ(seen.type_name, "Taxon");
+  EXPECT_EQ(seen.attribute, "rank");
+  EXPECT_TRUE(seen.old_value.Equals(Value::String("Genus")));
+  EXPECT_TRUE(seen.new_value.Equals(Value::String("Species")));
+}
+
+}  // namespace
+}  // namespace prometheus

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/rank.h"
+
+namespace prometheus::taxonomy {
+namespace {
+
+TEST(RankTest, OrderIsStrictlyIncreasing) {
+  const auto& all = AllRanks();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kRankCount));
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(RankOrder(all[i - 1]), RankOrder(all[i]));
+  }
+}
+
+TEST(RankTest, FigureOneOrdering) {
+  // Spot checks of the figure 1 hierarchy.
+  EXPECT_TRUE(IsBelow(Rank::kSpecies, Rank::kGenus));
+  EXPECT_TRUE(IsBelow(Rank::kGenus, Rank::kFamilia));
+  EXPECT_TRUE(IsBelow(Rank::kSubspecies, Rank::kSpecies));
+  EXPECT_TRUE(IsBelow(Rank::kSectio, Rank::kSubgenus));
+  EXPECT_TRUE(IsBelow(Rank::kSeries, Rank::kSectio));
+  EXPECT_FALSE(IsBelow(Rank::kGenus, Rank::kSpecies));
+  EXPECT_FALSE(IsBelow(Rank::kGenus, Rank::kGenus));
+}
+
+TEST(RankTest, SevenPrimaryRanks) {
+  int primaries = 0;
+  for (Rank r : AllRanks()) {
+    if (IsPrimaryRank(r)) ++primaries;
+  }
+  EXPECT_EQ(primaries, 7);
+  EXPECT_TRUE(IsPrimaryRank(Rank::kRegnum));
+  EXPECT_TRUE(IsPrimaryRank(Rank::kSpecies));
+  EXPECT_FALSE(IsPrimaryRank(Rank::kTribus));
+  EXPECT_FALSE(IsPrimaryRank(Rank::kSubgenus));
+}
+
+TEST(RankTest, FiveSecondaryRanks) {
+  int secondaries = 0;
+  for (Rank r : AllRanks()) {
+    if (IsSecondaryRank(r)) ++secondaries;
+  }
+  EXPECT_EQ(secondaries, 5);
+  EXPECT_TRUE(IsSecondaryRank(Rank::kSectio));
+  EXPECT_FALSE(IsSecondaryRank(Rank::kGenus));
+}
+
+TEST(RankTest, SubRanksFollowTheirBase) {
+  // Each "sub" rank immediately follows the rank it subdivides.
+  EXPECT_TRUE(IsSubRank(Rank::kSubgenus));
+  EXPECT_TRUE(IsSubRank(Rank::kSubspecies));
+  EXPECT_FALSE(IsSubRank(Rank::kGenus));
+  EXPECT_EQ(RankOrder(Rank::kSubgenus), RankOrder(Rank::kGenus) + 1);
+  EXPECT_EQ(RankOrder(Rank::kSubfamilia), RankOrder(Rank::kFamilia) + 1);
+}
+
+TEST(RankTest, EveryRankIsExactlyOneCategory) {
+  for (Rank r : AllRanks()) {
+    int categories = (IsPrimaryRank(r) ? 1 : 0) +
+                     (IsSecondaryRank(r) ? 1 : 0) + (IsSubRank(r) ? 1 : 0);
+    EXPECT_EQ(categories, 1) << RankName(r);
+  }
+}
+
+TEST(RankTest, MultinomialThreshold) {
+  EXPECT_FALSE(IsMultinomial(Rank::kGenus));
+  EXPECT_FALSE(IsMultinomial(Rank::kSeries));
+  EXPECT_TRUE(IsMultinomial(Rank::kSpecies));
+  EXPECT_TRUE(IsMultinomial(Rank::kSubspecies));
+  EXPECT_TRUE(IsMultinomial(Rank::kForma));
+}
+
+class RankNameRoundTrip : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(RankNameRoundTrip, NameParsesBack) {
+  Rank r = GetParam();
+  auto parsed = RankFromName(RankName(r));
+  ASSERT_TRUE(parsed.ok()) << RankName(r);
+  EXPECT_EQ(parsed.value(), r);
+  // Case-insensitive.
+  std::string lower = RankName(r);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  EXPECT_EQ(RankFromName(lower).value(), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRanks, RankNameRoundTrip,
+                         ::testing::ValuesIn(AllRanks()),
+                         [](const ::testing::TestParamInfo<Rank>& info) {
+                           return RankName(info.param);
+                         });
+
+TEST(RankTest, AliasesAndErrors) {
+  EXPECT_EQ(RankFromName("Phyllum").value(), Rank::kDivisio);
+  EXPECT_EQ(RankFromName("family").value(), Rank::kFamilia);
+  EXPECT_EQ(RankFromName("nonsense").status().code(),
+            Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace prometheus::taxonomy

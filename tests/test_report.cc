@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/report.h"
+
+namespace prometheus::taxonomy {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flora = tdb.NewClassification("Test Flora", "Linnaeus", 1753).value();
+    genus = tdb.NewTaxon(flora, Rank::kGenus, "Apium").value();
+    species = tdb.NewTaxon(flora, Rank::kSpecies, "graveolens").value();
+    ASSERT_TRUE(tdb.PlaceTaxon(flora, genus, species).ok());
+    specimen = tdb.AddSpecimen("Linnaeus", "BM", "Herb.Cliff.107").value();
+    ASSERT_TRUE(tdb.Circumscribe(flora, species, specimen).ok());
+
+    genus_name = tdb.PublishName("Apium", Rank::kGenus, "L.", 1753,
+                                 "Species Plantarum")
+                     .value();
+    species_name =
+        tdb.PublishName("graveolens", Rank::kSpecies, "L.", 1753).value();
+    ASSERT_TRUE(tdb.RecordPlacement(species_name, genus_name).ok());
+    ASSERT_TRUE(
+        tdb.Typify(species_name, specimen, TypeKind::kLectotype).ok());
+    ASSERT_TRUE(tdb.Typify(genus_name, species_name, TypeKind::kHolotype)
+                    .ok());
+    ASSERT_TRUE(tdb.AscribeName(species, species_name).ok());
+  }
+
+  TaxonomyDatabase tdb;
+  Oid flora, genus, species, specimen, genus_name, species_name;
+};
+
+TEST_F(ReportFixture, ClassificationTree) {
+  auto tree = RenderClassificationTree(tdb, flora);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const std::string& text = tree.value();
+  EXPECT_NE(text.find("Test Flora"), std::string::npos);
+  EXPECT_NE(text.find("Linnaeus"), std::string::npos);
+  EXPECT_NE(text.find("Genus Apium"), std::string::npos);
+  EXPECT_NE(text.find("Species graveolens"), std::string::npos);
+  // The ascribed name is rendered.
+  EXPECT_NE(text.find("Apium graveolens L."), std::string::npos);
+  // The specimen leaf shows its sheet.
+  EXPECT_NE(text.find("Herb.Cliff.107"), std::string::npos);
+  // Indentation reflects depth: the species is deeper than the genus.
+  EXPECT_LT(text.find("Genus Apium"), text.find("Species graveolens"));
+}
+
+TEST_F(ReportFixture, EmptyClassificationRenders) {
+  Oid empty = tdb.NewClassification("empty", "nobody").value();
+  auto tree = RenderClassificationTree(tdb, empty);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NE(tree.value().find("(empty)"), std::string::npos);
+  EXPECT_EQ(RenderClassificationTree(tdb, specimen).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(ReportFixture, NameDossier) {
+  auto dossier = RenderNameDossier(tdb, species_name);
+  ASSERT_TRUE(dossier.ok()) << dossier.status().ToString();
+  const std::string& text = dossier.value();
+  EXPECT_NE(text.find("Apium graveolens L."), std::string::npos);
+  EXPECT_NE(text.find("rank:        Species"), std::string::npos);
+  EXPECT_NE(text.find("status:      published"), std::string::npos);
+  EXPECT_NE(text.find("1753"), std::string::npos);
+  EXPECT_NE(text.find("placed in:   Apium L."), std::string::npos);
+  EXPECT_NE(text.find("lectotype: specimen Linnaeus"), std::string::npos);
+  // The species typifies the genus.
+  EXPECT_NE(text.find("typifies:"), std::string::npos);
+  EXPECT_EQ(RenderNameDossier(tdb, specimen).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(ReportFixture, SynonymyReport) {
+  // A second classification sharing the specimen.
+  Oid revision = tdb.NewClassification("Revision", "Other", 1900).value();
+  Oid other_genus = tdb.NewTaxon(revision, Rank::kGenus, "Otherium").value();
+  ASSERT_TRUE(tdb.Circumscribe(revision, other_genus, specimen).ok());
+
+  auto report = RenderSynonymyReport(tdb, flora, revision);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string& text = report.value();
+  EXPECT_NE(text.find("Test Flora"), std::string::npos);
+  EXPECT_NE(text.find("Revision"), std::string::npos);
+  // Both the genus and the species fully overlap Otherium (all share the
+  // single specimen).
+  EXPECT_NE(text.find("full synonym of"), std::string::npos);
+  EXPECT_NE(text.find("Otherium"), std::string::npos);
+  EXPECT_NE(text.find("similarity 1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prometheus::taxonomy

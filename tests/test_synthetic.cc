@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/synthetic.h"
+
+namespace prometheus::taxonomy {
+namespace {
+
+TEST(SyntheticFloraTest, GeneratesConfiguredShape) {
+  FloraConfig config;
+  config.families = 2;
+  config.genera_per_family = 3;
+  config.species_per_genus = 4;
+  config.specimens_per_species = 2;
+  TaxonomyDatabase tdb;
+  auto flora = GenerateFlora(&tdb, config);
+  ASSERT_TRUE(flora.ok()) << flora.status().ToString();
+  EXPECT_EQ(flora.value().family_taxa.size(), 2u);
+  EXPECT_EQ(flora.value().genus_taxa.size(), 6u);
+  EXPECT_EQ(flora.value().species_taxa.size(), 24u);
+  EXPECT_EQ(flora.value().specimens.size(), 48u);
+  // One name per family, genus and species.
+  EXPECT_EQ(flora.value().names.size(), 2u + 6u + 24u);
+}
+
+TEST(SyntheticFloraTest, ClassificationIsValid) {
+  FloraConfig config;
+  TaxonomyDatabase tdb;
+  auto flora = GenerateFlora(&tdb, config);
+  ASSERT_TRUE(flora.ok());
+  EXPECT_TRUE(tdb.ValidateClassification(flora.value().classification).ok());
+  // Every species circumscribes its specimens.
+  for (Oid species : flora.value().species_taxa) {
+    auto specimens =
+        tdb.SpecimensUnder(flora.value().classification, species);
+    ASSERT_TRUE(specimens.ok());
+    EXPECT_EQ(specimens.value().size(),
+              static_cast<std::size_t>(config.specimens_per_species));
+  }
+}
+
+TEST(SyntheticFloraTest, NamesAreTypifiedAndDerivable) {
+  FloraConfig config;
+  config.families = 1;
+  config.genera_per_family = 2;
+  config.species_per_genus = 3;
+  TaxonomyDatabase tdb;
+  auto flora = GenerateFlora(&tdb, config);
+  ASSERT_TRUE(flora.ok());
+  // Derivation over the generated classification succeeds and reuses the
+  // ascribed names (every species keeps its published binomial).
+  ASSERT_TRUE(tdb.db().Begin().ok());
+  Status st =
+      tdb.DeriveAllNames(flora.value().classification, "Checker", 2001);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  for (Oid species : flora.value().species_taxa) {
+    Oid calculated = tdb.CalculatedNameOf(species);
+    Oid ascribed = tdb.AscribedNameOf(species);
+    EXPECT_EQ(calculated, ascribed);
+  }
+  ASSERT_TRUE(tdb.db().Abort().ok());
+}
+
+TEST(SyntheticFloraTest, DeterministicInSeed) {
+  FloraConfig config;
+  TaxonomyDatabase a;
+  TaxonomyDatabase b;
+  auto fa = GenerateFlora(&a, config);
+  auto fb = GenerateFlora(&b, config);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fa.value().specimens.size(), fb.value().specimens.size());
+  // Same collector sequence (both databases are isomorphic).
+  for (std::size_t i = 0; i < fa.value().specimens.size(); ++i) {
+    auto ca = a.db().GetAttribute(fa.value().specimens[i], "collector");
+    auto cb = b.db().GetAttribute(fb.value().specimens[i], "collector");
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    EXPECT_TRUE(ca.value().Equals(cb.value()));
+  }
+}
+
+TEST(SyntheticFloraTest, RevisionOverlapsTheOriginal) {
+  FloraConfig config;
+  config.families = 1;
+  config.genera_per_family = 3;
+  config.species_per_genus = 4;
+  config.specimens_per_species = 2;
+  TaxonomyDatabase tdb;
+  auto flora = GenerateFlora(&tdb, config);
+  ASSERT_TRUE(flora.ok());
+  auto revision = GenerateRevision(&tdb, flora.value(), 2, 7);
+  ASSERT_TRUE(revision.ok()) << revision.status().ToString();
+  // The revision covers exactly the same specimens.
+  std::vector<Oid> roots = tdb.classifications().Roots(revision.value());
+  ASSERT_EQ(roots.size(), 2u);
+  std::size_t revision_specimens = 0;
+  for (Oid root : roots) {
+    revision_specimens +=
+        tdb.SpecimensUnder(revision.value(), root).value().size();
+  }
+  EXPECT_EQ(revision_specimens, flora.value().specimens.size());
+  // Each revised genus is at least a pro-parte synonym of some original.
+  auto alignment = tdb.classifications().Align(
+      revision.value(), flora.value().classification);
+  for (const auto& entry : alignment) {
+    EXPECT_NE(entry.kind, SynonymyKind::kNone);
+  }
+}
+
+}  // namespace
+}  // namespace prometheus::taxonomy
