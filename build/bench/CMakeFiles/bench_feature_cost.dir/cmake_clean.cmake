@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_cost.dir/bench_feature_cost.cc.o"
+  "CMakeFiles/bench_feature_cost.dir/bench_feature_cost.cc.o.d"
+  "bench_feature_cost"
+  "bench_feature_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

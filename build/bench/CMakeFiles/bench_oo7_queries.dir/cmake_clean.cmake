@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oo7_queries.dir/bench_oo7_queries.cc.o"
+  "CMakeFiles/bench_oo7_queries.dir/bench_oo7_queries.cc.o.d"
+  "bench_oo7_queries"
+  "bench_oo7_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oo7_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oo7_raw.dir/bench_oo7_raw.cc.o"
+  "CMakeFiles/bench_oo7_raw.dir/bench_oo7_raw.cc.o.d"
+  "bench_oo7_raw"
+  "bench_oo7_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oo7_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

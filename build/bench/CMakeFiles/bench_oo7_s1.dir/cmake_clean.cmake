@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oo7_s1.dir/bench_oo7_s1.cc.o"
+  "CMakeFiles/bench_oo7_s1.dir/bench_oo7_s1.cc.o.d"
+  "bench_oo7_s1"
+  "bench_oo7_s1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oo7_s1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rules.cc" "bench/CMakeFiles/bench_rules.dir/bench_rules.cc.o" "gcc" "bench/CMakeFiles/bench_rules.dir/bench_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/prometheus_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/prometheus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/prometheus_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prometheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/prometheus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prometheus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apium_revision.dir/apium_revision.cpp.o"
+  "CMakeFiles/apium_revision.dir/apium_revision.cpp.o.d"
+  "apium_revision"
+  "apium_revision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apium_revision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

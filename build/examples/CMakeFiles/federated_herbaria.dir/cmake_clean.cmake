@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_herbaria.dir/federated_herbaria.cpp.o"
+  "CMakeFiles/federated_herbaria.dir/federated_herbaria.cpp.o.d"
+  "federated_herbaria"
+  "federated_herbaria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_herbaria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

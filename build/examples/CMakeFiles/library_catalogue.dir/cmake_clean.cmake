@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_catalogue.dir/library_catalogue.cpp.o"
+  "CMakeFiles/library_catalogue.dir/library_catalogue.cpp.o.d"
+  "library_catalogue"
+  "library_catalogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_catalogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

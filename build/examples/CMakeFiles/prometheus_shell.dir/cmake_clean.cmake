@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_shell.dir/prometheus_shell.cpp.o"
+  "CMakeFiles/prometheus_shell.dir/prometheus_shell.cpp.o.d"
+  "prometheus_shell"
+  "prometheus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

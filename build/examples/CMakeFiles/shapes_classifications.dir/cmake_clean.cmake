@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes_classifications.dir/shapes_classifications.cpp.o"
+  "CMakeFiles/shapes_classifications.dir/shapes_classifications.cpp.o.d"
+  "shapes_classifications"
+  "shapes_classifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_classifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_and_rules.dir/whatif_and_rules.cpp.o"
+  "CMakeFiles/whatif_and_rules.dir/whatif_and_rules.cpp.o.d"
+  "whatif_and_rules"
+  "whatif_and_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_and_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

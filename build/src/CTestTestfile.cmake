@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("core")
+subdirs("index")
+subdirs("classification")
+subdirs("views")
+subdirs("query")
+subdirs("rules")
+subdirs("storage")
+subdirs("taxonomy")
+subdirs("oo7")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_classification.dir/classification.cc.o"
+  "CMakeFiles/prometheus_classification.dir/classification.cc.o.d"
+  "libprometheus_classification.a"
+  "libprometheus_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_common.dir/status.cc.o"
+  "CMakeFiles/prometheus_common.dir/status.cc.o.d"
+  "CMakeFiles/prometheus_common.dir/value.cc.o"
+  "CMakeFiles/prometheus_common.dir/value.cc.o.d"
+  "libprometheus_common.a"
+  "libprometheus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

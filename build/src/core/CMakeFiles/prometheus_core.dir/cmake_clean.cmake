@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_core.dir/database.cc.o"
+  "CMakeFiles/prometheus_core.dir/database.cc.o.d"
+  "CMakeFiles/prometheus_core.dir/schema.cc.o"
+  "CMakeFiles/prometheus_core.dir/schema.cc.o.d"
+  "libprometheus_core.a"
+  "libprometheus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_event.dir/event_bus.cc.o"
+  "CMakeFiles/prometheus_event.dir/event_bus.cc.o.d"
+  "libprometheus_event.a"
+  "libprometheus_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

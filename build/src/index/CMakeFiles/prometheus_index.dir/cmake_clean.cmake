@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_index.dir/index_manager.cc.o"
+  "CMakeFiles/prometheus_index.dir/index_manager.cc.o.d"
+  "libprometheus_index.a"
+  "libprometheus_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_oo7.dir/oo7.cc.o"
+  "CMakeFiles/prometheus_oo7.dir/oo7.cc.o.d"
+  "libprometheus_oo7.a"
+  "libprometheus_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

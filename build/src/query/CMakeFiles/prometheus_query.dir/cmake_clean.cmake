@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_query.dir/parser.cc.o"
+  "CMakeFiles/prometheus_query.dir/parser.cc.o.d"
+  "CMakeFiles/prometheus_query.dir/query_engine.cc.o"
+  "CMakeFiles/prometheus_query.dir/query_engine.cc.o.d"
+  "CMakeFiles/prometheus_query.dir/token.cc.o"
+  "CMakeFiles/prometheus_query.dir/token.cc.o.d"
+  "libprometheus_query.a"
+  "libprometheus_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_rules.dir/pcl.cc.o"
+  "CMakeFiles/prometheus_rules.dir/pcl.cc.o.d"
+  "CMakeFiles/prometheus_rules.dir/rule_engine.cc.o"
+  "CMakeFiles/prometheus_rules.dir/rule_engine.cc.o.d"
+  "libprometheus_rules.a"
+  "libprometheus_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

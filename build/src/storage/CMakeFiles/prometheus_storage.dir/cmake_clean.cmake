@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_storage.dir/import.cc.o"
+  "CMakeFiles/prometheus_storage.dir/import.cc.o.d"
+  "CMakeFiles/prometheus_storage.dir/journal.cc.o"
+  "CMakeFiles/prometheus_storage.dir/journal.cc.o.d"
+  "CMakeFiles/prometheus_storage.dir/snapshot.cc.o"
+  "CMakeFiles/prometheus_storage.dir/snapshot.cc.o.d"
+  "libprometheus_storage.a"
+  "libprometheus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

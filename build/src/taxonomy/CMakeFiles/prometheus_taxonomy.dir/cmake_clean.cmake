@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_taxonomy.dir/rank.cc.o"
+  "CMakeFiles/prometheus_taxonomy.dir/rank.cc.o.d"
+  "CMakeFiles/prometheus_taxonomy.dir/report.cc.o"
+  "CMakeFiles/prometheus_taxonomy.dir/report.cc.o.d"
+  "CMakeFiles/prometheus_taxonomy.dir/synthetic.cc.o"
+  "CMakeFiles/prometheus_taxonomy.dir/synthetic.cc.o.d"
+  "CMakeFiles/prometheus_taxonomy.dir/taxonomy_db.cc.o"
+  "CMakeFiles/prometheus_taxonomy.dir/taxonomy_db.cc.o.d"
+  "libprometheus_taxonomy.a"
+  "libprometheus_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

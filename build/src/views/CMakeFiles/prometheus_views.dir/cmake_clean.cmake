@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prometheus_views.dir/view_manager.cc.o"
+  "CMakeFiles/prometheus_views.dir/view_manager.cc.o.d"
+  "libprometheus_views.a"
+  "libprometheus_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prometheus_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

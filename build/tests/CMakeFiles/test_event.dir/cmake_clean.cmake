@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event.dir/test_event.cc.o"
+  "CMakeFiles/test_event.dir/test_event.cc.o.d"
+  "test_event"
+  "test_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

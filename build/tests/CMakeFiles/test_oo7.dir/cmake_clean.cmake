@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oo7.dir/test_oo7.cc.o"
+  "CMakeFiles/test_oo7.dir/test_oo7.cc.o.d"
+  "test_oo7"
+  "test_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

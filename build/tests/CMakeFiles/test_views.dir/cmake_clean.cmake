@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_views.dir/test_views.cc.o"
+  "CMakeFiles/test_views.dir/test_views.cc.o.d"
+  "test_views"
+  "test_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
