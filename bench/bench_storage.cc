@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 
 #include "bench_util.h"
 #include "oo7/oo7.h"
 #include "storage/journal.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -60,8 +62,9 @@ void PrintSeries() {
       std::vector<double> samples;
       for (int rep = 0; rep < 3; ++rep) {
         PrometheusOo7 tmp(config);
-        auto journal =
-            prometheus::storage::Journal::Open(&tmp.db(), journal_path);
+        auto journal = prometheus::storage::Journal::Open(
+            &tmp.db(), journal_path,
+            prometheus::storage::Journal::OpenMode::kTruncate);
         samples.push_back(prometheus::bench::MedianMillis(
             [&] { benchmark::DoNotOptimize(tmp.InsertS1(5).ok()); }, 1));
       }
@@ -79,6 +82,71 @@ void PrintSeries() {
     std::printf("  %5d  %7zu  %5zu   %7.3f   %7.3f   %9.3f  %8.3f\n", comps,
                 db.object_count(), db.link_count(), save_ms, load_ms,
                 journal_ms, replay_ms);
+  }
+}
+
+/// Checkpoint + crash-recovery cost over a `DurableStore`: populate N
+/// journalled objects, time `Checkpoint()` (atomic snapshot + journal
+/// rotation) and then time a cold `Open()` of the same directory (snapshot
+/// load + journal tail replay).
+void PrintDurableSeries() {
+  prometheus::bench::PrintTableHeader(
+      "Durability: checkpoint & recovery (DurableStore)",
+      "  objects   checkpoint_ms   recover_ms   recover_tail_ms");
+  namespace st = prometheus::storage;
+  for (int objects : {1000, 5000}) {
+    const std::string dir = "/tmp/prometheus_bench_store";
+    st::DurableStore::Options options;
+    options.bootstrap = [](Database* db) {
+      prometheus::AttributeDef attr;
+      attr.name = "n";
+      attr.type = prometheus::ValueType::kInt;
+      return db->DefineClass("Node", {}, {attr}).status();
+    };
+    double checkpoint_ms = 0, recover_ms = 0, tail_ms = 0;
+    std::filesystem::remove_all(dir);
+    {
+      auto store = st::DurableStore::Open(dir, options);
+      if (!store.ok()) continue;
+      for (int i = 0; i < objects; ++i) {
+        (void)store.value()->db().CreateObject(
+            "Node", {{"n", prometheus::Value::Int(i)}});
+      }
+      checkpoint_ms = prometheus::bench::MedianMillis(
+          [&] { benchmark::DoNotOptimize(store.value()->Checkpoint().ok()); },
+          3);
+      // Leave a journal tail behind the last snapshot so recovery pays for
+      // both the snapshot load and a replay.
+      for (int i = 0; i < objects / 10; ++i) {
+        (void)store.value()->db().CreateObject(
+            "Node", {{"n", prometheus::Value::Int(-i)}});
+      }
+    }
+    recover_ms = prometheus::bench::MedianMillis(
+        [&] {
+          auto reopened = st::DurableStore::Open(dir, options);
+          benchmark::DoNotOptimize(reopened.ok());
+        },
+        3);
+    // Tail-only recovery: a fresh store that never checkpointed.
+    std::filesystem::remove_all(dir);
+    {
+      auto store = st::DurableStore::Open(dir, options);
+      if (!store.ok()) continue;
+      for (int i = 0; i < objects; ++i) {
+        (void)store.value()->db().CreateObject(
+            "Node", {{"n", prometheus::Value::Int(i)}});
+      }
+    }
+    tail_ms = prometheus::bench::MedianMillis(
+        [&] {
+          auto reopened = st::DurableStore::Open(dir, options);
+          benchmark::DoNotOptimize(reopened.ok());
+        },
+        3);
+    std::printf("  %7d   %13.3f   %10.3f   %15.3f\n", objects, checkpoint_ms,
+                recover_ms, tail_ms);
+    std::filesystem::remove_all(dir);
   }
 }
 
@@ -116,7 +184,8 @@ void BM_JournalledCreate(benchmark::State& state) {
   std::unique_ptr<prometheus::storage::Journal> journal;
   if (state.range(0) == 1) {
     auto opened = prometheus::storage::Journal::Open(
-        &db, "/tmp/prometheus_bench_journal2.log");
+        &db, "/tmp/prometheus_bench_journal2.log",
+        prometheus::storage::Journal::OpenMode::kTruncate);
     if (opened.ok()) journal = std::move(opened).value();
   }
   std::int64_t i = 0;
@@ -135,6 +204,7 @@ BENCHMARK(BM_JournalledCreate)
 
 int main(int argc, char** argv) {
   PrintSeries();
+  PrintDurableSeries();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,17 @@
+#ifndef PROMETHEUS_COMMON_CRC32_H_
+#define PROMETHEUS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace prometheus {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// continuing from `seed` (pass the previous result to checksum a stream
+/// in pieces). Used by the storage layer to frame journal records so that
+/// torn and bit-flipped tails are detected on replay.
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_COMMON_CRC32_H_

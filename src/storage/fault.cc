@@ -1,0 +1,282 @@
+#include "storage/fault.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace prometheus::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Unbuffered POSIX file: Append maps to write(2), Sync to fsync(2).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("append to closed file '" + path_ + "'");
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override { return Status::Ok(); }  // unbuffered
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync of closed file '" + path_ + "'");
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) return Status::IoError("stat '" + path + "': " + ec.message());
+    return static_cast<std::uint64_t>(size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IoError("rename '" + from + "' -> '" + to +
+                             "': " + ec.message());
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);  // removing a missing file is fine
+    if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IoError("mkdir '" + path + "': " + ec.message());
+    return Status::Ok();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Status::IoError("list '" + path + "': " + ec.message());
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open dir", path);
+    Status st = Status::Ok();
+    if (::fsync(fd) != 0) st = Errno("fsync dir", path);
+    ::close(fd);
+    return st;
+  }
+};
+
+Status InjectedFault() { return Status::IoError("injected fault: env crashed"); }
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+/// WritableFile wrapper that consults the owning FaultInjectionEnv before
+/// letting any byte through.
+class FaultInjectedFile : public WritableFile {
+ public:
+  FaultInjectedFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    bool fail = false;
+    std::size_t allowed = env_->JudgeAppend(data.size(), &fail);
+    if (allowed > 0) {
+      Status st = base_->Append(data.substr(0, allowed));
+      if (!st.ok()) return st;
+    }
+    if (fail) return InjectedFault();
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (env_->crashed_) return InjectedFault();
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    if (env_->crashed_) return InjectedFault();
+    if (env_->policy_.fail_sync) return Status::IoError("injected fsync failure");
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::SetPolicy(FaultPolicy policy) {
+  policy_ = policy;
+  crashed_ = false;
+  appends_seen_ = 0;
+  bytes_written_ = 0;
+}
+
+std::size_t FaultInjectionEnv::JudgeAppend(std::size_t size, bool* fail) {
+  *fail = false;
+  if (crashed_) {
+    *fail = true;
+    return 0;
+  }
+  ++appends_seen_;
+  bool fires = false;
+  if (policy_.fail_after_appends >= 0 &&
+      appends_seen_ >= static_cast<std::uint64_t>(policy_.fail_after_appends)) {
+    fires = true;
+  }
+  std::size_t allowed = size;
+  if (policy_.fail_after_bytes >= 0 &&
+      bytes_written_ + size >=
+          static_cast<std::uint64_t>(policy_.fail_after_bytes)) {
+    fires = true;
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(policy_.fail_after_bytes) - bytes_written_;
+    allowed = static_cast<std::size_t>(budget < size ? budget : size);
+  }
+  if (fires) {
+    crashed_ = true;
+    *fail = true;
+    if (!policy_.torn_writes) return 0;
+    if (allowed == size) allowed = size / 2;  // tear the append-count fault too
+    bytes_written_ += allowed;
+    return allowed;
+  }
+  bytes_written_ += size;
+  return size;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (crashed_) return InjectedFault();
+  PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                              base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectedFile>(this, std::move(base)));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<std::uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (crashed_) return InjectedFault();
+  if (policy_.fail_rename) return Status::IoError("injected rename failure");
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (crashed_) return InjectedFault();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       std::uint64_t size) {
+  if (crashed_) return InjectedFault();
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  if (crashed_) return InjectedFault();
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  if (crashed_) return InjectedFault();
+  if (policy_.fail_sync) return Status::IoError("injected fsync failure");
+  return base_->SyncDir(path);
+}
+
+}  // namespace prometheus::storage

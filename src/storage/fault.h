@@ -1,0 +1,125 @@
+#ifndef PROMETHEUS_STORAGE_FAULT_H_
+#define PROMETHEUS_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prometheus::storage {
+
+/// A sequential sink for durable bytes. Every byte the journal and the
+/// snapshot writers persist goes through this interface, so tests can
+/// interpose fault injection (torn writes, failed fsyncs) exactly where a
+/// real crash would bite — the style of LevelDB's FaultInjectionTestEnv.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Flushes and fsyncs: on return the bytes survive a power loss.
+  virtual Status Sync() = 0;
+
+  /// Closes the file; further writes are invalid. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// The small slice of a filesystem the durability layer needs. The default
+/// implementation is POSIX; `FaultInjectionEnv` wraps any `Env` and injects
+/// crashes. All paths are plain file paths; `ListDir` returns entry names
+/// (not full paths).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing — truncating when `truncate`, appending at
+  /// the end otherwise (creating the file either way).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, std::uint64_t size) = 0;
+  /// Creates `path` as a directory; succeeds when it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  /// fsyncs the directory itself so renames/creations inside it are durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// What to break, and when. All counters are cumulative across every file
+/// opened through the owning `FaultInjectionEnv`.
+struct FaultPolicy {
+  /// Crash after this many successful `Append` calls (-1 = never). The
+  /// failing append itself writes nothing (or a torn prefix, see below).
+  std::int64_t fail_after_appends = -1;
+  /// Crash once this many bytes have been appended (-1 = never).
+  std::int64_t fail_after_bytes = -1;
+  /// When the crash lands on an append, persist the first half of that
+  /// append's payload before failing — a torn write.
+  bool torn_writes = true;
+  /// Every Sync()/SyncDir() fails (without crashing the env).
+  bool fail_sync = false;
+  /// Every RenameFile fails (without crashing the env).
+  bool fail_rename = false;
+};
+
+/// Env decorator that simulates a crash: once the configured fault fires,
+/// the env is "dead" — every subsequent write-side operation fails and
+/// persists nothing, exactly as if the process had been killed. Recovery is
+/// then exercised by reopening the same directory through a healthy env.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (default: `Env::Default()`); `base` must outlive this.
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  /// Installs `policy` and revives the env (clears the crashed flag and the
+  /// append/byte counters) so one env can drive a whole fault matrix.
+  void SetPolicy(FaultPolicy policy);
+
+  /// True once an injected crash has fired.
+  bool crashed() const { return crashed_; }
+  std::uint64_t appends_seen() const { return appends_seen_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, std::uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectedFile;
+
+  /// Decides the fate of an append of `size` bytes. Returns the number of
+  /// bytes to persist; sets `*fail` when the append must report an error.
+  std::size_t JudgeAppend(std::size_t size, bool* fail);
+
+  Env* base_;
+  FaultPolicy policy_;
+  bool crashed_ = false;
+  std::uint64_t appends_seen_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace prometheus::storage
+
+#endif  // PROMETHEUS_STORAGE_FAULT_H_

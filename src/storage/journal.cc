@@ -1,48 +1,365 @@
 #include "storage/journal.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "storage/snapshot.h"
 
 namespace prometheus::storage {
 
 namespace {
-constexpr char kJournalMagic[] = "PROMETHEUS-JOURNAL-1";
+
+constexpr char kJournalMagicV1[] = "PROMETHEUS-JOURNAL-1";
+constexpr char kJournalHeaderFull[] = "PROMETHEUS-JOURNAL-2 full";
+constexpr char kJournalHeaderCont[] = "PROMETHEUS-JOURNAL-2 cont";
+
+/// Marker payloads (never valid record tags).
+constexpr char kEndOfSchema[] = "EOS";
+constexpr char kTxnBegin[] = "TXB";
+constexpr char kTxnCommit[] = "TXC";
+constexpr char kEndRecord[] = "END";
+
+/// Refuse to believe length fields beyond this; a torn length digit string
+/// must not drive a giant allocation.
+constexpr std::uint64_t kMaxRecordBytes = 1ull << 30;
+
+std::string FrameRecord(const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(payload));
+  std::string out;
+  out.reserve(payload.size() + 24);
+  out += "R ";
+  out += crc;
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += ':';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+enum class FrameKind { kRecord, kEof, kCorrupt };
+
+/// Reads one framed record. `*consumed` counts every byte taken from the
+/// stream, including the bytes of a frame that turns out to be corrupt.
+FrameKind ReadFrame(std::istream& in, std::string* payload,
+                    std::uint64_t* consumed) {
+  *consumed = 0;
+  auto next = [&]() -> int {
+    int ch = in.get();
+    if (ch != std::char_traits<char>::eof()) ++*consumed;
+    return ch;
+  };
+  int c = next();
+  if (c == std::char_traits<char>::eof()) return FrameKind::kEof;
+  if (c != 'R' || next() != ' ') return FrameKind::kCorrupt;
+  char crc_text[9] = {};
+  for (int i = 0; i < 8; ++i) {
+    int h = next();
+    if (h == std::char_traits<char>::eof() ||
+        !std::isxdigit(static_cast<unsigned char>(h))) {
+      return FrameKind::kCorrupt;
+    }
+    crc_text[i] = static_cast<char>(h);
+  }
+  if (next() != ' ') return FrameKind::kCorrupt;
+  std::uint64_t len = 0;
+  int digits = 0;
+  for (;;) {
+    int d = next();
+    if (d == ':') break;
+    if (d == std::char_traits<char>::eof() || d < '0' || d > '9' ||
+        ++digits > 19) {
+      return FrameKind::kCorrupt;
+    }
+    len = len * 10 + static_cast<std::uint64_t>(d - '0');
+    if (len > kMaxRecordBytes) return FrameKind::kCorrupt;
+  }
+  if (digits == 0) return FrameKind::kCorrupt;
+  payload->clear();
+  // Chunked read: a torn length field must not trigger a giant upfront
+  // allocation before we notice the stream is shorter than advertised.
+  char buf[4096];
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    std::streamsize want = static_cast<std::streamsize>(
+        remaining < sizeof(buf) ? remaining : sizeof(buf));
+    in.read(buf, want);
+    std::streamsize got = in.gcount();
+    *consumed += static_cast<std::uint64_t>(got);
+    payload->append(buf, static_cast<std::size_t>(got));
+    if (got < want) return FrameKind::kCorrupt;
+    remaining -= static_cast<std::uint64_t>(got);
+  }
+  if (next() != '\n') return FrameKind::kCorrupt;
+  std::uint32_t expected =
+      static_cast<std::uint32_t>(std::strtoul(crc_text, nullptr, 16));
+  if (Crc32(*payload) != expected) return FrameKind::kCorrupt;
+  return FrameKind::kRecord;
+}
+
+/// Counts (and discards) every byte left in the stream.
+std::uint64_t Drain(std::istream& in) {
+  char buf[4096];
+  std::uint64_t total = 0;
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    total += static_cast<std::uint64_t>(in.gcount());
+    if (in.eof()) break;
+  }
+  return total;
+}
+
+bool IsSchemaRecord(const std::string& payload) {
+  return payload.rfind("CLASS ", 0) == 0 || payload.rfind("TMPL ", 0) == 0 ||
+         payload.rfind("REL ", 0) == 0;
+}
+
+/// Restores semantic checks even on early returns.
+class SemanticsSuspender {
+ public:
+  explicit SemanticsSuspender(Database* db) : db_(db) {
+    db_->set_semantics_enabled(false);
+  }
+  ~SemanticsSuspender() { db_->set_semantics_enabled(true); }
+
+ private:
+  Database* db_;
+};
+
+Status ApplyTrusted(Database* db, const std::string& record) {
+  bool end = false;
+  Status st = ApplyRecord(db, record, &end);
+  if (st.ok()) return st;
+  if (st.code() == Status::Code::kIoError) return st;
+  return Status::IoError("corrupt journal record: " + st.ToString());
+}
+
+/// Legacy reader for v1 journals (line-framed, no checksums).
+Status ReplayV1(Database* db, std::istream& in,
+                Journal::ReplayReport* report) {
+  SemanticsSuspender guard(db);
+  std::string line;
+  bool end = false;
+  while (!end && std::getline(in, line)) {
+    PROMETHEUS_RETURN_IF_ERROR(ApplyTrusted(db, line));
+    if (line == kEndRecord) end = true;
+    if (!end && !line.empty()) ++report->applied_records;
+  }
+  report->clean_end = end;
+  // A missing END record means the writer was still live or crashed; all
+  // complete records were applied, which is the contract of a WAL.
+  return Status::Ok();
+}
+
+Status ReplayV2(Database* db, std::istream& in, std::uint64_t header_bytes,
+                Journal::ReplayReport* report, bool prologue_expected) {
+  SemanticsSuspender guard(db);
+  std::uint64_t offset = header_bytes;
+  std::uint64_t boundary = offset;  // resume point: end of last applied unit
+  bool prologue_done = !prologue_expected;
+  bool in_txn = false;
+  std::vector<std::string> txbuf;
+  std::string payload;
+  std::ostringstream detail;
+  for (;;) {
+    std::uint64_t frame_bytes = 0;
+    FrameKind kind = ReadFrame(in, &payload, &frame_bytes);
+    if (kind == FrameKind::kEof) break;
+    if (kind == FrameKind::kCorrupt) {
+      report->torn_tail = true;
+      report->dropped_bytes += frame_bytes + Drain(in);
+      detail << "torn/corrupt record at offset " << offset << "; ";
+      break;
+    }
+    offset += frame_bytes;
+    if (payload == kEndRecord) {
+      report->clean_end = true;
+      if (in_txn) {  // a writer never does this; salvage what we can
+        report->torn_tail = true;
+        in_txn = false;
+        txbuf.clear();
+      } else {
+        boundary = offset - frame_bytes;  // resume over the END marker
+      }
+      std::uint64_t trailing = Drain(in);
+      if (trailing > 0) {
+        report->torn_tail = true;
+        report->dropped_bytes += trailing;
+        detail << trailing << " trailing bytes after END; ";
+      }
+      break;
+    }
+    if (payload == kEndOfSchema) {
+      prologue_done = true;
+      boundary = offset;
+      continue;
+    }
+    if (payload == kTxnBegin) {
+      in_txn = true;
+      txbuf.clear();
+      continue;
+    }
+    if (payload == kTxnCommit) {
+      if (!in_txn) {
+        report->torn_tail = true;
+        report->dropped_bytes += Drain(in);
+        detail << "stray TXC at offset " << offset << "; ";
+        break;
+      }
+      for (const std::string& record : txbuf) {
+        PROMETHEUS_RETURN_IF_ERROR(ApplyTrusted(db, record));
+        ++report->applied_records;
+      }
+      txbuf.clear();
+      in_txn = false;
+      boundary = offset;
+      continue;
+    }
+    if (in_txn) {
+      txbuf.push_back(payload);
+      continue;
+    }
+    PROMETHEUS_RETURN_IF_ERROR(ApplyTrusted(db, payload));
+    if (!IsSchemaRecord(payload)) ++report->applied_records;
+    boundary = offset;
+  }
+  if (in_txn) {
+    // The file ends inside a commit flush: the transaction vanishes.
+    report->torn_tail = true;
+    report->dropped_records += txbuf.size();
+    report->dropped_bytes += offset - boundary;
+    detail << "uncommitted transaction of " << txbuf.size()
+           << " records dropped; ";
+  }
+  report->resumable = prologue_done;
+  report->append_offset = prologue_done ? boundary : 0;
+  report->detail += detail.str();
+  return Status::Ok();
+}
+
+Status ReplayStream(Database* db, std::istream& in,
+                    Journal::ReplayReport* report, bool lenient_header) {
+  std::string header;
+  std::getline(in, header);
+  if (header == kJournalMagicV1) {
+    return ReplayV1(db, in, report);
+  }
+  bool cont = header == kJournalHeaderCont;
+  if (header == kJournalHeaderFull || cont) {
+    return ReplayV2(db, in, header.size() + 1, report,
+                    /*prologue_expected=*/!cont);
+  }
+  if (lenient_header) {
+    // The header itself is torn (a crash during journal creation): nothing
+    // after it can be trusted, but nothing durable was lost either — the
+    // valid prefix is empty. The caller recreates the journal.
+    report->torn_tail = true;
+    report->resumable = false;
+    report->dropped_bytes = header.size() + Drain(in);
+    report->detail += "unreadable journal header; ";
+    return Status::Ok();
+  }
+  return Status::IoError("not a Prometheus journal");
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Journal>> Journal::Open(Database* db,
-                                               const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
+                                               const std::string& path,
+                                               OpenMode mode, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (mode == OpenMode::kCreate && env->FileExists(path)) {
+    Result<std::uint64_t> size = env->FileSize(path);
+    if (size.ok() && size.value() > 0) {
+      return Status::FailedPrecondition(
+          "refusing to clobber existing journal '" + path +
+          "'; open with OpenMode::kTruncate to discard it, or recover it "
+          "through DurableStore");
+    }
   }
-  out << kJournalMagic << "\n";
-  PROMETHEUS_RETURN_IF_ERROR(WriteSchemaRecords(*db, out));
-  if (!out.good()) return Status::IoError("write failure");
-  std::unique_ptr<Journal> journal(new Journal(db, std::move(out)));
-  return journal;
+  if (mode == OpenMode::kAppend) {
+    if (!env->FileExists(path)) {
+      return Status::FailedPrecondition("append mode needs an existing journal '" +
+                                        path + "'");
+    }
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> file,
+        env->NewWritableFile(path, /*truncate=*/false));
+    return std::unique_ptr<Journal>(new Journal(db, std::move(file)));
+  }
+  PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                              env->NewWritableFile(path, /*truncate=*/true));
+  PROMETHEUS_RETURN_IF_ERROR(
+      file->Append(std::string(kJournalHeaderFull) + "\n"));
+  for (const std::string& record : SchemaRecords(*db)) {
+    PROMETHEUS_RETURN_IF_ERROR(file->Append(FrameRecord(record)));
+  }
+  PROMETHEUS_RETURN_IF_ERROR(file->Append(FrameRecord(kEndOfSchema)));
+  PROMETHEUS_RETURN_IF_ERROR(file->Flush());
+  return std::unique_ptr<Journal>(new Journal(db, std::move(file)));
 }
 
-Journal::Journal(Database* db, std::ofstream out)
-    : db_(db), out_(std::move(out)) {
+Result<std::unique_ptr<Journal>> Journal::OpenContinuation(
+    Database* db, const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                              env->NewWritableFile(path, /*truncate=*/true));
+  PROMETHEUS_RETURN_IF_ERROR(
+      file->Append(std::string(kJournalHeaderCont) + "\n"));
+  PROMETHEUS_RETURN_IF_ERROR(file->Flush());
+  return std::unique_ptr<Journal>(new Journal(db, std::move(file)));
+}
+
+Journal::Journal(Database* db, std::unique_ptr<WritableFile> file)
+    : db_(db), file_(std::move(file)) {
   listener_ = db_->bus().Subscribe(
       [this](const Event& e) {
         OnEvent(e);
-        return Status::Ok();
+        // Surface the sticky write-error state through the event layer:
+        // a mutation that cannot be made durable is vetoed/rolled back.
+        return sticky_;
       },
       /*priority=*/40);
 }
 
-Journal::~Journal() {
+Journal::~Journal() { Close(); }
+
+Status Journal::Close() {
+  if (closed_) return sticky_;
+  closed_ = true;
   db_->bus().Unsubscribe(listener_);
-  out_ << "END\n";
-  out_.flush();
+  if (sticky_.ok()) {
+    Status st = file_->Append(FrameRecord(kEndRecord));
+    if (st.ok()) st = file_->Sync();
+    if (!st.ok()) sticky_ = st;
+  }
+  Status close = file_->Close();
+  if (sticky_.ok() && !close.ok()) sticky_ = close;
+  return sticky_;
 }
 
 Status Journal::Flush() {
-  out_.flush();
-  if (!out_.good()) return Status::IoError("journal write failure");
-  return Status::Ok();
+  if (!sticky_.ok() || closed_) return sticky_;
+  Status st = file_->Flush();
+  if (!st.ok()) sticky_ = st;
+  return sticky_;
+}
+
+Status Journal::Sync() {
+  if (!sticky_.ok() || closed_) return sticky_;
+  Status st = file_->Sync();
+  if (!st.ok()) sticky_ = st;
+  return sticky_;
+}
+
+void Journal::Append(const std::string& payload) {
+  if (!sticky_.ok() || closed_) return;
+  Status st = file_->Append(FrameRecord(payload));
+  if (!st.ok()) sticky_ = st;
 }
 
 void Journal::Emit(std::string record) {
@@ -50,8 +367,8 @@ void Journal::Emit(std::string record) {
   if (in_transaction_) {
     pending_.push_back(std::move(record));
   } else {
-    out_ << record << "\n";
-    ++record_count_;
+    Append(record);
+    if (sticky_.ok()) ++record_count_;
   }
 }
 
@@ -63,11 +380,17 @@ void Journal::OnEvent(const Event& event) {
       break;
     case EventKind::kAfterCommit:
       in_transaction_ = false;
-      for (std::string& record : pending_) {
-        out_ << record << "\n";
-        ++record_count_;
+      if (!pending_.empty()) {
+        // TXB/TXC bracketing makes the commit atomic on replay: a crash
+        // anywhere inside this flush drops the whole transaction.
+        Append(kTxnBegin);
+        for (std::string& record : pending_) {
+          Append(record);
+          if (sticky_.ok()) ++record_count_;
+        }
+        Append(kTxnCommit);
+        pending_.clear();
       }
-      pending_.clear();
       break;
     case EventKind::kAfterAbort:
       // The transaction never happened; its records (including the
@@ -113,35 +436,36 @@ void Journal::OnEvent(const Event& event) {
   }
 }
 
-Status Journal::Replay(Database* db, std::istream& in) {
+Status Journal::Replay(Database* db, std::istream& in, ReplayReport* report) {
   if (!db->classes().empty() || db->object_count() != 0) {
     return Status::FailedPrecondition(
         "journals replay into an empty database");
   }
-  std::string line;
-  if (!std::getline(in, line) || line != kJournalMagic) {
-    return Status::IoError("not a Prometheus journal");
-  }
-  // The journal is validated history: suspend semantic checks so that e.g.
-  // constant links recorded as deleted (via participant death) replay.
-  db->set_semantics_enabled(false);
-  Status st = Status::Ok();
-  bool end = false;
-  while (!end && std::getline(in, line)) {
-    st = ApplyRecord(db, line, &end);
-    if (!st.ok()) break;
-  }
-  db->set_semantics_enabled(true);
-  PROMETHEUS_RETURN_IF_ERROR(st);
-  // A missing END record means the writer is still live or crashed; all
-  // complete records were applied, which is the contract of a WAL.
-  return Status::Ok();
+  ReplayReport local;
+  Status st = ReplayStream(db, in, report != nullptr ? report : &local,
+                           /*lenient_header=*/false);
+  return st;
 }
 
-Status Journal::Replay(Database* db, const std::string& path) {
+Status Journal::Replay(Database* db, const std::string& path,
+                       ReplayReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  return Replay(db, in);
+  return Replay(db, in, report);
+}
+
+Status Journal::ReplayTail(Database* db, std::istream& in,
+                           ReplayReport* report) {
+  ReplayReport local;
+  return ReplayStream(db, in, report != nullptr ? report : &local,
+                      /*lenient_header=*/true);
+}
+
+Status Journal::ReplayTail(Database* db, const std::string& path,
+                           ReplayReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ReplayTail(db, in, report);
 }
 
 }  // namespace prometheus::storage

@@ -1,13 +1,15 @@
 #ifndef PROMETHEUS_STORAGE_JOURNAL_H_
 #define PROMETHEUS_STORAGE_JOURNAL_H_
 
-#include <fstream>
+#include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/database.h"
+#include "storage/fault.h"
 
 namespace prometheus::storage {
 
@@ -15,9 +17,21 @@ namespace prometheus::storage {
 /// complementing snapshots (together they play the role of the thesis'
 /// underlying storage system).
 ///
-/// A journal file starts with the schema records of the database at open
-/// time, followed by one record per committed mutation, captured through
-/// the event layer:
+/// Format v2 — every record is an individually checksummed frame:
+///
+///   PROMETHEUS-JOURNAL-2 full|cont\n          (header line)
+///   R <crc32:8-hex> <len>:<payload>\n         (one frame per record)
+///
+/// A `full` journal starts with the schema records of the database at open
+/// time followed by an `EOS` (end-of-schema) marker; a `cont` journal (a
+/// continuation opened after a checkpoint by `DurableStore`) holds mutation
+/// records only. Committed transactions are bracketed by `TXB`/`TXC`
+/// markers so replay applies them atomically: a crash that tears the tail
+/// of a commit makes the whole transaction vanish. `END` marks a clean
+/// close. Length framing (rather than line splitting) means payloads may
+/// contain any byte, including newlines.
+///
+/// Record capture through the event layer:
 ///  - mutations outside a transaction are appended immediately;
 ///  - mutations inside a transaction are buffered and flushed at commit —
 ///    an aborted transaction leaves no trace (its compensating events are
@@ -25,44 +39,121 @@ namespace prometheus::storage {
 ///  - schema changes after opening are not journalled (define classes
 ///    before opening, as the thesis' prototype fixes its schema at start).
 ///
-/// `Replay` reconstructs the database state by applying the records to an
-/// empty database (semantic checks are suspended during replay: the
-/// journal is already-validated history).
+/// Error discipline: the journal carries a *sticky* error status. The first
+/// failed write latches it; from then on every event the journal observes is
+/// vetoed with that status, so mutations that can no longer be made durable
+/// are rolled back by the database instead of silently diverging from the
+/// log. `Flush()`, `Sync()` and `status()` surface the sticky state.
 class Journal {
  public:
-  /// Opens `path` (truncating), writes the schema prologue and subscribes
-  /// to `db`'s event bus. `db` must outlive the journal.
-  static Result<std::unique_ptr<Journal>> Open(Database* db,
-                                               const std::string& path);
+  /// How `Open` treats an existing file at the journal path.
+  enum class OpenMode {
+    /// Refuse to clobber a non-empty existing journal (the default).
+    kCreate,
+    /// Explicitly truncate whatever is there.
+    kTruncate,
+    /// Append to an existing v2 journal whose tail was already replayed and
+    /// truncated to a record boundary (used by `DurableStore`). No header
+    /// or schema prologue is written.
+    kAppend,
+  };
 
-  /// Unsubscribes and closes the file (appending the END record).
+  /// Opens `path`, writes the header (and, except in kAppend mode, the
+  /// schema prologue) and subscribes to `db`'s event bus. `db` must outlive
+  /// the journal. Files are written through `env` (default:
+  /// `Env::Default()`), which is how fault-injection tests reach the
+  /// journal's writes.
+  static Result<std::unique_ptr<Journal>> Open(Database* db,
+                                               const std::string& path,
+                                               OpenMode mode = OpenMode::kCreate,
+                                               Env* env = nullptr);
+
+  /// Opens a continuation journal: v2 header with the `cont` tag and no
+  /// schema prologue. Replayable only on top of the checkpoint state it
+  /// continues (see `DurableStore`).
+  static Result<std::unique_ptr<Journal>> OpenContinuation(
+      Database* db, const std::string& path, Env* env = nullptr);
+
+  /// Closes (best effort) if `Close()` was not called.
   ~Journal();
 
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Forces buffered committed records to the file.
+  /// Unsubscribes, appends the END record and fsyncs. Returns the sticky
+  /// status (a failed END/sync latches it). Idempotent.
+  Status Close();
+
+  /// Forces buffered committed records to the OS; returns the sticky status.
   Status Flush();
 
-  /// Number of records written so far (excluding the schema prologue).
+  /// Flush + fsync; returns the sticky status.
+  Status Sync();
+
+  /// The sticky error state: Ok until a write has failed.
+  Status status() const { return sticky_; }
+
+  /// Number of mutation records written so far (excluding the schema
+  /// prologue and the TXB/TXC/END markers).
   std::uint64_t record_count() const { return record_count_; }
 
-  /// Rebuilds a database from a journal file. `db` must be empty.
-  static Status Replay(Database* db, const std::string& path);
-  static Status Replay(Database* db, std::istream& in);
+  /// What `Replay` found. Torn or corrupt tails are *recovered from*, not
+  /// fatal: the valid prefix is applied and the dropped remainder reported.
+  struct ReplayReport {
+    /// Mutation records applied.
+    std::uint64_t applied_records = 0;
+    /// Intact records discarded because their transaction never committed.
+    std::uint64_t dropped_records = 0;
+    /// Bytes of torn/corrupt tail discarded.
+    std::uint64_t dropped_bytes = 0;
+    /// File offset at which a writer may resume appending (after truncating
+    /// the file to this size). 0 when the journal is not resumable.
+    std::uint64_t append_offset = 0;
+    /// END record seen: the journal was closed cleanly.
+    bool clean_end = false;
+    /// The tail was torn, corrupt, or an uncommitted transaction.
+    bool torn_tail = false;
+    /// Header and schema prologue are intact; appending at `append_offset`
+    /// yields a well-formed journal.
+    bool resumable = false;
+    /// Human-readable account of anything dropped.
+    std::string detail;
+  };
+
+  /// Rebuilds a database from a journal file. `db` must be empty. A v2
+  /// journal with a damaged tail replays its valid prefix and reports the
+  /// damage in `report` (pass nullptr to ignore); v1 journals replay with
+  /// the legacy line-based reader.
+  static Status Replay(Database* db, const std::string& path,
+                       ReplayReport* report = nullptr);
+  static Status Replay(Database* db, std::istream& in,
+                       ReplayReport* report = nullptr);
+
+  /// Replays a journal into a database that may already hold state (the
+  /// checkpoint a `cont` journal continues from). Also accepts a journal
+  /// with an unreadable header, treating it as an empty valid prefix
+  /// (resumable=false) — recovery then recreates the journal.
+  static Status ReplayTail(Database* db, const std::string& path,
+                           ReplayReport* report = nullptr);
+  static Status ReplayTail(Database* db, std::istream& in,
+                           ReplayReport* report = nullptr);
 
  private:
-  Journal(Database* db, std::ofstream out);
+  Journal(Database* db, std::unique_ptr<WritableFile> file);
 
   void OnEvent(const Event& event);
   void Emit(std::string record);
+  /// Frames `payload` and appends it; latches the sticky status on failure.
+  void Append(const std::string& payload);
 
   Database* db_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
   ListenerId listener_ = 0;
   bool in_transaction_ = false;
+  bool closed_ = false;
   std::vector<std::string> pending_;  ///< records of the open transaction
   std::uint64_t record_count_ = 0;
+  Status sticky_;
 };
 
 }  // namespace prometheus::storage

@@ -1,14 +1,60 @@
 #include "storage/snapshot.h"
 
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
+
+#include "storage/fault.h"
 
 namespace prometheus::storage {
 
 namespace {
 
 constexpr char kMagic[] = "PROMETHEUS-SNAPSHOT-1";
+
+/// Caps speculative `reserve` calls driven by untrusted length fields so a
+/// corrupt count cannot trigger a huge allocation; vectors still grow
+/// normally if the data really is that large.
+constexpr std::size_t kMaxReserve = 1024;
+
+// ---- exception-free numeric parsing (corrupt input must never throw) ----
+
+Status BadNumber(const std::string& word) {
+  return Status::IoError("corrupt record: bad number '" + word + "'");
+}
+
+Result<std::uint64_t> ParseU64(const std::string& word) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(),
+                                   value);
+  if (ec != std::errc() || ptr != word.data() + word.size() || word.empty()) {
+    return BadNumber(word);
+  }
+  return value;
+}
+
+Result<std::int64_t> ParseI64(const std::string& word) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(),
+                                   value);
+  if (ec != std::errc() || ptr != word.data() + word.size() || word.empty()) {
+    return BadNumber(word);
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& word) {
+  if (word.empty()) return BadNumber(word);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(word.c_str(), &end);
+  if (end != word.c_str() + word.size() || errno == ERANGE) {
+    return BadNumber(word);
+  }
+  return value;
+}
 
 /// Length-prefixed string: "<n>:<bytes>".
 std::string EncodeString(const std::string& s) {
@@ -21,10 +67,16 @@ Result<std::string> DecodeString(const std::string& text, std::size_t* pos) {
     return Status::IoError("corrupt record: missing string length");
   }
   std::size_t len = 0;
+  if (colon == *pos) {
+    return Status::IoError("corrupt record: empty string length");
+  }
   for (std::size_t i = *pos; i < colon; ++i) {
     char c = text[i];
     if (c < '0' || c > '9') {
       return Status::IoError("corrupt record: bad string length");
+    }
+    if (len > (text.size() / 10) + 1) {  // overflow / absurd length guard
+      return Status::IoError("corrupt record: oversized string length");
     }
     len = len * 10 + static_cast<std::size_t>(c - '0');
   }
@@ -61,7 +113,9 @@ Result<AttributeDef> ReadAttributeDef(const std::string& line,
   if (end == std::string::npos) {
     return Status::IoError("corrupt record: attribute type");
   }
-  attr.type = static_cast<ValueType>(std::stoi(line.substr(*pos, end - *pos)));
+  PROMETHEUS_ASSIGN_OR_RETURN(std::int64_t type,
+                              ParseI64(line.substr(*pos, end - *pos)));
+  attr.type = static_cast<ValueType>(type);
   *pos = end;
   skip_space();
   PROMETHEUS_ASSIGN_OR_RETURN(attr.ref_class, DecodeString(line, pos));
@@ -89,6 +143,12 @@ struct LineCursor {
     pos = end;
     return w;
   }
+  Result<std::uint64_t> U64() { return ParseU64(Word()); }
+  Result<std::uint32_t> U32() {
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+    if (v > 0xFFFFFFFFull) return Status::IoError("corrupt record: u32 range");
+    return static_cast<std::uint32_t>(v);
+  }
   Result<std::string> Str() {
     SkipSpace();
     return DecodeString(line, &pos);
@@ -99,7 +159,7 @@ struct LineCursor {
   }
   Result<std::vector<AttrInit>> Attrs(std::size_t count) {
     std::vector<AttrInit> attrs;
-    attrs.reserve(count);
+    attrs.reserve(count < kMaxReserve ? count : kMaxReserve);
     for (std::size_t i = 0; i < count; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string name, Str());
       PROMETHEUS_ASSIGN_OR_RETURN(Value v, Val());
@@ -111,7 +171,8 @@ struct LineCursor {
 
 Result<RelationshipSemantics> ReadSemantics(LineCursor* cur) {
   RelationshipSemantics sem;
-  sem.kind = static_cast<RelationshipKind>(std::stoi(cur->Word()));
+  PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t kind, cur->U64());
+  sem.kind = static_cast<RelationshipKind>(kind);
   sem.exclusive = cur->Word() == "1";
   PROMETHEUS_ASSIGN_OR_RETURN(sem.exclusivity_group, cur->Str());
   sem.shareable = cur->Word() == "1";
@@ -119,10 +180,10 @@ Result<RelationshipSemantics> ReadSemantics(LineCursor* cur) {
   sem.constant = cur->Word() == "1";
   sem.inherit_attributes = cur->Word() == "1";
   sem.directed = cur->Word() == "1";
-  sem.max_out = static_cast<std::uint32_t>(std::stoul(cur->Word()));
-  sem.max_in = static_cast<std::uint32_t>(std::stoul(cur->Word()));
-  sem.min_out = static_cast<std::uint32_t>(std::stoul(cur->Word()));
-  sem.min_in = static_cast<std::uint32_t>(std::stoul(cur->Word()));
+  PROMETHEUS_ASSIGN_OR_RETURN(sem.max_out, cur->U32());
+  PROMETHEUS_ASSIGN_OR_RETURN(sem.max_in, cur->U32());
+  PROMETHEUS_ASSIGN_OR_RETURN(sem.min_out, cur->U32());
+  PROMETHEUS_ASSIGN_OR_RETURN(sem.min_in, cur->U32());
   return sem;
 }
 
@@ -172,11 +233,13 @@ Result<Value> DecodeValue(const std::string& text, std::size_t* pos) {
     }
     case 'i': {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
-      return Value::Int(std::stoll(s));
+      PROMETHEUS_ASSIGN_OR_RETURN(std::int64_t v, ParseI64(s));
+      return Value::Int(v);
     }
     case 'd': {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
-      return Value::Double(std::stod(s));
+      PROMETHEUS_ASSIGN_OR_RETURN(double v, ParseDouble(s));
+      return Value::Double(v);
     }
     case 's': {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
@@ -184,17 +247,19 @@ Result<Value> DecodeValue(const std::string& text, std::size_t* pos) {
     }
     case 'r': {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, DecodeString(text, pos));
-      return Value::Ref(std::stoull(s));
+      PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t v, ParseU64(s));
+      return Value::Ref(v);
     }
     case 'l': {
       std::size_t colon = text.find(':', *pos);
       if (colon == std::string::npos) {
         return Status::IoError("corrupt record: bad list length");
       }
-      std::size_t count = std::stoull(text.substr(*pos, colon - *pos));
+      PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t count,
+                                  ParseU64(text.substr(*pos, colon - *pos)));
       *pos = colon + 1;
       Value::List items;
-      items.reserve(count);
+      items.reserve(count < kMaxReserve ? count : kMaxReserve);
       for (std::size_t i = 0; i < count; ++i) {
         PROMETHEUS_ASSIGN_OR_RETURN(Value v, DecodeValue(text, pos));
         items.push_back(std::move(v));
@@ -219,8 +284,10 @@ void WriteSemantics(std::ostream& out, const RelationshipSemantics& sem) {
 
 }  // namespace
 
-Status WriteSchemaRecords(const Database& db, std::ostream& out) {
+std::vector<std::string> SchemaRecords(const Database& db) {
+  std::vector<std::string> records;
   for (const ClassDef* cls : db.classes()) {
+    std::ostringstream out;
     out << "CLASS " << EncodeString(cls->name()) << " "
         << (cls->is_abstract() ? 1 : 0) << " " << cls->supers().size();
     for (const ClassDef* s : cls->supers()) {
@@ -238,21 +305,23 @@ Status WriteSchemaRecords(const Database& db, std::ostream& out) {
         out << " " << EncodeString(type) << " " << EncodeString(pname);
       }
     }
-    out << "\n";
+    records.push_back(out.str());
   }
   for (const std::string& name : db.relationship_templates()) {
     const RelationshipSemantics* sem = db.FindTemplateSemantics(name);
     const std::vector<AttributeDef>* attrs = db.FindTemplateAttributes(name);
     if (sem == nullptr || attrs == nullptr) continue;
+    std::ostringstream out;
     out << "TMPL " << EncodeString(name) << " ";
     WriteSemantics(out, *sem);
     out << " " << attrs->size();
     for (const AttributeDef& a : *attrs) {
       WriteAttributeDef(out, a);
     }
-    out << "\n";
+    records.push_back(out.str());
   }
   for (const RelationshipDef* rel : db.relationships()) {
+    std::ostringstream out;
     out << "REL " << EncodeString(rel->name()) << " "
         << EncodeString(rel->source_class()->name()) << " "
         << EncodeString(rel->target_class()->name()) << " ";
@@ -265,7 +334,14 @@ Status WriteSchemaRecords(const Database& db, std::ostream& out) {
     for (const AttributeDef& a : rel->attributes()) {
       WriteAttributeDef(out, a);
     }
-    out << "\n";
+    records.push_back(out.str());
+  }
+  return records;
+}
+
+Status WriteSchemaRecords(const Database& db, std::ostream& out) {
+  for (const std::string& record : SchemaRecords(db)) {
+    out << record << "\n";
   }
   if (!out.good()) return Status::IoError("write failure");
   return Status::Ok();
@@ -309,14 +385,16 @@ Status ApplyRecord(Database* db, const std::string& line, bool* end) {
   if (tag == "CLASS") {
     PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
     bool is_abstract = cur.Word() == "1";
-    std::size_t nsupers = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nsupers, cur.U64());
     std::vector<std::string> supers;
+    supers.reserve(nsupers < kMaxReserve ? nsupers : kMaxReserve);
     for (std::size_t i = 0; i < nsupers; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, cur.Str());
       supers.push_back(std::move(s));
     }
-    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nattrs, cur.U64());
     std::vector<AttributeDef> attrs;
+    attrs.reserve(nattrs < kMaxReserve ? nattrs : kMaxReserve);
     for (std::size_t i = 0; i < nattrs; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
                                   ReadAttributeDef(line, &cur.pos));
@@ -328,12 +406,12 @@ Status ApplyRecord(Database* db, const std::string& line, bool* end) {
     // Method signatures (optional trailing section).
     cur.SkipSpace();
     if (cur.pos < line.size()) {
-      std::size_t nmethods = std::stoull(cur.Word());
+      PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nmethods, cur.U64());
       for (std::size_t i = 0; i < nmethods; ++i) {
         MethodDef method;
         PROMETHEUS_ASSIGN_OR_RETURN(method.name, cur.Str());
         PROMETHEUS_ASSIGN_OR_RETURN(method.return_type, cur.Str());
-        std::size_t nparams = std::stoull(cur.Word());
+        PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nparams, cur.U64());
         for (std::size_t p = 0; p < nparams; ++p) {
           PROMETHEUS_ASSIGN_OR_RETURN(std::string type, cur.Str());
           PROMETHEUS_ASSIGN_OR_RETURN(std::string pname, cur.Str());
@@ -348,8 +426,9 @@ Status ApplyRecord(Database* db, const std::string& line, bool* end) {
     PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
     PROMETHEUS_ASSIGN_OR_RETURN(RelationshipSemantics sem,
                                 ReadSemantics(&cur));
-    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nattrs, cur.U64());
     std::vector<AttributeDef> attrs;
+    attrs.reserve(nattrs < kMaxReserve ? nattrs : kMaxReserve);
     for (std::size_t i = 0; i < nattrs; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
                                   ReadAttributeDef(line, &cur.pos));
@@ -363,14 +442,16 @@ Status ApplyRecord(Database* db, const std::string& line, bool* end) {
     PROMETHEUS_ASSIGN_OR_RETURN(std::string dst, cur.Str());
     PROMETHEUS_ASSIGN_OR_RETURN(RelationshipSemantics sem,
                                 ReadSemantics(&cur));
-    std::size_t nsupers = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nsupers, cur.U64());
     std::vector<std::string> supers;
+    supers.reserve(nsupers < kMaxReserve ? nsupers : kMaxReserve);
     for (std::size_t i = 0; i < nsupers; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string s, cur.Str());
       supers.push_back(std::move(s));
     }
-    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nattrs, cur.U64());
     std::vector<AttributeDef> attrs;
+    attrs.reserve(nattrs < kMaxReserve ? nattrs : kMaxReserve);
     for (std::size_t i = 0; i < nattrs; ++i) {
       PROMETHEUS_ASSIGN_OR_RETURN(AttributeDef a,
                                   ReadAttributeDef(line, &cur.pos));
@@ -381,47 +462,47 @@ Status ApplyRecord(Database* db, const std::string& line, bool* end) {
         .status();
   }
   if (tag == "OBJ") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::string cls, cur.Str());
-    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nattrs, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::vector<AttrInit> attrs,
                                 cur.Attrs(nattrs));
     return db->RestoreObjectRaw(oid, cls, std::move(attrs));
   }
   if (tag == "LINK") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, cur.Str());
-    Oid src = std::stoull(cur.Word());
-    Oid dst = std::stoull(cur.Word());
-    Oid ctx = std::stoull(cur.Word());
-    std::size_t nattrs = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid src, cur.U64());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid dst, cur.U64());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, cur.U64());
+    PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t nattrs, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::vector<AttrInit> attrs,
                                 cur.Attrs(nattrs));
     return db->RestoreLinkRaw(oid, rel, src, dst, ctx, std::move(attrs));
   }
   if (tag == "SYN") {
-    Oid child = std::stoull(cur.Word());
-    Oid parent = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid child, cur.U64());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid parent, cur.U64());
     return db->RestoreSynonymRaw(child, parent);
   }
   if (tag == "DELO") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     if (db->GetObject(oid) == nullptr) return Status::Ok();  // cascaded
     return db->DeleteObject(oid);
   }
   if (tag == "DELL") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     if (db->GetLink(oid) == nullptr) return Status::Ok();  // cascaded
     return db->DeleteLink(oid);
   }
   if (tag == "SETA") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
     PROMETHEUS_ASSIGN_OR_RETURN(Value v, cur.Val());
     return db->SetAttribute(oid, name, std::move(v));
   }
   if (tag == "SETL") {
-    Oid oid = std::stoull(cur.Word());
+    PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, cur.U64());
     PROMETHEUS_ASSIGN_OR_RETURN(std::string name, cur.Str());
     PROMETHEUS_ASSIGN_OR_RETURN(Value v, cur.Val());
     return db->SetLinkAttribute(oid, name, std::move(v));
@@ -439,6 +520,7 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
       out << ObjectRecord(db, oid) << "\n";
     }
   }
+  if (!out.good()) return Status::IoError("write failure");
   for (const RelationshipDef* rel : db.relationships()) {
     for (Oid oid :
          db.LinkExtent(rel->name(), /*include_subrelationships=*/false)) {
@@ -452,14 +534,44 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
     }
   }
   out << "END\n";
+  out.flush();
   if (!out.good()) return Status::IoError("write failure");
   return Status::Ok();
 }
 
+Status SaveSnapshot(const Database& db, const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  // Stage the full snapshot in memory, then write-to-temp + fsync + rename
+  // so a crash at any point leaves an existing snapshot at `path` intact.
+  std::ostringstream buffer;
+  PROMETHEUS_RETURN_IF_ERROR(SaveSnapshot(db, buffer));
+  const std::string tmp = path + ".tmp";
+  {
+    PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                                env->NewWritableFile(tmp, /*truncate=*/true));
+    Status st = file->Append(buffer.str());
+    if (st.ok()) st = file->Sync();
+    Status close = file->Close();
+    if (st.ok()) st = close;
+    if (!st.ok()) {
+      (void)env->RemoveFile(tmp);
+      return st;
+    }
+  }
+  Status st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    (void)env->RemoveFile(tmp);
+    return st;
+  }
+  std::string dir = ".";
+  if (std::size_t slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash == 0 ? 1 : slash);
+  }
+  return env->SyncDir(dir);
+}
+
 Status SaveSnapshot(const Database& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  return SaveSnapshot(db, out);
+  return SaveSnapshot(db, path, nullptr);
 }
 
 Status LoadSnapshot(Database* db, std::istream& in) {
@@ -471,11 +583,27 @@ Status LoadSnapshot(Database* db, std::istream& in) {
   if (!std::getline(in, line) || line != kMagic) {
     return Status::IoError("not a Prometheus snapshot");
   }
-  bool end = false;
-  while (!end && std::getline(in, line)) {
-    PROMETHEUS_RETURN_IF_ERROR(ApplyRecord(db, line, &end));
+  // Read the whole stream first and require the END record *before*
+  // applying anything: a truncated snapshot must leave `db` untouched.
+  std::vector<std::string> lines;
+  bool saw_end = false;
+  while (!saw_end && std::getline(in, line)) {
+    if (line == "END") saw_end = true;
+    lines.push_back(std::move(line));
   }
-  if (!end) return Status::IoError("truncated snapshot (no END record)");
+  if (!saw_end) return Status::IoError("truncated snapshot (no END record)");
+  bool end = false;
+  for (const std::string& record : lines) {
+    Status st = ApplyRecord(db, record, &end);
+    if (!st.ok()) {
+      // Surface every corruption as kIoError; the message keeps the
+      // underlying cause. The database may hold a partial prefix — callers
+      // that need atomicity load into a scratch database (DurableStore does).
+      if (st.code() == Status::Code::kIoError) return st;
+      return Status::IoError("corrupt snapshot record: " + st.ToString());
+    }
+    if (end) break;
+  }
   return Status::Ok();
 }
 

@@ -31,7 +31,8 @@ class FullStackFixture : public ::testing::Test {
     def.predicate = "self.rank = 'Genus'";
     ASSERT_TRUE(views->DefineMaterialized(def).ok());
     journal_path = ::testing::TempDir() + "/integration_journal.log";
-    auto opened = storage::Journal::Open(&tdb.db(), journal_path);
+    auto opened = storage::Journal::Open(&tdb.db(), journal_path,
+                                         storage::Journal::OpenMode::kTruncate);
     ASSERT_TRUE(opened.ok());
     journal = std::move(opened).value();
   }

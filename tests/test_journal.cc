@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
+
+#include "storage/fault.h"
 
 #include "storage/journal.h"
 #include "storage/snapshot.h"
@@ -21,6 +25,7 @@ class JournalFixture : public ::testing::Test {
     path = ::testing::TempDir() + "/prometheus_journal_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
            ".log";
+    std::remove(path.c_str());  // kCreate refuses to clobber leftovers
     ASSERT_TRUE(db.DefineClass("Taxon", {},
                                {Attr("name", ValueType::kString),
                                 Attr("year", ValueType::kInt)})
@@ -164,6 +169,119 @@ TEST_F(JournalFixture, TruncatedJournalRecoversPrefix) {
     EXPECT_NE(replica.GetObject(a), nullptr);
   }
   journal.value().reset();
+}
+
+TEST_F(JournalFixture, OpenRefusesToClobberExistingJournal) {
+  {
+    auto journal = Journal::Open(&db, path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(db.CreateObject("Taxon").ok());
+  }
+  // The default mode never silently discards a journal holding records.
+  auto again = Journal::Open(&db, path);
+  EXPECT_EQ(again.status().code(), Status::Code::kFailedPrecondition);
+  auto truncated = Journal::Open(&db, path, Journal::OpenMode::kTruncate);
+  EXPECT_TRUE(truncated.ok()) << truncated.status().ToString();
+}
+
+TEST_F(JournalFixture, WriteFailureVetoesTheMutation) {
+  FaultInjectionEnv fenv;
+  auto journal = Journal::Open(&db, path, Journal::OpenMode::kTruncate, &fenv);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  Oid a =
+      db.CreateObject("Taxon", {{"name", Value::String("durable")}}).value();
+
+  FaultPolicy policy;
+  policy.fail_after_appends = 1;
+  policy.torn_writes = false;
+  fenv.SetPolicy(policy);
+
+  // The record for this creation cannot reach the disk: the journal vetoes
+  // the after-event and the database rolls the object back.
+  EXPECT_FALSE(db.CreateObject("Taxon").ok());
+  EXPECT_EQ(db.object_count(), 1u);
+
+  // The failure is sticky: it surfaces from Flush()/status() and keeps
+  // vetoing mutations instead of letting state diverge from the log.
+  EXPECT_FALSE(journal.value()->Flush().ok());
+  EXPECT_FALSE(journal.value()->status().ok());
+  EXPECT_FALSE(db.SetAttribute(a, "year", Value::Int(1)).ok());
+  journal.value().reset();
+
+  Database replica;
+  ASSERT_TRUE(Journal::Replay(&replica, path).ok());
+  EXPECT_EQ(replica.object_count(), 1u);  // exactly the durable prefix
+}
+
+TEST_F(JournalFixture, TornTailIsReportedAndDropped) {
+  auto journal = Journal::Open(&db, path, Journal::OpenMode::kTruncate);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(db.CreateObject("Taxon").ok());
+  ASSERT_TRUE(db.CreateObject("Taxon").ok());
+  ASSERT_TRUE(journal.value()->Flush().ok());
+
+  // Copy the live file with its final record torn mid-frame.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::string torn = path + ".torn";
+  std::ofstream(torn, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 5);
+
+  Database replica;
+  Journal::ReplayReport report;
+  ASSERT_TRUE(Journal::Replay(&replica, torn, &report).ok());
+  EXPECT_EQ(replica.object_count(), 1u);  // valid prefix only
+  EXPECT_EQ(report.applied_records, 1u);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_GT(report.dropped_bytes, 0u);
+  EXPECT_FALSE(report.clean_end);
+  EXPECT_TRUE(report.resumable);
+  EXPECT_GT(report.append_offset, 0u);
+  journal.value().reset();
+}
+
+TEST_F(JournalFixture, TornCommitFlushDropsTheWholeTransaction) {
+  FaultInjectionEnv fenv;
+  auto journal = Journal::Open(&db, path, Journal::OpenMode::kTruncate, &fenv);
+  ASSERT_TRUE(journal.ok());
+  Oid keep = db.CreateObject("Taxon").value();
+
+  ASSERT_TRUE(db.Begin().ok());
+  ASSERT_TRUE(db.CreateObject("Taxon").ok());
+  ASSERT_TRUE(db.CreateObject("Taxon").ok());
+
+  FaultPolicy policy;
+  policy.fail_after_appends = 2;  // dies inside the TXB...TXC commit flush
+  fenv.SetPolicy(policy);
+  ASSERT_TRUE(db.Commit().ok());  // in-memory commit; the journal crashed
+  EXPECT_FALSE(journal.value()->status().ok());
+  journal.value().reset();
+
+  Database replica;
+  Journal::ReplayReport report;
+  ASSERT_TRUE(Journal::Replay(&replica, path, &report).ok());
+  // The half-flushed transaction vanishes atomically on replay.
+  EXPECT_EQ(replica.object_count(), 1u);
+  EXPECT_NE(replica.GetObject(keep), nullptr);
+  EXPECT_TRUE(report.torn_tail);
+}
+
+TEST_F(JournalFixture, ReplaysLegacyV1Journals) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "PROMETHEUS-JOURNAL-1\n";
+  for (const std::string& record : SchemaRecords(db)) out << record << "\n";
+  out << "END\n";
+  out.close();
+  Database replica;
+  Journal::ReplayReport report;
+  ASSERT_TRUE(Journal::Replay(&replica, path, &report).ok());
+  EXPECT_TRUE(report.clean_end);
+  EXPECT_EQ(replica.classes().size(), db.classes().size());
 }
 
 TEST_F(JournalFixture, ReplayRejectsBadInput) {

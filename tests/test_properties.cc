@@ -189,7 +189,8 @@ TEST_P(FuzzSeeds, JournalReplayMatchesLiveDatabase) {
   DefineFuzzSchema(&db);
   const std::string path = ::testing::TempDir() + "/fuzz_journal_" +
                            std::to_string(GetParam()) + ".log";
-  auto journal = storage::Journal::Open(&db, path);
+  auto journal = storage::Journal::Open(&db, path,
+                                        storage::Journal::OpenMode::kTruncate);
   ASSERT_TRUE(journal.ok());
   std::vector<Oid> pool;
   for (int i = 0; i < 100; ++i) RandomOp(&db, &rng, &pool);
