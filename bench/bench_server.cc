@@ -1,0 +1,259 @@
+// E14 — concurrent query serving (the src/server/ service layer standing in
+// for the thesis' omitted §6.1.7 front-end). Builds the OO7 small module,
+// wraps it in a `server::Server`, and drives it with a multi-threaded
+// in-process load generator:
+//
+//   1. read-only sweep: 8 client threads issuing POOL range-scan queries,
+//      worker pool swept over 1/2/4/8 threads — read throughput should
+//      scale with workers (shared-lock readers) up to the core count;
+//   2. mixed load: 7 reader clients + 1 writer client (SetAttribute
+//      mutations under the exclusive lock) at 4 workers.
+//
+// Reports throughput and p50/p95/p99 latency per sweep and writes the
+// machine-readable BENCH_server.json next to the binary's working dir.
+//
+// Usage: bench_server [requests_per_client]   (default 150)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "oo7/oo7.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using prometheus::Oid;
+using prometheus::Value;
+using prometheus::bench::JsonWriter;
+using prometheus::bench::LatencyStats;
+using prometheus::bench::SummarizeLatencies;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+using prometheus::server::Client;
+using prometheus::server::Server;
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClientThreads = 8;
+constexpr int kWorkerSweep[] = {1, 2, 4, 8};
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Q2-style selective range scan over the atomic-part extent — enough work
+/// per request (~1000-object scan with predicate evaluation) that locking
+/// and dispatch overhead are a small fraction.
+std::string ReadQuery(std::mt19937& rng) {
+  std::uniform_int_distribution<int> lo_dist(0, 1800);
+  const int lo = lo_dist(rng);
+  const int hi = lo + 200;
+  return "select a.id from AtomicPart a where a.build_date >= " +
+         std::to_string(lo) + " and a.build_date <= " + std::to_string(hi);
+}
+
+struct SweepResult {
+  int workers = 0;
+  int reader_clients = 0;
+  int writer_clients = 0;
+  std::size_t requests = 0;
+  std::size_t failed = 0;
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  LatencyStats read_lat;
+  LatencyStats write_lat;
+  std::uint64_t rejected = 0;
+};
+
+/// Drives `server` with `readers` query clients and `writers` mutation
+/// clients, each issuing `requests_per_client` blocking calls.
+SweepResult RunLoad(Server& server, const std::vector<Oid>& parts, int workers,
+                    int readers, int writers, int requests_per_client) {
+  SweepResult result;
+  result.workers = workers;
+  result.reader_clients = readers;
+  result.writer_clients = writers;
+
+  std::vector<std::vector<double>> read_lats(
+      static_cast<std::size_t>(readers));
+  std::vector<std::vector<double>> write_lats(
+      static_cast<std::size_t>(writers));
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers + writers));
+
+  const Clock::time_point wall_start = Clock::now();
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(&server);
+      std::mt19937 rng(1000u + static_cast<unsigned>(c));
+      auto& lats = read_lats[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const std::string q = ReadQuery(rng);
+        const Clock::time_point t0 = Clock::now();
+        auto r = client.Query(q);
+        lats.push_back(MillisSince(t0));
+        if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      Client client(&server);
+      std::mt19937 rng(9000u + static_cast<unsigned>(w));
+      std::uniform_int_distribution<std::size_t> pick(0, parts.size() - 1);
+      auto& lats = write_lats[static_cast<std::size_t>(w)];
+      lats.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Oid oid = parts[pick(rng)];
+        const Clock::time_point t0 = Clock::now();
+        auto st = client.SetAttribute(oid, "x", Value::Int(i));
+        lats.push_back(MillisSince(t0));
+        if (!st.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = MillisSince(wall_start);
+
+  std::vector<double> all_reads;
+  for (auto& v : read_lats) {
+    all_reads.insert(all_reads.end(), v.begin(), v.end());
+  }
+  std::vector<double> all_writes;
+  for (auto& v : write_lats) {
+    all_writes.insert(all_writes.end(), v.begin(), v.end());
+  }
+  result.requests = all_reads.size() + all_writes.size();
+  result.failed = failed.load();
+  result.throughput_rps =
+      result.wall_ms > 0
+          ? static_cast<double>(result.requests) / (result.wall_ms / 1000.0)
+          : 0;
+  result.read_lat = SummarizeLatencies(all_reads);
+  result.write_lat = SummarizeLatencies(all_writes);
+  result.rejected = server.stats().rejected;
+  return result;
+}
+
+void PrintRow(const SweepResult& r, const char* label) {
+  std::printf(
+      "  %-12s w=%d  %6zu req  %8.1f rps   p50 %7.3f  p95 %7.3f  p99 %7.3f "
+      "ms%s\n",
+      label, r.workers, r.requests, r.throughput_rps, r.read_lat.p50,
+      r.read_lat.p95, r.read_lat.p99, r.failed != 0 ? "  [FAILURES]" : "");
+}
+
+void EmitSweepJson(JsonWriter& json, const SweepResult& r) {
+  json.BeginObject();
+  json.Key("workers").Int(r.workers);
+  json.Key("reader_clients").Int(r.reader_clients);
+  json.Key("writer_clients").Int(r.writer_clients);
+  json.Key("requests").Int(static_cast<long long>(r.requests));
+  json.Key("failed").Int(static_cast<long long>(r.failed));
+  json.Key("rejected").Int(static_cast<long long>(r.rejected));
+  json.Key("wall_ms").Number(r.wall_ms);
+  json.Key("throughput_rps").Number(r.throughput_rps);
+  json.Key("read_p50_ms").Number(r.read_lat.p50);
+  json.Key("read_p95_ms").Number(r.read_lat.p95);
+  json.Key("read_p99_ms").Number(r.read_lat.p99);
+  json.Key("read_max_ms").Number(r.read_lat.max);
+  json.Key("write_p50_ms").Number(r.write_lat.p50);
+  json.Key("write_p95_ms").Number(r.write_lat.p95);
+  json.Key("write_p99_ms").Number(r.write_lat.p99);
+  json.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests_per_client = argc > 1 ? std::atoi(argv[1]) : 150;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  Config config;  // OO7 small module: 50 composites, 1000 atomic parts
+  std::printf("bench_server: OO7 small module (%d atomic parts), %d client "
+              "threads, %d requests/client, %u hardware threads\n",
+              config.total_atomic_parts(), kClientThreads,
+              requests_per_client, cores);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("server");
+  json.Key("hardware_concurrency").Int(cores);
+  json.Key("atomic_parts").Int(config.total_atomic_parts());
+  json.Key("requests_per_client").Int(requests_per_client);
+
+  // ---- read-only sweep over worker counts ------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E14a: read-only query serving (8 clients, workers swept)",
+      "  phase        workers  requests  throughput   latency");
+  json.Key("read_sweep").BeginArray();
+  double rps_at_1 = 0;
+  double rps_at_4 = 0;
+  for (int workers : kWorkerSweep) {
+    PrometheusOo7 oo7(config);  // fresh, identical database per sweep
+    Server::Options options;
+    options.worker_threads = workers;
+    options.queue_capacity = 4096;
+    Server server(&oo7.db(), options);
+    SweepResult r = RunLoad(server, {}, workers, kClientThreads,
+                            /*writers=*/0, requests_per_client);
+    server.Shutdown();
+    PrintRow(r, "read-only");
+    EmitSweepJson(json, r);
+    if (workers == 1) rps_at_1 = r.throughput_rps;
+    if (workers == 4) rps_at_4 = r.throughput_rps;
+  }
+  json.EndArray();
+  const double scaling = rps_at_1 > 0 ? rps_at_4 / rps_at_1 : 0;
+  json.Key("scaling_4v1").Number(scaling);
+  std::printf("  read scaling 4 workers vs 1: %.2fx", scaling);
+  if (cores < 4) {
+    std::printf("  (only %u hardware thread%s — scaling is bounded by the "
+                "host, expect ~1x)",
+                cores, cores == 1 ? "" : "s");
+  }
+  std::printf("\n");
+
+  // ---- mixed read/write load ------------------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E14b: mixed load (7 readers + 1 writer, 4 workers)",
+      "  phase        workers  requests  throughput   read latency");
+  json.Key("mixed").BeginArray();
+  {
+    PrometheusOo7 oo7(config);
+    const std::vector<Oid> parts = oo7.db().Extent("AtomicPart");
+    Server::Options options;
+    options.worker_threads = 4;
+    options.queue_capacity = 4096;
+    Server server(&oo7.db(), options);
+    SweepResult r = RunLoad(server, parts, 4, kClientThreads - 1,
+                            /*writers=*/1, requests_per_client);
+    server.Shutdown();
+    PrintRow(r, "mixed");
+    std::printf("               write latency: p50 %7.3f  p95 %7.3f  p99 "
+                "%7.3f ms\n",
+                r.write_lat.p50, r.write_lat.p95, r.write_lat.p99);
+    EmitSweepJson(json, r);
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string out = "BENCH_server.json";
+  if (!prometheus::bench::WriteTextFile(out, json.str() + "\n")) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

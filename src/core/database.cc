@@ -53,6 +53,7 @@ Database::~Database() = default;
 Result<const ClassDef*> Database::DefineClass(
     const std::string& name, const std::vector<std::string>& supers,
     std::vector<AttributeDef> attributes, bool is_abstract) {
+  AssertExclusiveAccess();
   if (name.empty()) {
     return Status::InvalidArgument("class name must not be empty");
   }
@@ -103,6 +104,7 @@ Result<const RelationshipDef*> Database::DefineRelationship(
     const std::string& target_class, RelationshipSemantics semantics,
     std::vector<AttributeDef> link_attributes,
     const std::vector<std::string>& supers) {
+  AssertExclusiveAccess();
   if (name.empty()) {
     return Status::InvalidArgument("relationship name must not be empty");
   }
@@ -181,6 +183,7 @@ Result<const RelationshipDef*> Database::DefineRelationship(
 
 Status Database::DefineMethod(const std::string& class_name,
                               MethodDef method) {
+  AssertExclusiveAccess();
   auto it = classes_by_name_.find(class_name);
   if (it == classes_by_name_.end()) {
     return Status::NotFound("unknown class '" + class_name + "'");
@@ -199,6 +202,7 @@ Status Database::DefineMethod(const std::string& class_name,
 Status Database::DefineRelationshipTemplate(
     const std::string& name, RelationshipSemantics semantics,
     std::vector<AttributeDef> link_attributes) {
+  AssertExclusiveAccess();
   if (name.empty()) {
     return Status::InvalidArgument("template name must not be empty");
   }
@@ -215,6 +219,7 @@ Status Database::DefineRelationshipTemplate(
 Result<const RelationshipDef*> Database::InstantiateRelationship(
     const std::string& template_name, const std::string& rel_name,
     const std::string& source_class, const std::string& target_class) {
+  AssertExclusiveAccess();
   auto it = rel_templates_.find(template_name);
   if (it == rel_templates_.end()) {
     return Status::NotFound("unknown relationship template '" +
@@ -354,6 +359,7 @@ void Database::RestoreLinkToExtent(Link* link) {
 
 Result<Oid> Database::CreateObject(const std::string& class_name,
                                    std::vector<AttrInit> inits) {
+  AssertExclusiveAccess();
   const ClassDef* cls = FindClass(class_name);
   if (cls == nullptr) {
     return Status::NotFound("unknown class '" + class_name + "'");
@@ -412,6 +418,7 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
 }
 
 Status Database::DeleteObject(Oid oid) {
+  AssertExclusiveAccess();
   Object* obj = MutableObject(oid);
   if (obj == nullptr) {
     return Status::NotFound("no object @" + std::to_string(oid));
@@ -477,6 +484,7 @@ Status Database::DeleteObjectInternal(Oid oid, std::vector<Oid>* cascade) {
 }
 
 Status Database::SetAttribute(Oid oid, const std::string& name, Value value) {
+  AssertExclusiveAccess();
   Object* obj = MutableObject(oid);
   if (obj == nullptr) {
     return Status::NotFound("no object @" + std::to_string(oid));
@@ -529,6 +537,7 @@ Status Database::SetAttribute(Oid oid, const std::string& name, Value value) {
 }
 
 Result<Value> Database::GetAttribute(Oid oid, const std::string& name) const {
+  AssertSharedAccess();
   const Object* obj = GetObject(oid);
   if (obj == nullptr) {
     return Status::NotFound("no object @" + std::to_string(oid));
@@ -552,6 +561,7 @@ Result<Value> Database::GetAttribute(Oid oid, const std::string& name) const {
 }
 
 const Object* Database::GetObject(Oid oid) const {
+  AssertSharedAccess();
   auto it = objects_.find(oid);
   return it == objects_.end() ? nullptr : it->second.get();
 }
@@ -565,6 +575,7 @@ bool Database::IsInstanceOf(Oid oid, std::string_view class_name) const {
 
 std::vector<Oid> Database::Extent(const std::string& class_name,
                                   bool include_subclasses) const {
+  AssertSharedAccess();
   const ClassDef* cls = FindClass(class_name);
   if (cls == nullptr) return {};
   std::vector<Oid> out;
@@ -648,6 +659,7 @@ Status Database::CheckLinkSemantics(const RelationshipDef* def,
 Result<Oid> Database::CreateLink(const std::string& rel_name, Oid source,
                                  Oid target, Oid context,
                                  std::vector<AttrInit> inits) {
+  AssertExclusiveAccess();
   const RelationshipDef* def = FindRelationship(rel_name);
   if (def == nullptr) {
     return Status::NotFound("unknown relationship '" + rel_name + "'");
@@ -736,6 +748,7 @@ Result<Oid> Database::CreateLink(const std::string& rel_name, Oid source,
 }
 
 Status Database::DeleteLink(Oid oid) {
+  AssertExclusiveAccess();
   Link* link = MutableLink(oid);
   if (link == nullptr) {
     return Status::NotFound("no link @" + std::to_string(oid));
@@ -791,6 +804,7 @@ Status Database::DeleteLinkInternal(Oid oid, bool ignore_constancy) {
 
 Status Database::SetLinkAttribute(Oid oid, const std::string& name,
                                   Value value) {
+  AssertExclusiveAccess();
   Link* link = MutableLink(oid);
   if (link == nullptr) {
     return Status::NotFound("no link @" + std::to_string(oid));
@@ -846,6 +860,7 @@ Status Database::SetLinkAttribute(Oid oid, const std::string& name,
 
 Result<Value> Database::GetLinkAttribute(Oid oid,
                                          const std::string& name) const {
+  AssertSharedAccess();
   const Link* link = GetLink(oid);
   if (link == nullptr) {
     return Status::NotFound("no link @" + std::to_string(oid));
@@ -859,12 +874,14 @@ Result<Value> Database::GetLinkAttribute(Oid oid,
 }
 
 const Link* Database::GetLink(Oid oid) const {
+  AssertSharedAccess();
   auto it = links_.find(oid);
   return it == links_.end() ? nullptr : it->second.get();
 }
 
 std::vector<Oid> Database::LinkExtent(const std::string& rel_name,
                                       bool include_subrelationships) const {
+  AssertSharedAccess();
   const RelationshipDef* def = FindRelationship(rel_name);
   if (def == nullptr) return {};
   std::vector<Oid> out;
@@ -886,6 +903,7 @@ std::vector<Oid> Database::LinkExtent(const std::string& rel_name,
 }
 
 const std::vector<Oid>& Database::LinksInContext(Oid context) const {
+  AssertSharedAccess();
   static const std::vector<Oid> kEmpty;
   auto it = context_index_.find(context);
   return it == context_index_.end() ? kEmpty : it->second;
@@ -896,6 +914,7 @@ const std::vector<Oid>& Database::LinksInContext(Oid context) const {
 std::vector<Oid> Database::IncidentLinks(Oid oid, Direction dir,
                                          const RelationshipDef* def,
                                          Oid context) const {
+  AssertSharedAccess();
   const Object* obj = GetObject(oid);
   if (obj == nullptr) return {};
   std::vector<Oid> out;
@@ -920,6 +939,7 @@ std::vector<Oid> Database::IncidentLinks(Oid oid, Direction dir,
 
 std::vector<Oid> Database::Neighbors(Oid oid, const std::string& rel_name,
                                      Direction dir, Oid context) const {
+  AssertSharedAccess();
   const RelationshipDef* def = FindRelationship(rel_name);
   if (def == nullptr) return {};
   std::vector<Oid> out;
@@ -935,6 +955,7 @@ Result<std::vector<Oid>> Database::Traverse(Oid start,
                                             std::uint32_t min_depth,
                                             std::uint32_t max_depth,
                                             Direction dir, Oid context) const {
+  AssertSharedAccess();
   const RelationshipDef* def = FindRelationship(rel_name);
   if (def == nullptr) {
     return Status::NotFound("unknown relationship '" + rel_name + "'");
@@ -966,6 +987,7 @@ Result<std::vector<Oid>> Database::Traverse(Oid start,
 // ---------------------------------------------------------------- synonyms
 
 Status Database::DeclareSynonym(Oid a, Oid b) {
+  AssertExclusiveAccess();
   if (GetObject(a) == nullptr || GetObject(b) == nullptr) {
     return Status::NotFound("synonym declaration requires two live objects");
   }
@@ -1002,6 +1024,7 @@ Oid Database::CanonicalOf(Oid oid) const {
 }
 
 std::vector<Oid> Database::SynonymSet(Oid oid) const {
+  AssertSharedAccess();
   Oid root = CanonicalOf(oid);
   std::vector<Oid> out;
   if (GetObject(root) != nullptr) out.push_back(root);
@@ -1019,6 +1042,7 @@ std::vector<Oid> Database::SynonymSet(Oid oid) const {
 
 Status Database::RestoreObjectRaw(Oid oid, const std::string& class_name,
                                   std::vector<AttrInit> attrs) {
+  AssertExclusiveAccess();
   if (in_transaction_) {
     return Status::FailedPrecondition(
         "raw restore is not valid inside a transaction");
@@ -1046,6 +1070,7 @@ Status Database::RestoreObjectRaw(Oid oid, const std::string& class_name,
 Status Database::RestoreLinkRaw(Oid oid, const std::string& rel_name,
                                 Oid source, Oid target, Oid context,
                                 std::vector<AttrInit> attrs) {
+  AssertExclusiveAccess();
   if (in_transaction_) {
     return Status::FailedPrecondition(
         "raw restore is not valid inside a transaction");
@@ -1079,6 +1104,7 @@ Status Database::RestoreLinkRaw(Oid oid, const std::string& rel_name,
 }
 
 Status Database::RestoreSynonymRaw(Oid child, Oid parent) {
+  AssertExclusiveAccess();
   if (child == parent) return Status::Ok();
   synonym_parent_[child] = parent;
   return Status::Ok();
@@ -1091,6 +1117,7 @@ void Database::EnsureNextOidAbove(Oid oid) {
 // ------------------------------------------------------------ transactions
 
 Status Database::Begin() {
+  AssertExclusiveAccess();
   if (in_transaction_) {
     return Status::FailedPrecondition("nested transactions are unsupported");
   }
@@ -1102,6 +1129,7 @@ Status Database::Begin() {
 }
 
 Status Database::Commit() {
+  AssertExclusiveAccess();
   if (!in_transaction_) {
     return Status::FailedPrecondition("no transaction in progress");
   }
@@ -1122,6 +1150,7 @@ Status Database::Commit() {
 }
 
 Status Database::Abort() {
+  AssertExclusiveAccess();
   if (!in_transaction_) {
     return Status::FailedPrecondition("no transaction in progress");
   }

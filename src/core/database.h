@@ -1,9 +1,15 @@
 #ifndef PROMETHEUS_CORE_DATABASE_H_
 #define PROMETHEUS_CORE_DATABASE_H_
 
+#include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,8 +38,14 @@ using AttrInit = std::pair<std::string, Value>;
 /// mutation on an `EventBus` (thesis chapter 4 model; chapter 6
 /// architecture: event layer + object layer).
 ///
-/// Thread-compatibility: a `Database` confines itself to one thread, like a
-/// session in the thesis' prototype.
+/// Thread model: a `Database` used from one thread (the embedded mode, and
+/// the thesis' single-user prototype) needs no locking at all. Concurrent
+/// use goes through the **epoch guard** — `ReadGuard` / `WriteGuard` below:
+/// any number of readers (const methods, `QueryEngine::Execute`) may hold
+/// the guard shared while writers (every mutation, transaction, or
+/// journal-observed change) hold it exclusive. The service layer
+/// (`src/server/`) is the canonical guard user. Debug builds assert the
+/// protocol on every extent/instance access.
 class Database {
  public:
   Database();
@@ -41,6 +53,84 @@ class Database {
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // -------------------------------------------- concurrency (epoch guard)
+
+  /// RAII shared (read) lock over the database. Many may be held at once;
+  /// none while a `WriteGuard` is live. While held, every const method is
+  /// safe to call from this thread and the observed state cannot change —
+  /// the epoch seen at acquisition stays the epoch until release.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const Database& db) : db_(db), lock_(db.guard_) {
+      db_.readers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ReadGuard() { db_.readers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    /// The guarded database's epoch (stable for the guard's lifetime).
+    std::uint64_t epoch() const { return db_.epoch(); }
+
+   private:
+    const Database& db_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  /// RAII exclusive (write) lock. Completing an exclusive section bumps
+  /// the epoch, so readers can detect whether any writer ran between two
+  /// of their own critical sections.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(Database& db) : db_(db), lock_(db.guard_) {
+      db_.writer_thread_.store(std::this_thread::get_id(),
+                               std::memory_order_relaxed);
+      db_.writer_active_.store(true, std::memory_order_release);
+    }
+    ~WriteGuard() {
+      db_.writer_active_.store(false, std::memory_order_release);
+      db_.epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    Database& db_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  /// Monotonic count of completed exclusive (write) sections. A reader
+  /// observing the same epoch before and after a computation is guaranteed
+  /// that no guarded mutation interleaved.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Debug checks of the locking protocol; no-ops in NDEBUG builds.
+  /// Shared access is legal unless a *foreign* thread holds the write
+  /// guard; exclusive access is legal when this thread holds the write
+  /// guard or nobody holds the guard at all (single-threaded mode).
+  void AssertSharedAccess() const {
+#ifndef NDEBUG
+    assert(!writer_active_.load(std::memory_order_acquire) ||
+           writer_thread_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id());
+#endif
+  }
+  void AssertExclusiveAccess() const {
+#ifndef NDEBUG
+    if (writer_active_.load(std::memory_order_acquire)) {
+      assert(writer_thread_.load(std::memory_order_relaxed) ==
+                 std::this_thread::get_id() &&
+             "mutation while another thread holds the write guard");
+    } else {
+      assert(readers_.load(std::memory_order_acquire) == 0 &&
+             "mutation while readers hold the epoch guard shared");
+    }
+#endif
+  }
 
   // ---------------------------------------------------------------- schema
 
@@ -291,6 +381,15 @@ class Database {
 
   // Rollback helpers used by Abort().
   void UndoAll();
+
+  // Epoch guard (see ReadGuard/WriteGuard). `guard_` is mutable so const
+  // readers can take the shared side; the counters only exist to let the
+  // debug assertions and `epoch()` observe the guard's state.
+  mutable std::shared_mutex guard_;
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<int> readers_{0};
+  std::atomic<bool> writer_active_{false};
+  std::atomic<std::thread::id> writer_thread_{};
 
   EventBus bus_;
   bool events_enabled_ = true;

@@ -1,6 +1,7 @@
 #include "query/query_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <unordered_set>
 
@@ -893,6 +894,13 @@ Result<std::string> QueryEngine::Explain(const std::string& query) const {
 
 Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
                                        const Environment& outer) const {
+  // Const-execution contract: this path never mutates the database, and —
+  // when the caller holds the epoch guard as it must under concurrency —
+  // no writer can interleave, so the epoch is stable across the run. An
+  // epoch change here means a racing writer (a skipped ReadGuard).
+#ifndef NDEBUG
+  const std::uint64_t epoch_at_entry = db_->epoch();
+#endif
   if (query.from.empty()) {
     return Status::ParseError("query requires at least one range");
   }
@@ -1119,6 +1127,9 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
       break;
     }
   }
+  assert(db_->epoch() == epoch_at_entry &&
+         "database mutated during const query execution — caller must hold "
+         "Database::ReadGuard");
   return result;
 }
 

@@ -36,6 +36,17 @@ struct ResultSet {
 /// graph traversal (`traverse`, `children`, `parents`, `leaves`), context
 /// restriction and subqueries. When an `IndexManager` is supplied, equality
 /// conjuncts over indexed attributes replace extent scans (6.1.5.2/3).
+///
+/// Const discipline / concurrency: the const execution paths (`Execute`,
+/// `Eval`, `Explain`) perform **no** `Database` mutation — results copy
+/// attribute values and hold object references as bare Oids, never aliasing
+/// engine-internal state. This is what makes the service layer's
+/// snapshot-per-request reads sound: any number of engines may execute
+/// concurrently while each caller holds a `Database::ReadGuard`. Debug
+/// builds enforce the contract twice over — the database asserts shared
+/// access on every extent/instance touch, and `Execute` verifies the
+/// database epoch is unchanged across the run (a changed epoch means a
+/// writer interleaved, i.e. the caller skipped the guard).
 class QueryEngine {
  public:
   /// `db` (and `indexes`, when given) must outlive the engine.

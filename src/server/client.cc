@@ -1,0 +1,75 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace prometheus::server {
+
+Client::Client(Server* server)
+    : server_(server), session_(server->Connect()) {}
+
+Client::~Client() { server_->sessions().Close(session_->id()); }
+
+Status Client::TransportStatus(const Response& resp) {
+  // For executed requests the database-level status is authoritative; for
+  // rejected / shutdown requests the server already phrased the transport
+  // failure as a Status.
+  return resp.status;
+}
+
+Result<pool::ResultSet> Client::Query(const std::string& pool_text) {
+  Response resp = Call(Request::Query(pool_text));
+  if (!resp.ok()) return TransportStatus(resp);
+  return std::move(resp.result);
+}
+
+Result<Oid> Client::CreateObject(std::string class_name,
+                                 std::vector<AttrInit> inits) {
+  Response resp =
+      Call(Request::CreateObject(std::move(class_name), std::move(inits)));
+  if (!resp.ok()) return TransportStatus(resp);
+  return resp.oid;
+}
+
+Status Client::SetAttribute(Oid oid, std::string attribute, Value value) {
+  return TransportStatus(
+      Call(Request::SetAttribute(oid, std::move(attribute), std::move(value))));
+}
+
+Status Client::DeleteObject(Oid oid) {
+  return TransportStatus(Call(Request::DeleteObject(oid)));
+}
+
+Result<Oid> Client::CreateLink(std::string rel_name, Oid source, Oid dest,
+                               Oid context, std::vector<AttrInit> inits) {
+  Response resp = Call(Request::CreateLink(std::move(rel_name), source, dest,
+                                           context, std::move(inits)));
+  if (!resp.ok()) return TransportStatus(resp);
+  return resp.oid;
+}
+
+Status Client::SetLinkAttribute(Oid oid, std::string attribute, Value value) {
+  return TransportStatus(Call(
+      Request::SetLinkAttribute(oid, std::move(attribute), std::move(value))));
+}
+
+Status Client::DeleteLink(Oid oid) {
+  return TransportStatus(Call(Request::DeleteLink(oid)));
+}
+
+Status Client::Mutate(std::function<Status(Database&)> fn) {
+  return TransportStatus(Call(Request::Custom(std::move(fn))));
+}
+
+Result<std::uint64_t> Client::Ping() {
+  Response resp = Call(Request::Ping());
+  if (!resp.ok()) return TransportStatus(resp);
+  return resp.epoch;
+}
+
+Response Client::Call(Request req) { return session_->Call(std::move(req)); }
+
+std::future<Response> Client::Submit(Request req) {
+  return session_->Submit(std::move(req));
+}
+
+}  // namespace prometheus::server

@@ -1,0 +1,69 @@
+#ifndef PROMETHEUS_SERVER_CLIENT_H_
+#define PROMETHEUS_SERVER_CLIENT_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/server.h"
+
+namespace prometheus::server {
+
+/// In-process client: the convenience face tests, examples and the load
+/// generator program against — and the exact surface a future wire
+/// protocol will serve remotely. Owns one session; the typed methods are
+/// blocking RPCs that fold the transport envelope back into the library's
+/// `Status`/`Result` vocabulary (a rejected or shutdown request surfaces
+/// as `kFailedPrecondition` with the transport detail in the message).
+///
+/// Thread-safe: one Client may be shared by several threads, or each
+/// thread can connect its own (each Client is one logical session).
+class Client {
+ public:
+  /// Connects a new session. `server` must outlive the client.
+  explicit Client(Server* server);
+
+  /// Closes the session.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Blocking typed RPCs.
+  Result<pool::ResultSet> Query(const std::string& pool_text);
+  Result<Oid> CreateObject(std::string class_name,
+                           std::vector<AttrInit> inits = {});
+  Status SetAttribute(Oid oid, std::string attribute, Value value);
+  Status DeleteObject(Oid oid);
+  Result<Oid> CreateLink(std::string rel_name, Oid source, Oid dest,
+                         Oid context = kNullOid,
+                         std::vector<AttrInit> inits = {});
+  Status SetLinkAttribute(Oid oid, std::string attribute, Value value);
+  Status DeleteLink(Oid oid);
+
+  /// Multi-step write executed atomically on the server (exclusive lock).
+  Status Mutate(std::function<Status(Database&)> fn);
+
+  /// Liveness probe; returns the database epoch at execution.
+  Result<std::uint64_t> Ping();
+
+  // Envelope-level access for callers that need the full Response.
+  Response Call(Request req);
+  std::future<Response> Submit(Request req);
+
+  Session& session() { return *session_; }
+
+ private:
+  /// Folds a non-executed transport outcome into a Status.
+  static Status TransportStatus(const Response& resp);
+
+  Server* server_;
+  std::shared_ptr<Session> session_;
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_CLIENT_H_

@@ -1,0 +1,71 @@
+#include "server/executor.h"
+
+#include <utility>
+
+namespace prometheus::server {
+
+ThreadPoolExecutor::ThreadPoolExecutor(const Options& options)
+    : capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  const int n = options.threads < 1 ? 1 : options.threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() { Shutdown(/*drain=*/true); }
+
+bool ThreadPoolExecutor::Submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ || queue_.size() >= capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPoolExecutor::Shutdown(bool drain) {
+  // Serialise whole shutdowns: two concurrent callers must not both join
+  // the same workers.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::deque<Job> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;  // already shut down
+    shutting_down_ = true;
+    if (!drain) discarded.swap(queue_);
+  }
+  not_empty_.notify_all();
+  // Discarded jobs still get their exactly-once completion call.
+  for (Job& job : discarded) job(/*run=*/false);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPoolExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPoolExecutor::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job(/*run=*/true);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace prometheus::server

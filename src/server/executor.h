@@ -1,0 +1,88 @@
+#ifndef PROMETHEUS_SERVER_EXECUTOR_H_
+#define PROMETHEUS_SERVER_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prometheus::server {
+
+/// Fixed-size worker pool with a bounded queue — the admission half of the
+/// service layer. Three properties the server builds on:
+///
+///  1. **Backpressure, not buffering**: `Submit` never blocks and never
+///     grows the queue past its capacity. A full queue refuses the job, and
+///     the caller surfaces that to the client (`ResponseCode::kRejected`) —
+///     overload sheds load at the edge instead of ballooning latency.
+///  2. **Exactly-once completion**: every accepted job is invoked exactly
+///     once — with `run=true` by a worker, or with `run=false` when a
+///     non-draining shutdown discards the queue. A job owns its completion
+///     signal (a promise) and can therefore always resolve it.
+///  3. **Graceful drain**: `Shutdown(drain=true)` stops admission, runs the
+///     queue dry, and joins the workers.
+class ThreadPoolExecutor {
+ public:
+  /// A unit of work. `run=false` means the executor is discarding the job
+  /// (non-draining shutdown); the job must still resolve its completion.
+  using Job = std::function<void(bool run)>;
+
+  struct Options {
+    int threads = 4;
+    std::size_t queue_capacity = 256;
+  };
+
+  explicit ThreadPoolExecutor(const Options& options);
+
+  /// Drains and joins (Shutdown(true)) if not already shut down.
+  ~ThreadPoolExecutor();
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  /// Enqueues a job. Returns false — without blocking and without invoking
+  /// the job — when the queue is at capacity or the executor is shutting
+  /// down.
+  bool Submit(Job job);
+
+  /// Stops accepting work, disposes of the queue (running it with `drain`,
+  /// discarding it otherwise) and joins the workers. Idempotent.
+  void Shutdown(bool drain = true);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Instantaneous queue depth (racy by nature; for stats only).
+  std::size_t queue_depth() const;
+
+  /// Jobs run to completion (run=true invocations).
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Submissions refused by backpressure or shutdown.
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  const std::size_t capacity_;
+  std::mutex shutdown_mu_;  ///< serialises Shutdown callers (worker joins)
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  ///< signalled on enqueue and shutdown
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_EXECUTOR_H_

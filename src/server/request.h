@@ -1,0 +1,109 @@
+#ifndef PROMETHEUS_SERVER_REQUEST_H_
+#define PROMETHEUS_SERVER_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "core/database.h"
+#include "query/query_engine.h"
+
+namespace prometheus::server {
+
+/// Server-assigned, strictly increasing id of an admitted request.
+using RequestId = std::uint64_t;
+
+/// Id of a logical client session (see session.h).
+using SessionId = std::uint64_t;
+
+/// What a request asks the database to do.
+enum class RequestKind : std::uint8_t {
+  kPing,      ///< liveness probe; touches nothing, reports the epoch
+  kQuery,     ///< POOL text, evaluated under a shared (read) lock
+  kMutation,  ///< structured mutation, applied under an exclusive lock
+};
+
+/// A structured mutation command — the wire-friendly subset of the
+/// `Database` API a remote protocol can carry verbatim. `kCustom` wraps a
+/// host-side closure for multi-step writes the envelope does not model yet
+/// (tests, examples and the load generator use it for transactional
+/// updates); a future wire protocol simply won't offer it.
+struct MutationOp {
+  enum class Kind : std::uint8_t {
+    kCreateObject,
+    kSetAttribute,
+    kDeleteObject,
+    kCreateLink,
+    kSetLinkAttribute,
+    kDeleteLink,
+    kCustom,
+  };
+
+  Kind kind = Kind::kCustom;
+  std::string type_name;        ///< class / relationship name (kCreate*)
+  Oid target = kNullOid;        ///< the object / link being touched
+  Oid source = kNullOid;        ///< link source (kCreateLink)
+  Oid dest = kNullOid;          ///< link target (kCreateLink)
+  Oid context = kNullOid;       ///< classification context (kCreateLink)
+  std::string attribute;        ///< attribute name (kSet*)
+  Value value;                  ///< new attribute value (kSet*)
+  std::vector<AttrInit> inits;  ///< initial attributes (kCreate*)
+  /// kCustom body. Runs on a worker under the exclusive lock; its status
+  /// becomes the response status. May open transactions.
+  std::function<Status(Database&)> custom;
+};
+
+/// The uniform request envelope every session submits.
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  std::string query;    ///< POOL text (kQuery)
+  MutationOp mutation;  ///< (kMutation)
+
+  // Builders — the only intended way to make a Request.
+  static Request Ping() { return {}; }
+  static Request Query(std::string pool_text);
+  static Request CreateObject(std::string class_name,
+                              std::vector<AttrInit> inits = {});
+  static Request SetAttribute(Oid oid, std::string attribute, Value value);
+  static Request DeleteObject(Oid oid);
+  static Request CreateLink(std::string rel_name, Oid source, Oid dest,
+                            Oid context = kNullOid,
+                            std::vector<AttrInit> inits = {});
+  static Request SetLinkAttribute(Oid oid, std::string attribute, Value value);
+  static Request DeleteLink(Oid oid);
+  static Request Custom(std::function<Status(Database&)> fn);
+};
+
+/// Transport-level disposition of a request — distinct from the
+/// database-level `Status` of executing it. Only `kOk` responses carry an
+/// execution outcome; the other codes mean the request never ran.
+enum class ResponseCode : std::uint8_t {
+  kOk,        ///< executed; `status` holds the database outcome
+  kRejected,  ///< backpressure: the work queue was full, nothing executed
+  kShutdown,  ///< the server stopped before the request could run
+};
+
+/// The uniform response envelope. Every *accepted* request produces exactly
+/// one Response; rejected and shutdown-dropped requests produce exactly one
+/// too (with the corresponding code), so a client can always account for
+/// every submission.
+struct Response {
+  RequestId id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  Status status;            ///< database-level outcome (kOk responses)
+  pool::ResultSet result;   ///< rows (kQuery)
+  Oid oid = kNullOid;       ///< created oid (kCreateObject / kCreateLink)
+  std::uint64_t epoch = 0;  ///< database epoch the request executed at
+
+  /// Accepted, executed, and the database reported success.
+  bool ok() const { return code == ResponseCode::kOk && status.ok(); }
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_REQUEST_H_

@@ -1,0 +1,176 @@
+#include "server/server.h"
+
+#include <utility>
+
+namespace prometheus::server {
+
+Server::Server(Database* db, Options options)
+    : db_(db),
+      engine_(db, options.indexes),
+      executor_(ThreadPoolExecutor::Options{options.worker_threads,
+                                            options.queue_capacity}),
+      sessions_(this) {}
+
+Server::~Server() { Shutdown(/*drain=*/true); }
+
+void Server::Shutdown(bool drain) {
+  // Stop admission first so sessions racing Shutdown resolve as kShutdown
+  // or kRejected, never hang.
+  stopped_.store(true, std::memory_order_release);
+  sessions_.CloseAll();
+  executor_.Shutdown(drain);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = executor_.rejected();
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.mutations = mutations_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::future<Response> Server::Enqueue(Request req) {
+  const RequestId id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+
+  auto respond_unrun = [promise, id](ResponseCode code, Status status) {
+    Response resp;
+    resp.id = id;
+    resp.code = code;
+    resp.status = std::move(status);
+    promise->set_value(std::move(resp));
+  };
+
+  if (stopped_.load(std::memory_order_acquire)) {
+    respond_unrun(ResponseCode::kShutdown,
+                  Status::FailedPrecondition("server is shut down"));
+    return future;
+  }
+
+  // The request moves into the job via shared_ptr: std::function requires
+  // copyable targets, and a Request (its closure, its inits) should not be
+  // deep-copied per hop.
+  auto boxed = std::make_shared<Request>(std::move(req));
+  ThreadPoolExecutor::Job job = [this, id, promise, boxed](bool run) {
+    if (!run) {
+      Response resp;
+      resp.id = id;
+      resp.code = ResponseCode::kShutdown;
+      resp.status =
+          Status::FailedPrecondition("server shut down before execution");
+      promise->set_value(std::move(resp));
+      return;
+    }
+    promise->set_value(Execute(id, *boxed));
+  };
+
+  if (!executor_.Submit(std::move(job))) {
+    respond_unrun(
+        ResponseCode::kRejected,
+        Status::FailedPrecondition("work queue full (backpressure)"));
+    return future;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+Response Server::Execute(RequestId id, const Request& req) {
+  Response resp;
+  switch (req.kind) {
+    case RequestKind::kPing:
+      resp.id = id;
+      resp.epoch = db_->epoch();
+      break;
+    case RequestKind::kQuery:
+      resp = ExecuteQuery(id, req);
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestKind::kMutation:
+      resp = ExecuteMutation(id, req);
+      mutations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (!resp.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
+Response Server::ExecuteQuery(RequestId id, const Request& req) {
+  Response resp;
+  resp.id = id;
+  // Shared lock: concurrent with other queries, excluded from mutations.
+  // The guard pins the epoch, so the whole evaluation sees one snapshot.
+  Database::ReadGuard guard(*db_);
+  resp.epoch = guard.epoch();
+  Result<pool::ResultSet> result = engine_.Execute(req.query);
+  if (result.ok()) {
+    resp.result = std::move(result).value();
+  } else {
+    resp.status = result.status();
+  }
+  return resp;
+}
+
+Response Server::ExecuteMutation(RequestId id, const Request& req) {
+  Response resp;
+  resp.id = id;
+  Database::WriteGuard guard(*db_);
+  resp.epoch = db_->epoch();
+  const MutationOp& op = req.mutation;
+  switch (op.kind) {
+    case MutationOp::Kind::kCreateObject: {
+      Result<Oid> r = db_->CreateObject(op.type_name, op.inits);
+      if (r.ok()) {
+        resp.oid = r.value();
+      } else {
+        resp.status = r.status();
+      }
+      break;
+    }
+    case MutationOp::Kind::kSetAttribute:
+      resp.status = db_->SetAttribute(op.target, op.attribute, op.value);
+      break;
+    case MutationOp::Kind::kDeleteObject:
+      resp.status = db_->DeleteObject(op.target);
+      break;
+    case MutationOp::Kind::kCreateLink: {
+      Result<Oid> r = db_->CreateLink(op.type_name, op.source, op.dest,
+                                      op.context, op.inits);
+      if (r.ok()) {
+        resp.oid = r.value();
+      } else {
+        resp.status = r.status();
+      }
+      break;
+    }
+    case MutationOp::Kind::kSetLinkAttribute:
+      resp.status = db_->SetLinkAttribute(op.target, op.attribute, op.value);
+      break;
+    case MutationOp::Kind::kDeleteLink:
+      resp.status = db_->DeleteLink(op.target);
+      break;
+    case MutationOp::Kind::kCustom:
+      if (op.custom == nullptr) {
+        resp.status =
+            Status::InvalidArgument("custom mutation without a body");
+      } else {
+        resp.status = op.custom(*db_);
+        // A transaction must not outlive its request: the write guard is
+        // released when this response is produced, and a dangling open
+        // transaction would poison every later writer.
+        if (db_->in_transaction()) {
+          (void)db_->Abort();
+          if (resp.status.ok()) {
+            resp.status = Status::FailedPrecondition(
+                "custom mutation left a transaction open (rolled back)");
+          }
+        }
+      }
+      break;
+  }
+  return resp;
+}
+
+}  // namespace prometheus::server

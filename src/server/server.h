@@ -1,0 +1,112 @@
+#ifndef PROMETHEUS_SERVER_SERVER_H_
+#define PROMETHEUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "core/database.h"
+#include "index/index_manager.h"
+#include "query/query_engine.h"
+#include "server/executor.h"
+#include "server/request.h"
+#include "server/session.h"
+
+namespace prometheus::server {
+
+/// The query-serving subsystem: turns an embedded `Database` into a
+/// concurrently usable service (the stand-in for the thesis' omitted
+/// Prometheus service layer, §6.1.7).
+///
+/// Concurrency protocol (see `Database`'s epoch guard):
+///  - **kQuery** requests execute on a worker holding `Database::ReadGuard`
+///    — any number run in parallel, and each sees an unchanging snapshot
+///    for its whole evaluation, preserving the paper's single-user query
+///    semantics per request.
+///  - **kMutation** requests execute under `Database::WriteGuard` —
+///    exclusive, so readers never observe a half-applied mutation and the
+///    journal (when a `DurableStore` wraps the database) observes a serial
+///    mutation history.
+///
+/// Admission: a bounded work queue with reject-on-full backpressure
+/// (`ResponseCode::kRejected`) and graceful drain-on-shutdown. Every
+/// admitted request resolves its future exactly once.
+class Server {
+ public:
+  struct Options {
+    /// Worker threads executing requests.
+    int worker_threads = 4;
+    /// Bounded queue depth; submissions beyond it are rejected.
+    std::size_t queue_capacity = 256;
+    /// Optional index layer consulted by query execution. Must outlive the
+    /// server. Index maintenance happens via the database's event bus on
+    /// the mutating worker, i.e. under the write guard.
+    IndexManager* indexes = nullptr;
+  };
+
+  /// `db` must outlive the server. While the server runs, all access to
+  /// `db` must flow through sessions — direct reads or writes from other
+  /// threads race the workers (the epoch guard's debug assertions catch
+  /// exactly this). Single-threaded setup before construction and after
+  /// `Shutdown` needs no locking.
+  Server(Database* db, Options options);
+  explicit Server(Database* db) : Server(db, Options{}) {}
+
+  /// Shuts down (draining) if the caller did not.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens a logical client session (shorthand for `sessions().Open()`).
+  std::shared_ptr<Session> Connect() { return sessions_.Open(); }
+
+  SessionManager& sessions() { return sessions_; }
+
+  /// Stops admission, closes every session and joins the workers. With
+  /// `drain` queued requests execute first; without, each queued request
+  /// resolves with `ResponseCode::kShutdown`. Idempotent.
+  void Shutdown(bool drain = true);
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< admitted to the queue
+    std::uint64_t rejected = 0;   ///< refused by backpressure / shutdown
+    std::uint64_t queries = 0;    ///< kQuery requests executed
+    std::uint64_t mutations = 0;  ///< kMutation requests executed
+    std::uint64_t errors = 0;     ///< executed with a non-OK status
+  };
+  Stats stats() const;
+
+  Database& db() { return *db_; }
+  int worker_threads() const { return executor_.threads(); }
+
+ private:
+  friend class Session;
+
+  /// Session-side entry: assigns a RequestId, enqueues, and guarantees the
+  /// returned future resolves with exactly one Response on every path.
+  std::future<Response> Enqueue(Request req);
+
+  /// Runs on a worker thread.
+  Response Execute(RequestId id, const Request& req);
+  Response ExecuteQuery(RequestId id, const Request& req);
+  Response ExecuteMutation(RequestId id, const Request& req);
+
+  Database* db_;
+  pool::QueryEngine engine_;
+  ThreadPoolExecutor executor_;
+  SessionManager sessions_;
+  std::atomic<RequestId> next_request_id_{1};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> mutations_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_SERVER_H_

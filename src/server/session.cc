@@ -1,0 +1,61 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "server/server.h"
+
+namespace prometheus::server {
+
+std::future<Response> Session::Submit(Request req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (closed_.load(std::memory_order_acquire)) {
+    std::promise<Response> promise;
+    Response resp;
+    resp.code = ResponseCode::kShutdown;
+    resp.status = Status::FailedPrecondition("session is closed");
+    promise.set_value(std::move(resp));
+    return promise.get_future();
+  }
+  return server_->Enqueue(std::move(req));
+}
+
+Response Session::Call(Request req) { return Submit(std::move(req)).get(); }
+
+std::shared_ptr<Session> SessionManager::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionId id = next_id_++;
+  auto session = std::shared_ptr<Session>(new Session(server_, id));
+  sessions_.emplace(id, session);
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+void SessionManager::Close(SessionId id) {
+  std::shared_ptr<Session> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+  }
+  victim->closed_.store(true, std::memory_order_release);
+}
+
+void SessionManager::CloseAll() {
+  std::unordered_map<SessionId, std::shared_ptr<Session>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims.swap(sessions_);
+  }
+  for (auto& [id, session] : victims) {
+    session->closed_.store(true, std::memory_order_release);
+  }
+}
+
+std::size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace prometheus::server

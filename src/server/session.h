@@ -1,0 +1,87 @@
+#ifndef PROMETHEUS_SERVER_SESSION_H_
+#define PROMETHEUS_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "server/request.h"
+
+namespace prometheus::server {
+
+class Server;
+
+/// A logical client connection admitted by the `SessionManager` — the role
+/// the thesis' omitted service front-end (§6.1.7) gave each HTTP user.
+/// Sessions are cheap: no dedicated thread, no database state; submitted
+/// requests run on the server's shared worker pool. A session is
+/// thread-safe — several client threads may share one (they appear as one
+/// logical client to the stats).
+class Session {
+ public:
+  SessionId id() const { return id_; }
+
+  /// Submits a request. The returned future *always* resolves with exactly
+  /// one Response: executed, rejected (backpressure) or shutdown.
+  std::future<Response> Submit(Request req);
+
+  /// Blocking convenience: Submit + wait.
+  Response Call(Request req);
+
+  /// Requests submitted through this session (accepted or not).
+  std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the session was closed; further submissions are refused
+  /// with `ResponseCode::kShutdown`.
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  friend class SessionManager;
+
+  Session(Server* server, SessionId id) : server_(server), id_(id) {}
+
+  Server* server_;
+  const SessionId id_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// Registry of live sessions. Owns them jointly with the connected clients
+/// (shared_ptr), so closing a session never invalidates a response another
+/// thread is still waiting on.
+class SessionManager {
+ public:
+  explicit SessionManager(Server* server) : server_(server) {}
+
+  /// Admits a new logical client.
+  std::shared_ptr<Session> Open();
+
+  /// Closes a session: it refuses further submissions and leaves the
+  /// registry. In-flight requests complete normally. Unknown ids are
+  /// ignored (closing twice is fine).
+  void Close(SessionId id);
+
+  /// Marks every session closed (server shutdown).
+  void CloseAll();
+
+  std::size_t active() const;
+  std::uint64_t opened_total() const {
+    return opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server* server_;
+  mutable std::mutex mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  std::atomic<std::uint64_t> opened_{0};
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_SESSION_H_

@@ -318,7 +318,8 @@ Journal::Journal(Database* db, std::unique_ptr<WritableFile> file)
     : db_(db), file_(std::move(file)) {
   listener_ = db_->bus().Subscribe(
       [this](const Event& e) {
-        OnEvent(e);
+        std::lock_guard<std::mutex> lock(mu_);
+        OnEventLocked(e);
         // Surface the sticky write-error state through the event layer:
         // a mutation that cannot be made durable is vetoed/rolled back.
         return sticky_;
@@ -329,9 +330,12 @@ Journal::Journal(Database* db, std::unique_ptr<WritableFile> file)
 Journal::~Journal() { Close(); }
 
 Status Journal::Close() {
+  // Unsubscribe outside `mu_` so no event callback can be in flight (or
+  // arrive later) while we append the END record below.
+  db_->bus().Unsubscribe(listener_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return sticky_;
   closed_ = true;
-  db_->bus().Unsubscribe(listener_);
   if (sticky_.ok()) {
     Status st = file_->Append(FrameRecord(kEndRecord));
     if (st.ok()) st = file_->Sync();
@@ -343,6 +347,7 @@ Status Journal::Close() {
 }
 
 Status Journal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok() || closed_) return sticky_;
   Status st = file_->Flush();
   if (!st.ok()) sticky_ = st;
@@ -350,29 +355,32 @@ Status Journal::Flush() {
 }
 
 Status Journal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok() || closed_) return sticky_;
   Status st = file_->Sync();
   if (!st.ok()) sticky_ = st;
   return sticky_;
 }
 
-void Journal::Append(const std::string& payload) {
+void Journal::AppendLocked(const std::string& payload) {
   if (!sticky_.ok() || closed_) return;
   Status st = file_->Append(FrameRecord(payload));
   if (!st.ok()) sticky_ = st;
 }
 
-void Journal::Emit(std::string record) {
+void Journal::EmitLocked(std::string record) {
   if (record.empty()) return;
   if (in_transaction_) {
     pending_.push_back(std::move(record));
   } else {
-    Append(record);
-    if (sticky_.ok()) ++record_count_;
+    AppendLocked(record);
+    if (sticky_.ok()) {
+      record_count_.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
 }
 
-void Journal::OnEvent(const Event& event) {
+void Journal::OnEventLocked(const Event& event) {
   switch (event.kind) {
     case EventKind::kTransactionBegin:
       in_transaction_ = true;
@@ -383,12 +391,14 @@ void Journal::OnEvent(const Event& event) {
       if (!pending_.empty()) {
         // TXB/TXC bracketing makes the commit atomic on replay: a crash
         // anywhere inside this flush drops the whole transaction.
-        Append(kTxnBegin);
+        AppendLocked(kTxnBegin);
         for (std::string& record : pending_) {
-          Append(record);
-          if (sticky_.ok()) ++record_count_;
+          AppendLocked(record);
+          if (sticky_.ok()) {
+            record_count_.fetch_add(1, std::memory_order_acq_rel);
+          }
         }
-        Append(kTxnCommit);
+        AppendLocked(kTxnCommit);
         pending_.clear();
       }
       break;
@@ -399,36 +409,36 @@ void Journal::OnEvent(const Event& event) {
       pending_.clear();
       break;
     case EventKind::kAfterCreateObject:
-      Emit(ObjectRecord(*db_, event.subject));
+      EmitLocked(ObjectRecord(*db_, event.subject));
       break;
     case EventKind::kAfterDeleteObject:
-      Emit("DELO " + std::to_string(event.subject));
+      EmitLocked("DELO " + std::to_string(event.subject));
       break;
     case EventKind::kAfterSetAttribute: {
       std::ostringstream rec;
       rec << "SETA " << event.subject << " "
           << std::to_string(event.attribute.size()) << ":" << event.attribute
           << " " << EncodeValue(event.new_value);
-      Emit(rec.str());
+      EmitLocked(rec.str());
       break;
     }
     case EventKind::kAfterCreateLink:
-      Emit(LinkRecord(*db_, event.subject));
+      EmitLocked(LinkRecord(*db_, event.subject));
       break;
     case EventKind::kAfterDeleteLink:
-      Emit("DELL " + std::to_string(event.subject));
+      EmitLocked("DELL " + std::to_string(event.subject));
       break;
     case EventKind::kAfterSetLinkAttribute: {
       std::ostringstream rec;
       rec << "SETL " << event.subject << " "
           << std::to_string(event.attribute.size()) << ":" << event.attribute
           << " " << EncodeValue(event.new_value);
-      Emit(rec.str());
+      EmitLocked(rec.str());
       break;
     }
     case EventKind::kAfterDeclareSynonym:
       // `target` is the child root united under `source`.
-      Emit("SYN " + std::to_string(event.target) + " " +
+      EmitLocked("SYN " + std::to_string(event.target) + " " +
            std::to_string(event.source));
       break;
     default:

@@ -1,9 +1,11 @@
 #ifndef PROMETHEUS_STORAGE_JOURNAL_H_
 #define PROMETHEUS_STORAGE_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,13 @@ namespace prometheus::storage {
 /// vetoed with that status, so mutations that can no longer be made durable
 /// are rolled back by the database instead of silently diverging from the
 /// log. `Flush()`, `Sync()` and `status()` surface the sticky state.
+///
+/// Thread-safety: the append path is internally serialised — the event
+/// callback, `Flush`, `Sync`, `Close`, `status()` and `record_count()` may
+/// be called from any thread and frames are never torn or interleaved.
+/// (Mutations themselves are already serialised by the database's epoch
+/// guard; the journal's own mutex additionally lets a background thread
+/// flush/fsync while a writer appends.)
 class Journal {
  public:
   /// How `Open` treats an existing file at the journal path.
@@ -91,11 +100,16 @@ class Journal {
   Status Sync();
 
   /// The sticky error state: Ok until a write has failed.
-  Status status() const { return sticky_; }
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sticky_;
+  }
 
   /// Number of mutation records written so far (excluding the schema
   /// prologue and the TXB/TXC/END markers).
-  std::uint64_t record_count() const { return record_count_; }
+  std::uint64_t record_count() const {
+    return record_count_.load(std::memory_order_acquire);
+  }
 
   /// What `Replay` found. Torn or corrupt tails are *recovered from*, not
   /// fatal: the valid prefix is applied and the dropped remainder reported.
@@ -141,18 +155,23 @@ class Journal {
  private:
   Journal(Database* db, std::unique_ptr<WritableFile> file);
 
-  void OnEvent(const Event& event);
-  void Emit(std::string record);
+  /// The Locked* helpers assume `mu_` is held by the caller.
+  void OnEventLocked(const Event& event);
+  void EmitLocked(std::string record);
   /// Frames `payload` and appends it; latches the sticky status on failure.
-  void Append(const std::string& payload);
+  void AppendLocked(const std::string& payload);
 
   Database* db_;
   std::unique_ptr<WritableFile> file_;
   ListenerId listener_ = 0;
+
+  /// Serialises the append path (event callback, Flush/Sync/Close) so
+  /// frames are atomic with respect to concurrent flushers.
+  mutable std::mutex mu_;
   bool in_transaction_ = false;
   bool closed_ = false;
   std::vector<std::string> pending_;  ///< records of the open transaction
-  std::uint64_t record_count_ = 0;
+  std::atomic<std::uint64_t> record_count_{0};
   Status sticky_;
 };
 

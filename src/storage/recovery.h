@@ -32,7 +32,12 @@ namespace prometheus::storage {
 ///    and prunes generations that are no longer needed. A crash anywhere in
 ///    the protocol leaves the previous snapshot/journal pair authoritative.
 ///
-/// Not thread-safe; one store per directory.
+/// Thread model: one store per directory. The journal *append path* is
+/// thread-safe — mutations serialised by the database's epoch guard
+/// (`Database::WriteGuard`) append safely while any thread calls `Flush`,
+/// `Sync` or `status()` (the journal locks internally, so frames are never
+/// torn). `Open` and `Checkpoint` still require exclusive access: take the
+/// write guard (or quiesce the server) around a checkpoint.
 class DurableStore {
  public:
   struct Options {

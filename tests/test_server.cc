@@ -1,0 +1,515 @@
+// The service layer (src/server/): envelope round-trips, backpressure,
+// shutdown semantics, and the concurrency stress the subsystem exists for —
+// many reader threads and a writer over one database, with the epoch guard
+// keeping every read a consistent snapshot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/executor.h"
+#include "server/server.h"
+#include "storage/recovery.h"
+#include "taxonomy/synthetic.h"
+#include "taxonomy/taxonomy_db.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using prometheus::AttributeDef;
+using prometheus::Database;
+using prometheus::Oid;
+using prometheus::Status;
+using prometheus::Value;
+using prometheus::ValueType;
+using prometheus::server::Client;
+using prometheus::server::Request;
+using prometheus::server::Response;
+using prometheus::server::ResponseCode;
+using prometheus::server::Server;
+using prometheus::server::ThreadPoolExecutor;
+using prometheus::storage::DurableStore;
+using prometheus::taxonomy::Flora;
+using prometheus::taxonomy::FloraConfig;
+using prometheus::taxonomy::GenerateFlora;
+using prometheus::taxonomy::TaxonomyDatabase;
+
+AttributeDef Attr(std::string name, ValueType type) {
+  AttributeDef def;
+  def.name = std::move(name);
+  def.type = type;
+  return def;
+}
+
+/// A one-shot gate two threads rendezvous on.
+class Latch {
+ public:
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Fresh database with a tiny schema for the envelope tests.
+std::unique_ptr<Database> MakePartsDb() {
+  auto db = std::make_unique<Database>();
+  EXPECT_TRUE(db->DefineClass("Part", {},
+                              {Attr("name", ValueType::kString),
+                               Attr("a", ValueType::kInt),
+                               Attr("b", ValueType::kInt)})
+                  .ok());
+  return db;
+}
+
+// ------------------------------------------------------------- executor
+
+TEST(ThreadPoolExecutorTest, RunsEveryAcceptedJobExactlyOnce) {
+  ThreadPoolExecutor executor({/*threads=*/3, /*queue_capacity=*/128});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(executor.Submit([&](bool run) {
+      if (run) ran.fetch_add(1);
+    }));
+  }
+  executor.Shutdown(/*drain=*/true);
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(executor.executed(), 100u);
+  EXPECT_EQ(executor.rejected(), 0u);
+}
+
+TEST(ThreadPoolExecutorTest, RejectsWhenQueueFull) {
+  ThreadPoolExecutor executor({/*threads=*/1, /*queue_capacity=*/1});
+  Latch release;
+  Latch started;
+  ASSERT_TRUE(executor.Submit([&](bool) {
+    started.Release();
+    release.Wait();
+  }));
+  started.Wait();  // worker is busy; queue is empty
+  ASSERT_TRUE(executor.Submit([](bool) {}));  // fills the queue
+  // Queue full now: submissions bounce without blocking.
+  bool accepted = executor.Submit([](bool) {});
+  EXPECT_FALSE(accepted);
+  EXPECT_GE(executor.rejected(), 1u);
+  release.Release();
+  executor.Shutdown(/*drain=*/true);
+}
+
+TEST(ThreadPoolExecutorTest, DiscardingShutdownStillInvokesQueuedJobs) {
+  ThreadPoolExecutor executor({/*threads=*/1, /*queue_capacity=*/64});
+  Latch release;
+  Latch started;
+  ASSERT_TRUE(executor.Submit([&](bool) {
+    started.Release();
+    release.Wait();
+  }));
+  started.Wait();
+  std::atomic<int> run_true{0};
+  std::atomic<int> run_false{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(executor.Submit([&](bool run) {
+      (run ? run_true : run_false).fetch_add(1);
+    }));
+  }
+  // Unblock the in-flight job once the queued ones have been discarded
+  // (they are invoked with run=false before the workers are joined).
+  std::thread releaser([&] {
+    while (run_false.load() < 10) std::this_thread::yield();
+    release.Release();
+  });
+  executor.Shutdown(/*drain=*/false);
+  releaser.join();
+  EXPECT_EQ(run_false.load(), 10);
+  EXPECT_EQ(run_true.load(), 0);
+}
+
+// ------------------------------------------------------------- envelope
+
+TEST(ServerTest, PingReportsEpoch) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  Client client(&server);
+  auto epoch = client.Ping();
+  ASSERT_TRUE(epoch.ok());
+  // A mutation bumps the epoch the next ping observes.
+  ASSERT_TRUE(client.CreateObject("Part").ok());
+  auto epoch2 = client.Ping();
+  ASSERT_TRUE(epoch2.ok());
+  EXPECT_GT(epoch2.value(), epoch.value());
+}
+
+TEST(ServerTest, QueryAndMutationRoundTrip) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  Client client(&server);
+
+  auto oid = client.CreateObject(
+      "Part", {{"name", Value::String("gear")}, {"a", Value::Int(1)}});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(client.SetAttribute(oid.value(), "a", Value::Int(7)).ok());
+
+  auto rows = client.Query("select p.name, p.a from Part p");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().rows.size(), 1u);
+  EXPECT_EQ(rows.value().rows[0][0].AsString(), "gear");
+  EXPECT_EQ(rows.value().rows[0][1].AsInt(), 7);
+
+  ASSERT_TRUE(client.DeleteObject(oid.value()).ok());
+  auto empty = client.Query("select p from Part p");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().rows.empty());
+}
+
+TEST(ServerTest, ErrorsTravelBackAsStatuses) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  Client client(&server);
+
+  auto parse = client.Query("select from nowhere");
+  EXPECT_EQ(parse.status().code(), Status::Code::kParseError);
+
+  EXPECT_EQ(client.SetAttribute(999999, "a", Value::Int(1)).code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(client.CreateObject("NoSuchClass").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(ServerTest, CustomMutationMayUseTransactions) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  Client client(&server);
+
+  Status st = client.Mutate([](Database& db) {
+    PROMETHEUS_RETURN_IF_ERROR(db.Begin());
+    auto a = db.CreateObject("Part", {{"a", Value::Int(1)}});
+    if (!a.ok()) return a.status();
+    return db.Commit();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(db->object_count(), 1u);
+}
+
+TEST(ServerTest, DanglingTransactionIsRolledBack) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  Client client(&server);
+
+  Status st = client.Mutate([](Database& db) {
+    PROMETHEUS_RETURN_IF_ERROR(db.Begin());
+    return db.CreateObject("Part").status();  // forgets to commit
+  });
+  EXPECT_EQ(st.code(), Status::Code::kFailedPrecondition);
+  EXPECT_FALSE(db->in_transaction());
+  EXPECT_EQ(db->object_count(), 0u);  // rolled back
+}
+
+// ---------------------------------------------- backpressure & shutdown
+
+TEST(ServerTest, BackpressureRejectsWhenQueueFull) {
+  auto db = MakePartsDb();
+  Server::Options options;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  Server server(db.get(), options);
+  auto session = server.Connect();
+
+  Latch release;
+  Latch started;
+  std::future<Response> blocker =
+      session->Submit(Request::Custom([&](Database&) {
+        started.Release();
+        release.Wait();
+        return Status::Ok();
+      }));
+  started.Wait();
+
+  std::future<Response> queued = session->Submit(Request::Query(
+      "select p from Part p"));  // occupies the single queue slot
+
+  // Everything beyond the queue bounces immediately with kRejected.
+  std::vector<std::future<Response>> bounced;
+  for (int i = 0; i < 5; ++i) {
+    bounced.push_back(session->Submit(Request::Ping()));
+  }
+  int rejected = 0;
+  for (auto& f : bounced) {
+    Response r = f.get();
+    if (r.code == ResponseCode::kRejected) ++rejected;
+    EXPECT_EQ(r.status.code(), Status::Code::kFailedPrecondition);
+  }
+  EXPECT_EQ(rejected, 5);
+
+  release.Release();
+  EXPECT_EQ(blocker.get().code, ResponseCode::kOk);
+  EXPECT_EQ(queued.get().code, ResponseCode::kOk);
+  EXPECT_GE(server.stats().rejected, 5u);
+}
+
+TEST(ServerTest, DrainingShutdownCompletesQueuedRequests) {
+  auto db = MakePartsDb();
+  Server::Options options;
+  options.worker_threads = 1;
+  options.queue_capacity = 64;
+  Server server(db.get(), options);
+  auto session = server.Connect();
+
+  Latch release;
+  Latch started;
+  std::future<Response> blocker =
+      session->Submit(Request::Custom([&](Database&) {
+        started.Release();
+        release.Wait();
+        return Status::Ok();
+      }));
+  started.Wait();
+
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 10; ++i) {
+    queued.push_back(session->Submit(Request::CreateObject("Part")));
+  }
+  release.Release();
+  server.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(blocker.get().code, ResponseCode::kOk);
+  for (auto& f : queued) {
+    Response r = f.get();
+    EXPECT_EQ(r.code, ResponseCode::kOk);
+    EXPECT_TRUE(r.status.ok());
+  }
+  EXPECT_EQ(db->object_count(), 10u);
+
+  // After shutdown every submission resolves as kShutdown.
+  Response late = session->Submit(Request::Ping()).get();
+  EXPECT_EQ(late.code, ResponseCode::kShutdown);
+}
+
+TEST(ServerTest, DiscardingShutdownResolvesQueuedAsShutdown) {
+  auto db = MakePartsDb();
+  Server::Options options;
+  options.worker_threads = 1;
+  options.queue_capacity = 64;
+  Server server(db.get(), options);
+  auto session = server.Connect();
+
+  Latch release;
+  Latch started;
+  std::future<Response> blocker =
+      session->Submit(Request::Custom([&](Database&) {
+        started.Release();
+        release.Wait();
+        return Status::Ok();
+      }));
+  started.Wait();
+
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 10; ++i) {
+    queued.push_back(session->Submit(Request::CreateObject("Part")));
+  }
+  // The queued requests resolve (kShutdown) during the discard phase,
+  // before workers are joined; only then is the in-flight one released.
+  std::thread releaser([&] {
+    for (auto& f : queued) f.wait();
+    release.Release();
+  });
+  server.Shutdown(/*drain=*/false);
+  releaser.join();
+
+  EXPECT_EQ(blocker.get().code, ResponseCode::kOk);  // in-flight completed
+  for (auto& f : queued) {
+    EXPECT_EQ(f.get().code, ResponseCode::kShutdown);
+  }
+  EXPECT_EQ(db->object_count(), 0u);  // none of the discarded ones ran
+}
+
+TEST(ServerTest, ClosedSessionRefusesSubmissions) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  auto session = server.Connect();
+  EXPECT_EQ(server.sessions().active(), 1u);
+  server.sessions().Close(session->id());
+  EXPECT_EQ(server.sessions().active(), 0u);
+  EXPECT_TRUE(session->closed());
+  Response r = session->Submit(Request::Ping()).get();
+  EXPECT_EQ(r.code, ResponseCode::kShutdown);
+  server.sessions().Close(session->id());  // double close is fine
+}
+
+TEST(ServerTest, SessionsAreIndependentClients) {
+  auto db = MakePartsDb();
+  Server server(db.get());
+  auto a = server.Connect();
+  auto b = server.Connect();
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(server.sessions().active(), 2u);
+  EXPECT_EQ(server.sessions().opened_total(), 2u);
+  server.sessions().Close(a->id());
+  EXPECT_EQ(b->Call(Request::Ping()).code, ResponseCode::kOk);
+  EXPECT_EQ(server.sessions().active(), 1u);
+}
+
+// ------------------------------------------------------ concurrency stress
+
+// N reader threads + 1 writer thread over a seeded synthetic taxonomy.
+// The writer updates two attributes of one taxon to the same fresh value
+// inside a single mutation request; each reader query must observe the
+// pair consistent (no torn reads — the epoch guard makes every query a
+// snapshot). Every submission is accounted for: exactly one response each.
+TEST(ServerStressTest, ReadersNeverSeeTornWrites) {
+  TaxonomyDatabase tdb;
+  FloraConfig flora_config;
+  flora_config.families = 2;
+  flora_config.genera_per_family = 3;
+  flora_config.species_per_genus = 5;
+  flora_config.specimens_per_species = 2;
+  auto flora = GenerateFlora(&tdb, flora_config);
+  ASSERT_TRUE(flora.ok());
+  const Oid victim = flora.value().species_taxa.front();
+
+  Server::Options options;
+  options.worker_threads = 4;
+  options.queue_capacity = 4096;
+  Server server(&tdb.db(), options);
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 150;
+  constexpr int kWrites = 100;
+
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<int> torn{0};
+  std::atomic<int> transport_failures{0};
+
+  std::vector<std::thread> threads;
+  for (int reader = 0; reader < kReaders; ++reader) {
+    threads.emplace_back([&] {
+      Client client(&server);
+      std::uint64_t last_epoch = 0;
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        Response r = client.Call(Request::Query(
+            "select t.working_name, t.rank from CircumscriptionTaxon t "
+            "where t.working_name like 'stress-%'"));
+        responses.fetch_add(1);
+        if (r.code != ResponseCode::kOk || !r.status.ok()) {
+          transport_failures.fetch_add(1);
+          continue;
+        }
+        // Snapshot reads observe a non-decreasing epoch.
+        EXPECT_GE(r.epoch, last_epoch);
+        last_epoch = r.epoch;
+        for (const auto& row : r.result.rows) {
+          if (!(row[0].Equals(row[1]))) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Client client(&server);
+    for (int i = 0; i < kWrites; ++i) {
+      const std::string v = "stress-" + std::to_string(i);
+      Response r = client.Call(Request::Custom([victim, v](Database& db) {
+        PROMETHEUS_RETURN_IF_ERROR(
+            db.SetAttribute(victim, "working_name", Value::String(v)));
+        return db.SetAttribute(victim, "rank", Value::String(v));
+      }));
+      responses.fetch_add(1);
+      if (r.code != ResponseCode::kOk || !r.status.ok()) {
+        transport_failures.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  server.Shutdown();
+
+  const std::uint64_t submitted = kReaders * kReadsPerReader + kWrites;
+  EXPECT_EQ(responses.load(), submitted);  // exactly one response each
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(transport_failures.load(), 0);
+
+  Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, submitted);
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kReaders) *
+                               kReadsPerReader);
+  EXPECT_EQ(stats.mutations, static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(stats.rejected, 0u);
+  // The final write is visible after quiescence.
+  auto final_name = tdb.db().GetAttribute(victim, "working_name");
+  ASSERT_TRUE(final_name.ok());
+  EXPECT_EQ(final_name.value().AsString(),
+            "stress-" + std::to_string(kWrites - 1));
+}
+
+// Concurrent sessions mutating through a DurableStore-backed database:
+// the journal observes a serial history (writers hold the exclusive lock)
+// and the store recovers every accepted mutation after reopen.
+TEST(ServerStressTest, DurableStoreSurvivesConcurrentWriters) {
+  const std::string dir =
+      ::testing::TempDir() + "/prometheus_server_durable";
+  fs::remove_all(dir);
+
+  DurableStore::Options store_options;
+  store_options.bootstrap = [](Database* db) {
+    return db->DefineClass("Doc", {}, {Attr("title", ValueType::kString)})
+        .status();
+  };
+  auto store = DurableStore::Open(dir, store_options);
+  ASSERT_TRUE(store.ok());
+
+  constexpr int kWriterThreads = 4;
+  constexpr int kDocsPerWriter = 50;
+  {
+    Server::Options options;
+    options.worker_threads = 4;
+    options.queue_capacity = 4096;
+    Server server(&store.value()->db(), options);
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kWriterThreads; ++w) {
+      writers.emplace_back([&, w] {
+        Client client(&server);
+        for (int i = 0; i < kDocsPerWriter; ++i) {
+          auto oid = client.CreateObject(
+              "Doc", {{"title", Value::String("d" + std::to_string(w) + "-" +
+                                              std::to_string(i))}});
+          if (!oid.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : writers) t.join();
+    server.Shutdown();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_TRUE(store.value()->Sync().ok());
+  }
+  EXPECT_EQ(store.value()->db().object_count(),
+            static_cast<std::size_t>(kWriterThreads * kDocsPerWriter));
+  store.value().reset();  // close the journal
+
+  auto reopened = DurableStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->db().object_count(),
+            static_cast<std::size_t>(kWriterThreads * kDocsPerWriter));
+  fs::remove_all(dir);
+}
+
+}  // namespace
