@@ -1,0 +1,144 @@
+// E15 — instrumentation overhead. The observability hooks stay compiled
+// into every hot path (query engine, event bus, journal), so their cost
+// must be provably negligible. Three modes over identical work:
+//
+//   off       runtime kill switch engaged (each hook = one branch)
+//   on        metrics recording (counters + histograms, the default)
+//   profiled  metrics on + span tracing (PROFILE path; queries only)
+//
+// Workloads: OO7 T1 (read traversal through the object graph), OO7 T5
+// (update traversal — publishes events, exercising the event-bus and rule
+// hooks) and a POOL range query (the instrumented parse/plan/execute
+// pipeline). Reports median wall time per mode and the on-vs-off overhead
+// percentage; writes BENCH_obs.json.
+//
+// Usage: bench_obs [reps]   (default 7)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "oo7/oo7.h"
+#include "query/query_engine.h"
+
+namespace {
+
+using prometheus::bench::JsonWriter;
+using prometheus::bench::MedianMillis;
+using prometheus::obs::SetMetricsEnabled;
+using prometheus::oo7::Config;
+using prometheus::oo7::PrometheusOo7;
+using prometheus::pool::QueryEngine;
+
+constexpr char kQuery[] =
+    "select a.id from AtomicPart a "
+    "where a.build_date >= 500 and a.build_date <= 900";
+
+double OverheadPercent(double off_ms, double on_ms) {
+  return off_ms <= 0 ? 0 : (on_ms - off_ms) / off_ms * 100.0;
+}
+
+void PrintRow(const char* workload, double off_ms, double on_ms,
+              double profiled_ms) {
+  std::printf("  %-12s %9.3f  %9.3f  %+7.2f%%", workload, off_ms, on_ms,
+              OverheadPercent(off_ms, on_ms));
+  if (profiled_ms > 0) {
+    std::printf("  %9.3f  %+7.2f%%", profiled_ms,
+                OverheadPercent(off_ms, profiled_ms));
+  }
+  std::printf("\n");
+}
+
+void EmitWorkload(JsonWriter& json, const char* name, double off_ms,
+                  double on_ms, double profiled_ms) {
+  json.BeginObject();
+  json.Key("workload").String(name);
+  json.Key("off_ms").Number(off_ms);
+  json.Key("on_ms").Number(on_ms);
+  json.Key("overhead_on_pct").Number(OverheadPercent(off_ms, on_ms));
+  if (profiled_ms > 0) {
+    json.Key("profiled_ms").Number(profiled_ms);
+    json.Key("overhead_profiled_pct")
+        .Number(OverheadPercent(off_ms, profiled_ms));
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 7;
+
+  Config config;  // OO7 small
+  PrometheusOo7 oo7(config);
+  QueryEngine engine(&oo7.db());
+
+  prometheus::bench::PrintTableHeader(
+      "E15: instrumentation overhead (median ms; off = kill switch)",
+      "  workload       off(ms)     on(ms)  overhead  prof(ms)  overhead");
+
+  // Warm-up: touch every lazily-registered metric so registration cost
+  // (a one-time mutex acquisition) doesn't land in a timed region.
+  (void)oo7.TraverseT1();
+  (void)oo7.TraverseT5(1);
+  (void)engine.Execute(kQuery);
+  (void)engine.ExecuteProfiled(kQuery);
+
+  // --- T1: read traversal ------------------------------------------------
+  SetMetricsEnabled(false);
+  const double t1_off = MedianMillis([&] { (void)oo7.TraverseT1(); }, reps);
+  SetMetricsEnabled(true);
+  const double t1_on = MedianMillis([&] { (void)oo7.TraverseT1(); }, reps);
+  PrintRow("oo7_t1", t1_off, t1_on, 0);
+
+  // --- T5: update traversal (events, rules, index maintenance hooks) -----
+  std::int64_t stamp = 1;
+  SetMetricsEnabled(false);
+  const double t5_off =
+      MedianMillis([&] { (void)oo7.TraverseT5(stamp++); }, reps);
+  SetMetricsEnabled(true);
+  const double t5_on =
+      MedianMillis([&] { (void)oo7.TraverseT5(stamp++); }, reps);
+  PrintRow("oo7_t5", t5_off, t5_on, 0);
+
+  // --- POOL query: parse/plan/execute pipeline ---------------------------
+  SetMetricsEnabled(false);
+  const double q_off = MedianMillis([&] { (void)engine.Execute(kQuery); }, reps);
+  SetMetricsEnabled(true);
+  const double q_on = MedianMillis([&] { (void)engine.Execute(kQuery); }, reps);
+  const double q_profiled =
+      MedianMillis([&] { (void)engine.ExecuteProfiled(kQuery); }, reps);
+  PrintRow("pool_query", q_off, q_on, q_profiled);
+
+  const double worst_overhead =
+      std::max({OverheadPercent(t1_off, t1_on), OverheadPercent(t5_off, t5_on),
+                OverheadPercent(q_off, q_on)});
+  std::printf("  worst metrics-on overhead: %+.2f%% (target <= 5%%)\n",
+              worst_overhead);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("obs");
+  json.Key("reps").Int(reps);
+  json.Key("atomic_parts").Int(config.total_atomic_parts());
+  json.Key("workloads").BeginArray();
+  EmitWorkload(json, "oo7_t1", t1_off, t1_on, 0);
+  EmitWorkload(json, "oo7_t5", t5_off, t5_on, 0);
+  EmitWorkload(json, "pool_query", q_off, q_on, q_profiled);
+  json.EndArray();
+  json.Key("worst_overhead_on_pct").Number(worst_overhead);
+  json.Key("target_overhead_pct").Number(5.0);
+  json.EndObject();
+
+  const std::string out = "BENCH_obs.json";
+  if (!prometheus::bench::WriteTextFile(out, json.str() + "\n")) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -16,6 +16,7 @@
 //   .quit
 // Anything else is run as a POOL query, e.g.:
 //   select t.name from Taxon t where t.rank = 'Genus'
+// Prefix a query with `profile` to also print its per-stage span tree.
 
 #include <cstdio>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "index/index_manager.h"
+#include "obs/trace.h"
 #include "query/query_engine.h"
 #include "rules/pcl.h"
 #include "rules/rule_engine.h"
@@ -187,6 +189,16 @@ int main(int argc, char** argv) {
         LoadDemo(&db);
       } else {
         std::printf("unknown command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+    if (pool::IsProfileQuery(line)) {
+      auto profiled = engine.ExecuteProfiled(line);
+      if (profiled.ok()) {
+        PrintResultSet(profiled.value().rows);
+        std::printf("%s", obs::RenderTree(profiled.value().trace).c_str());
+      } else {
+        std::printf("error: %s\n", profiled.status().ToString().c_str());
       }
       continue;
     }

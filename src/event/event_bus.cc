@@ -1,8 +1,42 @@
 #include "event/event_bus.h"
 
 #include <algorithm>
+#include <array>
+
+#include "obs/metrics.h"
 
 namespace prometheus {
+
+namespace {
+
+/// One counter per EventKind; the kind becomes a Prometheus label:
+/// events_published_total{kind="AfterCommit"}. The table is built once
+/// under the magic-static guard, so lookups are race-free.
+obs::Counter* KindCounter(EventKind kind) {
+  static constexpr int kKinds =
+      static_cast<int>(EventKind::kAfterDeclareSynonym) + 1;
+  static const std::array<obs::Counter*, kKinds> counters = [] {
+    std::array<obs::Counter*, kKinds> c{};
+    for (int i = 0; i < kKinds; ++i) {
+      c[i] = obs::Registry().GetCounter(
+          std::string("events_published_total{kind=\"") +
+              EventKindName(static_cast<EventKind>(i)) + "\"}",
+          "Events published on the bus, by kind");
+    }
+    return c;
+  }();
+  int i = static_cast<int>(kind);
+  if (i < 0 || i >= kKinds) i = 0;
+  return counters[i];
+}
+
+obs::Counter* VetoCounter() {
+  static obs::Counter* c = obs::Registry().GetCounter(
+      "events_vetoed_total", "Before-events vetoed by a listener");
+  return c;
+}
+
+}  // namespace
 
 const char* EventKindName(EventKind kind) {
   switch (kind) {
@@ -77,6 +111,7 @@ void EventBus::Unsubscribe(ListenerId id) {
 
 Status EventBus::Publish(const Event& event) {
   ++published_count_;
+  if (obs::MetricsEnabled()) KindCounter(event.kind)->Increment();
   const bool vetoable = IsBeforeEvent(event.kind);
   // Listeners may subscribe/unsubscribe while handling an event (the rule
   // engine does when rules create rules), so iterate over a snapshot of ids.
@@ -90,7 +125,10 @@ Status EventBus::Publish(const Event& event) {
     if (it == entries_.end()) continue;  // removed mid-delivery
     Status st = it->listener(event);
     if (!st.ok()) {
-      if (vetoable) return st;  // before events short-circuit
+      if (vetoable) {
+        VetoCounter()->Increment();
+        return st;  // before events short-circuit
+      }
       if (first_violation.ok()) first_violation = st;
     }
   }

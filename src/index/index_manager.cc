@@ -2,7 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace prometheus {
+
+namespace {
+
+/// Process-wide index counters: lookups that found an index vs. requests
+/// for a class/attribute pair with no index, plus incremental maintenance
+/// work triggered by mutation events.
+struct IndexMetrics {
+  obs::Counter* lookup_hits;
+  obs::Counter* lookup_misses;
+  obs::Counter* maintenance;
+
+  static const IndexMetrics& Get() {
+    static const IndexMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      IndexMetrics im;
+      im.lookup_hits = reg.GetCounter(
+          "index_lookup_hits_total",
+          "Index lookups served by an existing index");
+      im.lookup_misses = reg.GetCounter(
+          "index_lookup_misses_total",
+          "Index lookups for class/attribute pairs with no index");
+      im.maintenance = reg.GetCounter(
+          "index_maintenance_updates_total",
+          "Index entries inserted/removed by mutation events");
+      return im;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 IndexManager::OrderedKey IndexManager::OrderedKey::FromValue(const Value& v) {
   OrderedKey key;
@@ -94,8 +127,10 @@ Result<std::vector<Oid>> IndexManager::Lookup(const std::string& class_name,
                                               const Value& value) const {
   const Index* ix = FindIndex(class_name, attr);
   if (ix == nullptr) {
+    IndexMetrics::Get().lookup_misses->Increment();
     return Status::NotFound("no index on " + class_name + "." + attr);
   }
+  IndexMetrics::Get().lookup_hits->Increment();
   std::vector<Oid> out;
   if (ix->ordered) {
     auto [lo, hi] = ix->tree.equal_range(OrderedKey::FromValue(value));
@@ -112,8 +147,10 @@ Result<std::vector<Oid>> IndexManager::RangeLookup(
     const Value& hi) const {
   const Index* ix = FindIndex(class_name, attr);
   if (ix == nullptr) {
+    IndexMetrics::Get().lookup_misses->Increment();
     return Status::NotFound("no index on " + class_name + "." + attr);
   }
+  IndexMetrics::Get().lookup_hits->Increment();
   if (!ix->ordered) {
     return Status::FailedPrecondition("index on " + class_name + "." + attr +
                                       " is a hash index; range lookups "
@@ -175,12 +212,20 @@ void IndexManager::OnEvent(const Event& event) {
       for (auto& ix : indexes_) {
         if (!db_->IsInstanceOf(event.subject, ix->cls->name())) continue;
         auto v = db_->GetAttribute(event.subject, ix->attr);
-        if (v.ok()) InsertEntry(ix.get(), event.subject, v.value());
+        if (v.ok()) {
+          InsertEntry(ix.get(), event.subject, v.value());
+          IndexMetrics::Get().maintenance->Increment();
+        }
       }
       break;
     }
     case EventKind::kAfterDeleteObject: {
-      for (auto& ix : indexes_) RemoveEntry(ix.get(), event.subject);
+      for (auto& ix : indexes_) {
+        if (ix->current.count(event.subject) != 0) {
+          IndexMetrics::Get().maintenance->Increment();
+        }
+        RemoveEntry(ix.get(), event.subject);
+      }
       break;
     }
     case EventKind::kAfterSetAttribute: {
@@ -189,6 +234,7 @@ void IndexManager::OnEvent(const Event& event) {
         if (!ix->current.count(event.subject)) continue;
         RemoveEntry(ix.get(), event.subject);
         InsertEntry(ix.get(), event.subject, event.new_value);
+        IndexMetrics::Get().maintenance->Increment();
       }
       break;
     }

@@ -1,0 +1,79 @@
+#ifndef PROMETHEUS_OBS_SLOW_QUERY_LOG_H_
+#define PROMETHEUS_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prometheus::obs {
+
+/// Bounded in-memory log of queries whose execution exceeded a threshold:
+/// the query text, the elapsed time and the execution profile (the plan
+/// line from EXPLAIN, or the full per-stage trace when the request was
+/// profiled). A ring buffer of the most recent `capacity` entries —
+/// overload produces many slow queries and the interesting ones are the
+/// latest.
+///
+/// Thread-safe; recording takes a short mutex (the slow path has already
+/// spent >= threshold, so the lock is noise). A threshold < 0 disables
+/// the log entirely: `ShouldRecord` is then a single comparison.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::uint64_t request_id = 0;
+    std::string query;
+    double micros = 0;
+    std::string profile;  ///< plan summary or rendered trace tree
+  };
+
+  explicit SlowQueryLog(double threshold_micros = -1,
+                        std::size_t capacity = 128)
+      : threshold_micros_(threshold_micros),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool enabled() const { return threshold_micros_ >= 0; }
+  double threshold_micros() const { return threshold_micros_; }
+
+  /// The cheap guard callers check before assembling an Entry.
+  bool ShouldRecord(double elapsed_micros) const {
+    return enabled() && elapsed_micros >= threshold_micros_;
+  }
+
+  void Record(Entry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= capacity_) entries_.pop_front();
+    entries_.push_back(std::move(entry));
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Copies the retained entries, oldest first.
+  std::vector<Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {entries_.begin(), entries_.end()};
+  }
+
+  /// Total recorded since construction (including entries the ring has
+  /// since evicted).
+  std::uint64_t recorded_total() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  const double threshold_micros_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  std::atomic<std::uint64_t> recorded_{0};
+};
+
+}  // namespace prometheus::obs
+
+#endif  // PROMETHEUS_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace prometheus::obs {
+
+TraceNode* TraceNode::AddChild(std::string child_name) {
+  children.emplace_back(std::move(child_name));
+  return &children.back();
+}
+
+const TraceNode* TraceNode::Child(const std::string& child_name) const {
+  for (const TraceNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void RenderLine(const TraceNode& node, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += node.name;
+  if (!node.detail.empty()) {
+    *out += ": ";
+    *out += node.detail;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  %.1fus", node.micros);
+  *out += buf;
+  if (node.rows >= 0) {
+    std::snprintf(buf, sizeof buf, "  rows=%lld",
+                  static_cast<long long>(node.rows));
+    *out += buf;
+  }
+  *out += '\n';
+  for (const TraceNode& child : node.children) {
+    RenderLine(child, depth + 1, out);
+  }
+}
+
+void RenderNode(const TraceNode& node, stats::JsonWriter* json) {
+  json->BeginObject();
+  json->Key("name").String(node.name);
+  if (!node.detail.empty()) json->Key("detail").String(node.detail);
+  json->Key("micros").Number(node.micros);
+  if (node.rows >= 0) json->Key("rows").Int(node.rows);
+  if (!node.children.empty()) {
+    json->Key("children").BeginArray();
+    for (const TraceNode& child : node.children) RenderNode(child, json);
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string RenderTree(const TraceNode& root) {
+  std::string out;
+  RenderLine(root, 0, &out);
+  return out;
+}
+
+std::string RenderJson(const TraceNode& root) {
+  stats::JsonWriter json;
+  RenderNode(root, &json);
+  return json.str();
+}
+
+}  // namespace prometheus::obs

@@ -1,0 +1,73 @@
+#ifndef PROMETHEUS_OBS_TRACE_H_
+#define PROMETHEUS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prometheus::obs {
+
+/// One span of a per-query execution trace: a named stage with wall time,
+/// an optional cardinality, a human-readable detail, and child stages.
+/// This is the EXPLAIN-style profile tree `PROFILE <select>` and
+/// `QueryEngine::ExecuteProfiled` return — plain data, so callers can walk
+/// it, render it, or ship it over the stats surface.
+struct TraceNode {
+  std::string name;     ///< stage name ("parse", "plan", "execute", ...)
+  std::string detail;   ///< free-form annotation (strategy, extent name)
+  double micros = 0;    ///< wall time spent in this stage
+  std::int64_t rows = -1;  ///< cardinality produced; -1 = not applicable
+  std::vector<TraceNode> children;
+
+  TraceNode() = default;
+  explicit TraceNode(std::string n) : name(std::move(n)) {}
+
+  /// Appends and returns a child stage. The returned pointer is valid
+  /// until the next AddChild on the same parent (vector growth) — finish
+  /// one child before opening a sibling.
+  TraceNode* AddChild(std::string child_name);
+
+  /// Locates a direct child by name (tests, assertions); nullptr if absent.
+  const TraceNode* Child(const std::string& child_name) const;
+};
+
+/// Renders the tree as indented text, one stage per line:
+///   execute                 812.4us  rows=120
+///     range s: extent scan of Species   rows=4000
+std::string RenderTree(const TraceNode& root);
+
+/// Renders the tree as a nested JSON object ({name, micros, rows, detail,
+/// children}).
+std::string RenderJson(const TraceNode& root);
+
+/// Measures wall time into a TraceNode. When constructed with nullptr the
+/// whole object is inert (the unprofiled execution path passes nullptr and
+/// pays only the null checks).
+class SpanTimer {
+ public:
+  explicit SpanTimer(TraceNode* node) : node_(node) {
+    if (node_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanTimer() { Stop(); }
+
+  /// Stops early (idempotent); the destructor then does nothing.
+  void Stop() {
+    if (node_ == nullptr) return;
+    node_->micros += std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    node_ = nullptr;
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace prometheus::obs
+
+#endif  // PROMETHEUS_OBS_TRACE_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <functional>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "query/parser.h"
 
 namespace prometheus::pool {
@@ -25,7 +27,75 @@ Result<bool> Truthy(const Value& v) {
   }
 }
 
+/// The query layer's metrics, registered once. Pointers are cached so the
+/// hot path never does a name lookup; each hook is one enabled-branch plus
+/// a relaxed atomic op.
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* profiled;
+  obs::Counter* errors;
+  obs::Counter* rows_scanned;
+  obs::Counter* rows_returned;
+  obs::Counter* index_lookups;
+  obs::Counter* extent_scans;
+  obs::Histogram* latency;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      EngineMetrics em;
+      em.queries = reg.GetCounter("pool_queries_total",
+                                  "Top-level POOL queries executed");
+      em.profiled = reg.GetCounter("pool_queries_profiled_total",
+                                   "Queries executed with span tracing");
+      em.errors = reg.GetCounter("pool_query_errors_total",
+                                 "Queries that failed to parse or execute");
+      em.rows_scanned =
+          reg.GetCounter("pool_rows_scanned_total",
+                         "Candidate bindings enumerated by the join loops");
+      em.rows_returned = reg.GetCounter("pool_rows_returned_total",
+                                        "Result rows produced");
+      em.index_lookups =
+          reg.GetCounter("pool_index_lookups_total",
+                         "Ranges resolved through an attribute index");
+      em.extent_scans = reg.GetCounter("pool_extent_scans_total",
+                                       "Ranges resolved by full extent scan");
+      em.latency = reg.GetHistogram("pool_query_micros",
+                                    "Top-level query latency (microseconds)");
+      return em;
+    }();
+    return m;
+  }
+};
+
 }  // namespace
+
+bool IsProfileQuery(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  static constexpr char kKeyword[] = "profile";
+  for (std::size_t k = 0; k < 7; ++k, ++i) {
+    if (i >= text.size() ||
+        std::tolower(static_cast<unsigned char>(text[i])) != kKeyword[k]) {
+      return false;
+    }
+  }
+  // Must be a whole word followed by the query body.
+  return i < text.size() && std::isspace(static_cast<unsigned char>(text[i]));
+}
+
+std::string StripProfileKeyword(const std::string& text) {
+  if (!IsProfileQuery(text)) return text;
+  std::size_t i = 0;
+  while (std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  i += 7;  // "profile"
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return text.substr(i);
+}
 
 bool LikeMatch(const std::string& text, const std::string& pattern) {
   // Iterative wildcard matcher with backtracking over '%'.
@@ -60,9 +130,54 @@ std::vector<Value> ResultSet::Column(std::size_t i) const {
 }
 
 Result<ResultSet> QueryEngine::Execute(const std::string& query) const {
-  PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> parsed,
-                              ParseQuery(query));
-  return Execute(*parsed, Environment{});
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.queries->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  Result<std::unique_ptr<SelectQuery>> parsed = ParseQuery(query);
+  if (!parsed.ok()) {
+    metrics.errors->Increment();
+    return parsed.status();
+  }
+  Result<ResultSet> result =
+      ExecuteInternal(*parsed.value(), Environment{}, nullptr);
+  if (!result.ok()) metrics.errors->Increment();
+  return result;
+}
+
+Result<QueryProfile> QueryEngine::ExecuteProfiled(
+    const std::string& query) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.queries->Increment();
+  metrics.profiled->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+
+  QueryProfile out;
+  out.trace.name = "query";
+  const std::string body = StripProfileKeyword(query);
+  out.trace.detail = body;
+  obs::SpanTimer total(&out.trace);
+
+  obs::TraceNode parse_node("parse");
+  Result<std::unique_ptr<SelectQuery>> parsed = [&] {
+    obs::SpanTimer span(&parse_node);
+    return ParseQuery(body);
+  }();
+  out.trace.children.push_back(std::move(parse_node));
+  if (!parsed.ok()) {
+    metrics.errors->Increment();
+    return parsed.status();
+  }
+
+  Result<ResultSet> rows =
+      ExecuteInternal(*parsed.value(), Environment{}, &out.trace);
+  if (!rows.ok()) {
+    metrics.errors->Increment();
+    return rows.status();
+  }
+  out.rows = std::move(rows).value();
+  out.trace.rows = static_cast<std::int64_t>(out.rows.rows.size());
+  total.Stop();
+  return out;
 }
 
 Result<Value> QueryEngine::Eval(const std::string& expr,
@@ -794,6 +909,7 @@ Result<Value> QueryEngine::EvalGrouped(
 struct QueryEngine::RangeBinding {
   const FromRange* range;
   std::vector<Value> candidates;  ///< for extent ranges (pre-computed)
+  std::string strategy;           ///< access path chosen (profiling)
 };
 
 const Expr* QueryEngine::FindIndexableConjunct(const SelectQuery& query,
@@ -837,8 +953,8 @@ const Expr* QueryEngine::FindIndexableConjunct(const SelectQuery& query,
 }
 
 Result<std::vector<Value>> QueryEngine::RangeCandidates(
-    const SelectQuery& query, const FromRange& range,
-    const Environment& env) const {
+    const SelectQuery& query, const FromRange& range, const Environment& env,
+    std::string* strategy) const {
   (void)env;
   auto refs = [](const std::vector<Oid>& oids) {
     std::vector<Value> out;
@@ -851,15 +967,23 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
   if (!is_class && db_->FindRelationship(name) == nullptr) {
     return Status::NotFound("no extent named '" + name + "'");
   }
+  const EngineMetrics& metrics = EngineMetrics::Get();
   // Index optimization (6.1.5.2/3): when the where clause contains a
   // conjunct `var.attr = literal` with an index on (class, attr), replace
   // the extent scan by an index lookup.
   std::string attr;
   if (const Expr* literal = FindIndexableConjunct(query, range, &attr)) {
+    metrics.index_lookups->Increment();
+    if (strategy != nullptr) *strategy = "index lookup on " + name + "." + attr;
     PROMETHEUS_ASSIGN_OR_RETURN(std::vector<Oid> oids,
                                 indexes_->Lookup(name, attr,
                                                  literal->literal));
     return refs(oids);
+  }
+  metrics.extent_scans->Increment();
+  if (strategy != nullptr) {
+    *strategy = std::string("extent scan of ") +
+                (is_class ? "class " : "relationship ") + name;
   }
   return refs(is_class ? db_->Extent(name) : db_->LinkExtent(name));
 }
@@ -894,6 +1018,12 @@ Result<std::string> QueryEngine::Explain(const std::string& query) const {
 
 Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
                                        const Environment& outer) const {
+  return ExecuteInternal(query, outer, nullptr);
+}
+
+Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
+                                               const Environment& outer,
+                                               obs::TraceNode* trace) const {
   // Const-execution contract: this path never mutates the database, and —
   // when the caller holds the epoch guard as it must under concurrency —
   // no writer can interleave, so the epoch is stable across the run. An
@@ -904,15 +1034,23 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
   if (query.from.empty()) {
     return Status::ParseError("query requires at least one range");
   }
-  // Pre-compute extent candidates (dependent ranges evaluate per binding).
+  // Plan stage: pre-compute extent candidates (dependent ranges evaluate
+  // per binding) and order the join. Built as a local node and attached
+  // when complete, so sibling spans never invalidate it.
+  obs::TraceNode plan_node("plan");
+  obs::SpanTimer plan_span(trace != nullptr ? &plan_node : nullptr);
   std::vector<RangeBinding> ranges;
   ranges.reserve(query.from.size());
   for (const FromRange& r : query.from) {
     RangeBinding rb;
     rb.range = &r;
     if (r.source_expr == nullptr) {
-      PROMETHEUS_ASSIGN_OR_RETURN(rb.candidates,
-                                  RangeCandidates(query, r, outer));
+      PROMETHEUS_ASSIGN_OR_RETURN(
+          rb.candidates,
+          RangeCandidates(query, r, outer,
+                          trace != nullptr ? &rb.strategy : nullptr));
+    } else {
+      rb.strategy = "dependent expression (evaluated per outer binding)";
     }
     ranges.push_back(std::move(rb));
   }
@@ -976,6 +1114,17 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
     }
     ranges = std::move(ordered);
   }
+  plan_span.Stop();
+  if (trace != nullptr) {
+    for (const RangeBinding& rb : ranges) {
+      obs::TraceNode* child = plan_node.AddChild("range " + rb.range->variable);
+      child->detail = rb.strategy;
+      if (rb.range->source_expr == nullptr) {
+        child->rows = static_cast<std::int64_t>(rb.candidates.size());
+      }
+    }
+    trace->children.push_back(std::move(plan_node));
+  }
 
   ResultSet result;
   if (query.select_star) {
@@ -995,6 +1144,10 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
   if (grouped && query.select_star) {
     return Status::ParseError("'select *' cannot be combined with group by");
   }
+
+  /// Bindings enumerated by the join loops — the query's "rows scanned"
+  /// cardinality (profile + metrics).
+  std::uint64_t scanned = 0;
 
   /// Runs the nested-loop join; `emit` is called once per binding that
   /// passes the where clause.
@@ -1024,12 +1177,16 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
       candidates = &dynamic;
     }
     for (const Value& v : *candidates) {
+      ++scanned;
       env[rb.range->variable] = v;
       PROMETHEUS_RETURN_IF_ERROR(recurse(depth + 1, emit));
     }
     env.erase(rb.range->variable);
     return Status::Ok();
   };
+
+  obs::TraceNode exec_node("execute");
+  obs::SpanTimer exec_span(trace != nullptr ? &exec_node : nullptr);
 
   if (grouped) {
     // Group the bindings by the group-by key, then evaluate the select
@@ -1091,7 +1248,16 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
       return Status::Ok();
     }));
   }
+  exec_span.Stop();
+  if (trace != nullptr) {
+    exec_node.detail = std::to_string(scanned) + " bindings scanned";
+    exec_node.rows = static_cast<std::int64_t>(keyed_rows.size());
+    trace->children.push_back(std::move(exec_node));
+  }
 
+  obs::TraceNode sort_node("sort");
+  obs::SpanTimer sort_span(
+      trace != nullptr && !query.order_by.empty() ? &sort_node : nullptr);
   if (!query.order_by.empty()) {
     // Lexicographic multi-key sort, each key with its own direction.
     std::stable_sort(
@@ -1106,7 +1272,15 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
           return false;
         });
   }
+  sort_span.Stop();
+  if (trace != nullptr && !query.order_by.empty()) {
+    sort_node.detail = std::to_string(query.order_by.size()) + " key(s)";
+    sort_node.rows = static_cast<std::int64_t>(keyed_rows.size());
+    trace->children.push_back(std::move(sort_node));
+  }
 
+  obs::TraceNode project_node("project");
+  obs::SpanTimer project_span(trace != nullptr ? &project_node : nullptr);
   std::vector<std::string> seen;  // distinct keys, sorted for binary search
   for (auto& [key, row] : keyed_rows) {
     if (query.distinct) {
@@ -1127,6 +1301,20 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
       break;
     }
   }
+  project_span.Stop();
+  if (trace != nullptr) {
+    project_node.detail = query.distinct ? "distinct" : "";
+    if (query.limit >= 0) {
+      if (!project_node.detail.empty()) project_node.detail += ", ";
+      project_node.detail += "limit " + std::to_string(query.limit);
+    }
+    project_node.rows = static_cast<std::int64_t>(result.rows.size());
+    trace->children.push_back(std::move(project_node));
+  }
+
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.rows_scanned->Increment(scanned);
+  metrics.rows_returned->Increment(result.rows.size());
   assert(db_->epoch() == epoch_at_entry &&
          "database mutated during const query execution — caller must hold "
          "Database::ReadGuard");

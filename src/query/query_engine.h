@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/database.h"
 #include "index/index_manager.h"
+#include "obs/trace.h"
 #include "query/ast.h"
 
 namespace prometheus::pool {
@@ -26,6 +27,15 @@ struct ResultSet {
 
   /// Convenience: the single column of a one-column result as a flat list.
   std::vector<Value> Column(std::size_t i = 0) const;
+};
+
+/// A query result plus its execution trace — what `PROFILE <select>` and
+/// `ExecuteProfiled` return. The trace is a per-stage timing/cardinality
+/// tree: parse, plan (one child per range with the chosen strategy),
+/// execute (bindings scanned), sort, project.
+struct QueryProfile {
+  ResultSet rows;
+  obs::TraceNode trace;
 };
 
 /// The POOL query processor (thesis ch. 5.1; architecture 6.1.5).
@@ -60,6 +70,12 @@ class QueryEngine {
   Result<ResultSet> Execute(const SelectQuery& query,
                             const Environment& outer) const;
 
+  /// Parses and runs a query with span tracing: returns the rows plus the
+  /// per-stage timing/cardinality tree. Accepts the query with or without
+  /// a leading `profile` keyword. Tracing costs two clock reads per stage;
+  /// the unprofiled `Execute` path pays none of it.
+  Result<QueryProfile> ExecuteProfiled(const std::string& query) const;
+
   /// Parses and evaluates a standalone expression under `env`.
   Result<Value> Eval(const std::string& expr, const Environment& env) const;
 
@@ -92,11 +108,19 @@ class QueryEngine {
   Result<Value> EvalGrouped(const Expr& expr,
                             const std::vector<Environment>& group) const;
 
+  /// Runs a parsed query; `trace` (nullable) receives plan/execute/sort/
+  /// project child spans when profiling.
+  Result<ResultSet> ExecuteInternal(const SelectQuery& query,
+                                    const Environment& outer,
+                                    obs::TraceNode* trace) const;
+
   /// Candidate oids for an extent range, narrowed through an index when the
-  /// where-clause pins `var.attr` to a constant.
+  /// where-clause pins `var.attr` to a constant. `strategy` (nullable)
+  /// receives the human-readable access path chosen.
   Result<std::vector<Value>> RangeCandidates(const SelectQuery& query,
                                              const FromRange& range,
-                                             const Environment& env) const;
+                                             const Environment& env,
+                                             std::string* strategy) const;
 
   /// The where-clause conjunct `range.var.attr = literal` usable through
   /// an existing index, or nullptr. `*attr` receives the attribute name.
@@ -111,6 +135,13 @@ class QueryEngine {
 /// True when `text` matches the SQL-style `like` pattern (`%` = any run,
 /// `_` = any single character). Exposed for tests.
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// True when `text` starts with the `profile` keyword (case-insensitive) —
+/// the POOL wrapper the server and shell route to `ExecuteProfiled`.
+bool IsProfileQuery(const std::string& text);
+
+/// `text` without its leading `profile` keyword (unchanged when absent).
+std::string StripProfileKeyword(const std::string& text);
 
 }  // namespace prometheus::pool
 

@@ -2,9 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "query/parser.h"
 
 namespace prometheus {
+
+namespace {
+
+/// Process-wide rule counters, registered once and cached.
+struct RuleMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* violations;
+  obs::Counter* deferred;
+
+  static const RuleMetrics& Get() {
+    static const RuleMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      RuleMetrics rm;
+      rm.evaluations = reg.GetCounter("rules_evaluated_total",
+                                      "Rule condition evaluations");
+      rm.violations = reg.GetCounter("rules_violations_total",
+                                     "Rule conditions that did not hold");
+      rm.deferred = reg.GetCounter(
+          "rules_deferred_total",
+          "Rule checks queued for commit-time evaluation");
+      return rm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 RuleEngine::RuleEngine(Database* db) : db_(db), engine_(db) {
   listener_ = db_->bus().Subscribe(
@@ -177,6 +205,7 @@ bool RuleEngine::Matches(const CompiledRule& rule, const Event& event) const {
 Status RuleEngine::EvaluateRule(const CompiledRule& rule,
                                 const pool::Environment& env) {
   ++evaluations_;
+  RuleMetrics::Get().evaluations->Increment();
   if (rule.applicability != nullptr) {
     auto applies = engine_.Eval(*rule.applicability, env);
     // A failing applicability check means the rule does not apply.
@@ -197,6 +226,7 @@ Status RuleEngine::EvaluateRule(const CompiledRule& rule,
   }
   if (ok) return Status::Ok();
   ++violations_;
+  RuleMetrics::Get().violations->Increment();
   RuleViolation violation;
   violation.rule_name = rule.spec.name;
   violation.message = rule.spec.message + detail;
@@ -296,6 +326,7 @@ Status RuleEngine::OnEvent(const Event& event) {
     if (rule->spec.timing == RuleTiming::kDeferred) {
       if (db_->in_transaction()) {
         deferred_.push_back(DeferredCheck{rule.get(), std::move(env)});
+        RuleMetrics::Get().deferred->Increment();
         continue;
       }
       // Outside a transaction deferred rules degenerate to immediate.

@@ -66,6 +66,24 @@ Result<std::uint64_t> Client::Ping() {
   return resp.epoch;
 }
 
+Result<std::string> Client::Stats(StatsFormat format) {
+  Response resp = Call(Request::Stats(format));
+  if (!resp.ok()) return TransportStatus(resp);
+  return std::move(resp.text);
+}
+
+Result<Client::ProfiledQuery> Client::Profile(const std::string& pool_text) {
+  std::string query = pool::IsProfileQuery(pool_text)
+                          ? pool_text
+                          : "profile " + pool_text;
+  Response resp = Call(Request::Query(std::move(query)));
+  if (!resp.ok()) return TransportStatus(resp);
+  ProfiledQuery out;
+  out.stages = std::move(resp.result);
+  out.tree = std::move(resp.text);
+  return out;
+}
+
 Response Client::Call(Request req) { return session_->Call(std::move(req)); }
 
 std::future<Response> Client::Submit(Request req) {

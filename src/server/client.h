@@ -50,6 +50,16 @@ class Client {
   /// Liveness probe; returns the database epoch at execution.
   Result<std::uint64_t> Ping();
 
+  /// Live metrics snapshot, rendered as JSON or Prometheus text.
+  Result<std::string> Stats(StatsFormat format = StatsFormat::kJson);
+
+  /// A query executed with span tracing (a `profile` prefix is optional).
+  struct ProfiledQuery {
+    pool::ResultSet stages;  ///< {stage, micros, rows, detail} table
+    std::string tree;        ///< the same trace rendered as an indented tree
+  };
+  Result<ProfiledQuery> Profile(const std::string& pool_text);
+
   // Envelope-level access for callers that need the full Response.
   Response Call(Request req);
   std::future<Response> Submit(Request req);

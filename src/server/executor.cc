@@ -1,15 +1,38 @@
 #include "server/executor.h"
 
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace prometheus::server {
+
+namespace {
+
+/// Instantaneous work-queue depth, updated under the executor's own lock.
+/// Process-wide: when several executors coexist, last writer wins (the
+/// gauge is a point-in-time reading, not an accumulator).
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g = obs::Registry().GetGauge(
+      "server_queue_depth", "Jobs waiting in the bounded work queue");
+  return g;
+}
+
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = obs::Registry().GetCounter(
+      "server_requests_rejected_total",
+      "Submissions refused by backpressure or shutdown");
+  return c;
+}
+
+}  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(const Options& options)
     : capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
   const int n = options.threads < 1 ? 1 : options.threads;
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -20,9 +43,11 @@ bool ThreadPoolExecutor::Submit(Job job) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_ || queue_.size() >= capacity_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      RejectedCounter()->Increment();
       return false;
     }
     queue_.push_back(std::move(job));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
   }
   not_empty_.notify_one();
   return true;
@@ -53,7 +78,11 @@ std::size_t ThreadPoolExecutor::queue_depth() const {
   return queue_.size();
 }
 
-void ThreadPoolExecutor::WorkerLoop() {
+void ThreadPoolExecutor::WorkerLoop(int worker_index) {
+  obs::Counter* worker_requests = obs::Registry().GetCounter(
+      "server_worker_requests_total{worker=\"" + std::to_string(worker_index) +
+          "\"}",
+      "Jobs executed, per worker thread");
   for (;;) {
     Job job;
     {
@@ -62,9 +91,11 @@ void ThreadPoolExecutor::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     }
     job(/*run=*/true);
     executed_.fetch_add(1, std::memory_order_relaxed);
+    worker_requests->Increment();
   }
 }
 

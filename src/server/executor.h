@@ -70,7 +70,7 @@ class ThreadPoolExecutor {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   const std::size_t capacity_;
   std::mutex shutdown_mu_;  ///< serialises Shutdown callers (worker joins)

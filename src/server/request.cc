@@ -9,6 +9,13 @@ Request Request::Query(std::string pool_text) {
   return r;
 }
 
+Request Request::Stats(StatsFormat format) {
+  Request r;
+  r.kind = RequestKind::kStats;
+  r.stats_format = format;
+  return r;
+}
+
 Request Request::CreateObject(std::string class_name,
                               std::vector<AttrInit> inits) {
   Request r;

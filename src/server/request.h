@@ -26,6 +26,13 @@ enum class RequestKind : std::uint8_t {
   kPing,      ///< liveness probe; touches nothing, reports the epoch
   kQuery,     ///< POOL text, evaluated under a shared (read) lock
   kMutation,  ///< structured mutation, applied under an exclusive lock
+  kStats,     ///< metrics snapshot; reads only the registry, takes no lock
+};
+
+/// Rendering of a kStats response.
+enum class StatsFormat : std::uint8_t {
+  kJson,            ///< {"counters":{...},"gauges":{...},"histograms":{...}}
+  kPrometheusText,  ///< Prometheus text exposition format
 };
 
 /// A structured mutation command — the wire-friendly subset of the
@@ -63,10 +70,12 @@ struct Request {
   RequestKind kind = RequestKind::kPing;
   std::string query;    ///< POOL text (kQuery)
   MutationOp mutation;  ///< (kMutation)
+  StatsFormat stats_format = StatsFormat::kJson;  ///< (kStats)
 
   // Builders — the only intended way to make a Request.
   static Request Ping() { return {}; }
   static Request Query(std::string pool_text);
+  static Request Stats(StatsFormat format = StatsFormat::kJson);
   static Request CreateObject(std::string class_name,
                               std::vector<AttrInit> inits = {});
   static Request SetAttribute(Oid oid, std::string attribute, Value value);
@@ -96,9 +105,12 @@ struct Response {
   RequestId id = 0;
   ResponseCode code = ResponseCode::kOk;
   Status status;            ///< database-level outcome (kOk responses)
-  pool::ResultSet result;   ///< rows (kQuery)
+  pool::ResultSet result;   ///< rows (kQuery); stage table (PROFILE)
   Oid oid = kNullOid;       ///< created oid (kCreateObject / kCreateLink)
   std::uint64_t epoch = 0;  ///< database epoch the request executed at
+  /// Rendered text payload: the metrics snapshot (kStats) or the span
+  /// tree of a PROFILE query.
+  std::string text;
 
   /// Accepted, executed, and the database reported success.
   bool ok() const { return code == ResponseCode::kOk && status.ok(); }

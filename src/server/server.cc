@@ -1,12 +1,94 @@
 #include "server/server.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prometheus::server {
+
+namespace {
+
+/// Per-request-type latency histograms plus the executed/error counters
+/// the kStats snapshot surfaces; registered once, pointers cached.
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::Histogram* ping_micros;
+  obs::Histogram* query_micros;
+  obs::Histogram* mutation_micros;
+  obs::Histogram* stats_micros;
+
+  obs::Histogram* ForKind(RequestKind kind) const {
+    switch (kind) {
+      case RequestKind::kPing:
+        return ping_micros;
+      case RequestKind::kQuery:
+        return query_micros;
+      case RequestKind::kMutation:
+        return mutation_micros;
+      case RequestKind::kStats:
+        return stats_micros;
+    }
+    return ping_micros;
+  }
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      const char* help = "Request latency on the worker (microseconds)";
+      ServerMetrics sm;
+      sm.requests = reg.GetCounter("server_requests_total",
+                                   "Requests executed by the server");
+      sm.errors = reg.GetCounter(
+          "server_request_errors_total",
+          "Requests that executed with a non-OK status");
+      sm.ping_micros =
+          reg.GetHistogram("server_request_micros{type=\"ping\"}", help);
+      sm.query_micros =
+          reg.GetHistogram("server_request_micros{type=\"query\"}", help);
+      sm.mutation_micros =
+          reg.GetHistogram("server_request_micros{type=\"mutation\"}", help);
+      sm.stats_micros =
+          reg.GetHistogram("server_request_micros{type=\"stats\"}", help);
+      return sm;
+    }();
+    return m;
+  }
+};
+
+/// Flattens a span tree into the {stage, micros, rows, detail} table a
+/// PROFILE response carries: one row per node, nesting shown by indenting
+/// the stage name.
+void FlattenTrace(const obs::TraceNode& node, int depth,
+                  pool::ResultSet* out) {
+  std::vector<Value> row;
+  row.push_back(
+      Value::String(std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+                    node.name));
+  row.push_back(Value::Double(node.micros));
+  row.push_back(node.rows >= 0 ? Value::Int(node.rows) : Value::Null());
+  row.push_back(Value::String(node.detail));
+  out->rows.push_back(std::move(row));
+  for (const obs::TraceNode& child : node.children) {
+    FlattenTrace(child, depth + 1, out);
+  }
+}
+
+pool::ResultSet ProfileTable(const obs::TraceNode& trace) {
+  pool::ResultSet table;
+  table.columns = {"stage", "micros", "rows", "detail"};
+  FlattenTrace(trace, 0, &table);
+  return table;
+}
+
+}  // namespace
 
 Server::Server(Database* db, Options options)
     : db_(db),
       engine_(db, options.indexes),
+      slow_log_(options.slow_query_micros, options.slow_query_capacity),
       executor_(ThreadPoolExecutor::Options{options.worker_threads,
                                             options.queue_capacity}),
       sessions_(this) {}
@@ -78,6 +160,9 @@ std::future<Response> Server::Enqueue(Request req) {
 }
 
 Response Server::Execute(RequestId id, const Request& req) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.ForKind(req.kind));
   Response resp;
   switch (req.kind) {
     case RequestKind::kPing:
@@ -92,8 +177,14 @@ Response Server::Execute(RequestId id, const Request& req) {
       resp = ExecuteMutation(id, req);
       mutations_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RequestKind::kStats:
+      resp = ExecuteStats(id, req);
+      break;
   }
-  if (!resp.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!resp.status.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics.errors->Increment();
+  }
   return resp;
 }
 
@@ -104,12 +195,59 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
   // The guard pins the epoch, so the whole evaluation sees one snapshot.
   Database::ReadGuard guard(*db_);
   resp.epoch = guard.epoch();
+
+  if (pool::IsProfileQuery(req.query)) {
+    Result<pool::QueryProfile> result = engine_.ExecuteProfiled(req.query);
+    if (!result.ok()) {
+      resp.status = result.status();
+      return resp;
+    }
+    pool::QueryProfile& profile = result.value();
+    resp.result = ProfileTable(profile.trace);
+    resp.text = obs::RenderTree(profile.trace);
+    if (slow_log_.ShouldRecord(profile.trace.micros)) {
+      slow_log_.Record({id, pool::StripProfileKeyword(req.query),
+                        profile.trace.micros, resp.text});
+    }
+    return resp;
+  }
+
+  // The clock is only read when the slow-query log wants it.
+  std::chrono::steady_clock::time_point start;
+  if (slow_log_.enabled()) start = std::chrono::steady_clock::now();
   Result<pool::ResultSet> result = engine_.Execute(req.query);
   if (result.ok()) {
     resp.result = std::move(result).value();
   } else {
     resp.status = result.status();
   }
+  if (slow_log_.enabled()) {
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (slow_log_.ShouldRecord(micros)) {
+      // Re-plan for the log entry: the slow path has already paid far more
+      // than an Explain costs, and the plan is the diagnostic that matters.
+      Result<std::string> plan = engine_.Explain(req.query);
+      slow_log_.Record(
+          {id, req.query, micros,
+           plan.ok() ? std::move(plan).value() : plan.status().ToString()});
+    }
+  }
+  return resp;
+}
+
+Response Server::ExecuteStats(RequestId id, const Request& req) {
+  Response resp;
+  resp.id = id;
+  resp.epoch = db_->epoch();
+  // The registry synchronises itself; no database lock is needed, so a
+  // stats probe never queues behind a long mutation's write guard.
+  obs::MetricsSnapshot snap = obs::Registry().Snapshot();
+  resp.text = req.stats_format == StatsFormat::kPrometheusText
+                  ? obs::RenderPrometheusText(snap)
+                  : obs::RenderJson(snap);
   return resp;
 }
 

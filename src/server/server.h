@@ -8,6 +8,7 @@
 
 #include "core/database.h"
 #include "index/index_manager.h"
+#include "obs/slow_query_log.h"
 #include "query/query_engine.h"
 #include "server/executor.h"
 #include "server/request.h"
@@ -43,6 +44,12 @@ class Server {
     /// server. Index maintenance happens via the database's event bus on
     /// the mutating worker, i.e. under the write guard.
     IndexManager* indexes = nullptr;
+    /// Queries slower than this are recorded in the slow-query log with
+    /// their plan (or full trace when profiled). Negative = disabled (the
+    /// default): the fast path then never reads the clock for it.
+    double slow_query_micros = -1;
+    /// Slow-query log ring capacity.
+    std::size_t slow_query_capacity = 128;
   };
 
   /// `db` must outlive the server. While the server runs, all access to
@@ -80,6 +87,9 @@ class Server {
   };
   Stats stats() const;
 
+  /// Queries that exceeded Options::slow_query_micros (empty when disabled).
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   Database& db() { return *db_; }
   int worker_threads() const { return executor_.threads(); }
 
@@ -94,9 +104,11 @@ class Server {
   Response Execute(RequestId id, const Request& req);
   Response ExecuteQuery(RequestId id, const Request& req);
   Response ExecuteMutation(RequestId id, const Request& req);
+  Response ExecuteStats(RequestId id, const Request& req);
 
   Database* db_;
   pool::QueryEngine engine_;
+  obs::SlowQueryLog slow_log_;
   ThreadPoolExecutor executor_;
   SessionManager sessions_;
   std::atomic<RequestId> next_request_id_{1};

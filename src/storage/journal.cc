@@ -7,9 +7,40 @@
 #include <sstream>
 
 #include "common/crc32.h"
+#include "obs/metrics.h"
 #include "storage/snapshot.h"
 
 namespace prometheus::storage {
+
+namespace {
+
+/// Process-wide journal counters, aggregated across every live journal.
+struct JournalMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Counter* syncs;
+  obs::Counter* errors;
+
+  static const JournalMetrics& Get() {
+    static const JournalMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      JournalMetrics jm;
+      jm.appends = reg.GetCounter("journal_appends_total",
+                                  "Mutation records appended to journals");
+      jm.bytes = reg.GetCounter("journal_bytes_total",
+                                "Framed bytes appended to journals");
+      jm.syncs = reg.GetCounter("journal_syncs_total",
+                                "Explicit journal fsync barriers");
+      jm.errors = reg.GetCounter(
+          "journal_errors_total",
+          "Journal write failures that latched the sticky error");
+      return jm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -335,12 +366,20 @@ Status Journal::Close() {
   db_->bus().Unsubscribe(listener_);
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return sticky_;
-  closed_ = true;
   if (sticky_.ok()) {
-    Status st = file_->Append(FrameRecord(kEndRecord));
-    if (st.ok()) st = file_->Sync();
-    if (!st.ok()) sticky_ = st;
+    AppendLocked(kEndRecord);
+    if (sticky_.ok()) {
+      Status st = file_->Sync();
+      if (!st.ok()) {
+        sticky_ = st;
+        JournalMetrics::Get().errors->Increment();
+      } else {
+        sync_count_.fetch_add(1, std::memory_order_acq_rel);
+        JournalMetrics::Get().syncs->Increment();
+      }
+    }
   }
+  closed_ = true;
   Status close = file_->Close();
   if (sticky_.ok() && !close.ok()) sticky_ = close;
   return sticky_;
@@ -358,14 +397,27 @@ Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok() || closed_) return sticky_;
   Status st = file_->Sync();
-  if (!st.ok()) sticky_ = st;
+  if (!st.ok()) {
+    sticky_ = st;
+    JournalMetrics::Get().errors->Increment();
+  } else {
+    sync_count_.fetch_add(1, std::memory_order_acq_rel);
+    JournalMetrics::Get().syncs->Increment();
+  }
   return sticky_;
 }
 
 void Journal::AppendLocked(const std::string& payload) {
   if (!sticky_.ok() || closed_) return;
-  Status st = file_->Append(FrameRecord(payload));
-  if (!st.ok()) sticky_ = st;
+  std::string frame = FrameRecord(payload);
+  Status st = file_->Append(frame);
+  if (!st.ok()) {
+    sticky_ = st;
+    JournalMetrics::Get().errors->Increment();
+    return;
+  }
+  bytes_written_.fetch_add(frame.size(), std::memory_order_acq_rel);
+  JournalMetrics::Get().bytes->Increment(frame.size());
 }
 
 void Journal::EmitLocked(std::string record) {
@@ -376,6 +428,7 @@ void Journal::EmitLocked(std::string record) {
     AppendLocked(record);
     if (sticky_.ok()) {
       record_count_.fetch_add(1, std::memory_order_acq_rel);
+      JournalMetrics::Get().appends->Increment();
     }
   }
 }
@@ -396,6 +449,7 @@ void Journal::OnEventLocked(const Event& event) {
           AppendLocked(record);
           if (sticky_.ok()) {
             record_count_.fetch_add(1, std::memory_order_acq_rel);
+            JournalMetrics::Get().appends->Increment();
           }
         }
         AppendLocked(kTxnCommit);

@@ -111,6 +111,19 @@ class Journal {
     return record_count_.load(std::memory_order_acquire);
   }
 
+  /// Framed bytes appended since this journal was opened — every frame,
+  /// including markers, but not the header/schema prologue written by
+  /// `Open`. Together with `sync_count` this quantifies the journal's I/O
+  /// (surfaced through `DurableStore::Stats` and the metrics registry).
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_acquire);
+  }
+
+  /// Explicit fsync barriers taken (`Sync` and the one in `Close`).
+  std::uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_acquire);
+  }
+
   /// What `Replay` found. Torn or corrupt tails are *recovered from*, not
   /// fatal: the valid prefix is applied and the dropped remainder reported.
   struct ReplayReport {
@@ -172,6 +185,8 @@ class Journal {
   bool closed_ = false;
   std::vector<std::string> pending_;  ///< records of the open transaction
   std::atomic<std::uint64_t> record_count_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> sync_count_{0};
   Status sticky_;
 };
 

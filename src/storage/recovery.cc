@@ -4,9 +4,42 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/metrics.h"
 #include "storage/snapshot.h"
 
 namespace prometheus::storage {
+
+namespace {
+
+/// Process-wide store counters: how often stores opened/recovered and
+/// checkpointed, and how much replay/damage recovery observed.
+struct StoreMetrics {
+  obs::Counter* recoveries;
+  obs::Counter* torn_tails;
+  obs::Counter* replayed_records;
+  obs::Counter* checkpoints;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      StoreMetrics sm;
+      sm.recoveries = reg.GetCounter("store_recoveries_total",
+                                     "DurableStore::Open recoveries");
+      sm.torn_tails = reg.GetCounter(
+          "store_torn_tail_recoveries_total",
+          "Recoveries that repaired a torn or corrupt journal tail");
+      sm.replayed_records = reg.GetCounter(
+          "store_replayed_records_total",
+          "Journal records replayed during recovery");
+      sm.checkpoints = reg.GetCounter("store_checkpoints_total",
+                                      "Successful atomic checkpoints");
+      return sm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -187,7 +220,27 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   for (const auto& [seq, name] : journals) {
     if (seq <= keep_floor) (void)env->RemoveFile(dir + "/" + name);
   }
+
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  metrics.recoveries->Increment();
+  metrics.replayed_records->Increment(store->info_.replayed_records);
+  if (store->info_.torn_tail) metrics.torn_tails->Increment();
   return store;
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  Stats s;
+  if (journal_ != nullptr) {
+    s.journal_records = journal_->record_count();
+    s.journal_bytes = journal_->bytes_written();
+    s.journal_syncs = journal_->sync_count();
+  }
+  s.generation = snapshot_seq_;
+  s.checkpoints = checkpoints_;
+  s.replayed_records = info_.replayed_records;
+  s.dropped_records = info_.dropped_records;
+  s.torn_tail = info_.torn_tail;
+  return s;
 }
 
 Status DurableStore::OpenJournalFresh() {
@@ -238,6 +291,8 @@ Status DurableStore::Checkpoint() {
   for (std::uint64_t seq = 1; seq <= old_snapshot_seq; ++seq) {
     (void)env_->RemoveFile(dir_ + "/" + JournalName(seq));
   }
+  ++checkpoints_;
+  StoreMetrics::Get().checkpoints->Increment();
   return Status::Ok();
 }
 

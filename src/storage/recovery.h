@@ -89,6 +89,21 @@ class DurableStore {
   /// Current snapshot generation (0 until the first checkpoint).
   std::uint64_t generation() const { return snapshot_seq_; }
 
+  /// Point-in-time durability counters: the live journal's I/O totals plus
+  /// this store's checkpoint/recovery history. Safe to call from any thread
+  /// that may also be appending (journal counters are atomics).
+  struct Stats {
+    std::uint64_t journal_records = 0;  ///< live journal's mutation records
+    std::uint64_t journal_bytes = 0;    ///< live journal's framed bytes
+    std::uint64_t journal_syncs = 0;    ///< live journal's fsync barriers
+    std::uint64_t generation = 0;       ///< loaded snapshot generation
+    std::uint64_t checkpoints = 0;      ///< successful Checkpoint() calls
+    std::uint64_t replayed_records = 0; ///< records replayed by Open()
+    std::uint64_t dropped_records = 0;  ///< records lost to torn tails
+    bool torn_tail = false;             ///< recovery saw a torn tail
+  };
+  Stats stats() const;
+
   /// Writes an atomic snapshot of the current state, rotates the journal
   /// and prunes superseded generations. On failure the previous
   /// snapshot/journal pair remains authoritative and is reported intact by
@@ -113,6 +128,7 @@ class DurableStore {
   std::unique_ptr<Journal> journal_;
   std::uint64_t snapshot_seq_ = 0;  ///< generation of the loaded snapshot
   std::uint64_t journal_seq_ = 0;   ///< generation of the live journal
+  std::uint64_t checkpoints_ = 0;   ///< successful Checkpoint() calls
   RecoveryInfo info_;
   Status sticky_;  ///< store-level failures (e.g. journal rotation failed)
 };
