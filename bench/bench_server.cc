@@ -9,6 +9,16 @@
 //   2. mixed load: 7 reader clients + 1 writer client (SetAttribute
 //      mutations under the exclusive lock) at 4 workers.
 //
+// E16 — overload protection & graceful degradation:
+//
+//   a. overload: 1 worker behind a 16-slot queue, 8 clients with 2ms
+//      deadlines and mixed priorities — reports the reject / timeout /
+//      shed rates and how they skew by priority class;
+//   b. degraded read-only mode: a fault-injected DurableStore breaks mid-
+//      run, the server degrades, and read throughput plus the mutation
+//      fast-fail latency are measured while degraded; a checkpoint then
+//      re-arms the store.
+//
 // Reports throughput and p50/p95/p99 latency per sweep and writes the
 // machine-readable BENCH_server.json next to the binary's working dir.
 //
@@ -18,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <thread>
@@ -27,18 +38,30 @@
 #include "oo7/oo7.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/fault.h"
+#include "storage/recovery.h"
 
 namespace {
 
+using prometheus::Database;
 using prometheus::Oid;
+using prometheus::Status;
 using prometheus::Value;
+using prometheus::ValueType;
 using prometheus::bench::JsonWriter;
 using prometheus::bench::LatencyStats;
 using prometheus::bench::SummarizeLatencies;
 using prometheus::oo7::Config;
 using prometheus::oo7::PrometheusOo7;
 using prometheus::server::Client;
+using prometheus::server::Priority;
+using prometheus::server::Request;
+using prometheus::server::Response;
+using prometheus::server::ResponseCode;
 using prometheus::server::Server;
+using prometheus::storage::DurableStore;
+using prometheus::storage::FaultInjectionEnv;
+using prometheus::storage::FaultPolicy;
 
 using Clock = std::chrono::steady_clock;
 
@@ -174,6 +197,183 @@ void EmitSweepJson(JsonWriter& json, const SweepResult& r) {
   json.EndObject();
 }
 
+// ------------------------------------------------------------------- E16
+
+struct OverloadResult {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::size_t timed_out = 0;
+  std::size_t ok_by_priority[3] = {0, 0, 0};
+  std::size_t refused_by_priority[3] = {0, 0, 0};
+  double wall_ms = 0;
+};
+
+/// 8 clients with tight deadlines and mixed priorities against 1 worker
+/// behind a tiny queue: most requests cannot be served in time, and the
+/// point of the exercise is that refusal is cheap, immediate, and skewed
+/// toward the low-priority class.
+OverloadResult RunOverload(Server& server, int clients,
+                           int requests_per_client) {
+  OverloadResult result;
+  std::atomic<std::size_t> ok{0}, rejected{0}, timed_out{0};
+  std::atomic<std::size_t> ok_pri[3] = {{0}, {0}, {0}};
+  std::atomic<std::size_t> refused_pri[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> threads;
+  const Clock::time_point wall_start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(&server);
+      std::mt19937 rng(4000u + static_cast<unsigned>(c));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const int pri = (c + i) % 3;
+        Request req = Request::Query(ReadQuery(rng))
+                          .WithTimeout(std::chrono::milliseconds(2))
+                          .WithPriority(static_cast<Priority>(pri));
+        Response r = client.Call(std::move(req));
+        switch (r.code) {
+          case ResponseCode::kOk:
+            ok.fetch_add(1, std::memory_order_relaxed);
+            ok_pri[pri].fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ResponseCode::kRejected:
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            refused_pri[pri].fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ResponseCode::kTimedOut:
+            timed_out.fetch_add(1, std::memory_order_relaxed);
+            refused_pri[pri].fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = MillisSince(wall_start);
+  result.requests =
+      static_cast<std::size_t>(clients) *
+      static_cast<std::size_t>(requests_per_client);
+  result.ok = ok.load();
+  result.rejected = rejected.load();
+  result.timed_out = timed_out.load();
+  for (int p = 0; p < 3; ++p) {
+    result.ok_by_priority[p] = ok_pri[p].load();
+    result.refused_by_priority[p] = refused_pri[p].load();
+  }
+  return result;
+}
+
+struct DegradedResult {
+  double healthy_read_rps = 0;
+  double degraded_read_rps = 0;
+  LatencyStats fastfail_lat;  ///< kUnavailable mutation round-trip, ms
+  std::size_t unavailable = 0;
+  bool rearmed = false;
+};
+
+/// Read throughput with `clients` query threads over the Item extent.
+double MeasureReadRps(Server& server, int clients, int requests_per_client) {
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(&server);
+      std::mt19937 rng(7000u + static_cast<unsigned>(c));
+      std::uniform_int_distribution<int> lo_dist(0, 800);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const int lo = lo_dist(rng);
+        auto r = client.Query("select i.n from Item i where i.n >= " +
+                              std::to_string(lo) + " and i.n <= " +
+                              std::to_string(lo + 100));
+        if (r.ok()) done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = MillisSince(start);
+  return wall_ms > 0 ? static_cast<double>(done.load()) / (wall_ms / 1000.0)
+                     : 0;
+}
+
+DegradedResult RunDegraded(const std::string& dir, int clients,
+                           int requests_per_client) {
+  DegradedResult result;
+  std::filesystem::remove_all(dir);
+  FaultInjectionEnv env;
+  DurableStore::Options store_options;
+  store_options.env = &env;
+  store_options.bootstrap = [](Database* db) {
+    prometheus::AttributeDef n;
+    n.name = "n";
+    n.type = ValueType::kInt;
+    PROMETHEUS_RETURN_IF_ERROR(db->DefineClass("Item", {}, {n}).status());
+    for (int i = 0; i < 1000; ++i) {
+      PROMETHEUS_RETURN_IF_ERROR(
+          db->CreateObject("Item", {{"n", Value::Int(i)}}).status());
+    }
+    return Status::Ok();
+  };
+  auto store = DurableStore::Open(dir, store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "E16b: store open failed: %s\n",
+                 store.status().ToString().c_str());
+    return result;
+  }
+
+  Server::Options options;
+  options.worker_threads = 4;
+  options.queue_capacity = 4096;
+  options.store = store.value().get();
+  Server server(&store.value()->db(), options);
+  Client client(&server);
+
+  result.healthy_read_rps =
+      MeasureReadRps(server, clients, requests_per_client);
+
+  // Break durability (serialized with journal appends by running inside a
+  // mutation), then trip degraded mode with one doomed write.
+  FaultPolicy broken;
+  broken.fail_after_appends = 0;
+  (void)client.Mutate([&env, broken](Database&) {
+    env.SetPolicy(broken);
+    return Status::Ok();
+  });
+  (void)client.SetAttribute(store.value()->db().Extent("Item").front(), "n",
+                            Value::Int(-1));
+  if (!server.degraded()) {
+    std::fprintf(stderr, "E16b: server failed to degrade\n");
+    return result;
+  }
+
+  result.degraded_read_rps =
+      MeasureReadRps(server, clients, requests_per_client);
+
+  // Mutation fast-fail latency while degraded: refusals happen at
+  // admission, so the round trip should cost microseconds, not a queue
+  // traversal.
+  std::vector<double> fastfail;
+  const Oid item = store.value()->db().Extent("Item").front();
+  for (int i = 0; i < 200; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    Response r = client.Call(Request::SetAttribute(item, "n", Value::Int(i)));
+    fastfail.push_back(MillisSince(t0));
+    if (r.code == ResponseCode::kUnavailable) ++result.unavailable;
+  }
+  result.fastfail_lat = SummarizeLatencies(fastfail);
+
+  // Heal the filesystem and re-arm via the operator path.
+  env.SetPolicy(FaultPolicy{});
+  result.rearmed = client.Checkpoint().ok() && !server.degraded() &&
+                   client.SetAttribute(item, "n", Value::Int(0)).ok();
+  server.Shutdown();
+  store.value().reset();
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +447,74 @@ int main(int argc, char** argv) {
     EmitSweepJson(json, r);
   }
   json.EndArray();
+
+  // ---- E16a: overload (deadlines + priorities vs a saturated worker) ---
+  prometheus::bench::PrintTableHeader(
+      "E16a: overload shedding (8 clients, 2ms deadlines, 1 worker, "
+      "16-slot queue)",
+      "  outcome            count    rate");
+  json.Key("overload").BeginObject();
+  {
+    PrometheusOo7 oo7(config);
+    Server::Options options;
+    options.worker_threads = 1;
+    options.queue_capacity = 16;
+    Server server(&oo7.db(), options);
+    OverloadResult r =
+        RunOverload(server, kClientThreads, requests_per_client);
+    server.Shutdown();
+    const double n = static_cast<double>(r.requests);
+    std::printf("  served            %6zu  %5.1f%%\n", r.ok,
+                100.0 * static_cast<double>(r.ok) / n);
+    std::printf("  rejected          %6zu  %5.1f%%\n", r.rejected,
+                100.0 * static_cast<double>(r.rejected) / n);
+    std::printf("  timed out         %6zu  %5.1f%%\n", r.timed_out,
+                100.0 * static_cast<double>(r.timed_out) / n);
+    std::printf("  served by priority  low %zu / normal %zu / high %zu "
+                "(shedding favours important work)\n",
+                r.ok_by_priority[0], r.ok_by_priority[1],
+                r.ok_by_priority[2]);
+    json.Key("requests").Int(static_cast<long long>(r.requests));
+    json.Key("served").Int(static_cast<long long>(r.ok));
+    json.Key("rejected").Int(static_cast<long long>(r.rejected));
+    json.Key("timed_out").Int(static_cast<long long>(r.timed_out));
+    json.Key("wall_ms").Number(r.wall_ms);
+    json.Key("served_low").Int(static_cast<long long>(r.ok_by_priority[0]));
+    json.Key("served_normal")
+        .Int(static_cast<long long>(r.ok_by_priority[1]));
+    json.Key("served_high").Int(static_cast<long long>(r.ok_by_priority[2]));
+  }
+  json.EndObject();
+
+  // ---- E16b: degraded read-only mode ----------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E16b: degraded read-only mode (fault-injected store, 8 readers)",
+      "  metric                         value");
+  json.Key("degraded").BeginObject();
+  {
+    DegradedResult r = RunDegraded("bench_e16_store", kClientThreads,
+                                   requests_per_client);
+    std::printf("  healthy read throughput     %10.1f rps\n",
+                r.healthy_read_rps);
+    std::printf("  degraded read throughput    %10.1f rps  (%.0f%% of "
+                "healthy)\n",
+                r.degraded_read_rps,
+                r.healthy_read_rps > 0
+                    ? 100.0 * r.degraded_read_rps / r.healthy_read_rps
+                    : 0);
+    std::printf("  mutation fast-fail p50      %10.4f ms  (%zu/200 "
+                "kUnavailable)\n",
+                r.fastfail_lat.p50, r.unavailable);
+    std::printf("  checkpoint re-armed         %10s\n",
+                r.rearmed ? "yes" : "NO");
+    json.Key("healthy_read_rps").Number(r.healthy_read_rps);
+    json.Key("degraded_read_rps").Number(r.degraded_read_rps);
+    json.Key("fastfail_p50_ms").Number(r.fastfail_lat.p50);
+    json.Key("fastfail_p99_ms").Number(r.fastfail_lat.p99);
+    json.Key("unavailable").Int(static_cast<long long>(r.unavailable));
+    json.Key("rearmed").Int(r.rearmed ? 1 : 0);
+  }
+  json.EndObject();
   json.EndObject();
 
   const std::string out = "BENCH_server.json";

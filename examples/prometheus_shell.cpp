@@ -2,7 +2,14 @@
 // database, standing in for the thesis prototype's interactive front end
 // (the HTTP layer of 6.1.7 played this role remotely).
 //
+// The shell is a client of the src/server/ service layer: every query and
+// mutation travels through a `server::Client`, so the console surfaces the
+// same overload/degradation vocabulary a remote front end would see —
+// rejected, timed-out and read-only-mode outcomes each get a distinct,
+// actionable message instead of a generic error.
+//
 //   ./build/examples/prometheus_shell [snapshot.pdb]
+//   ./build/examples/prometheus_shell --store <dir>    (durable mode)
 //
 // Commands:
 //   .help                    this text
@@ -13,22 +20,31 @@
 //   .warnings                show rule warnings
 //   .save <file> / .load <file>
 //   .demo                    load a small demonstration taxonomy
+//   .health                  overload/degradation summary (server-side)
+//   .checkpoint              snapshot + journal rotation; re-arms a
+//                            degraded store (durable mode)
+//   .deadline <ms>           deadline applied to subsequent queries
+//                            (0 = none)
 //   .quit
 // Anything else is run as a POOL query, e.g.:
 //   select t.name from Taxon t where t.rank = 'Genus'
 // Prefix a query with `profile` to also print its per-stage span tree.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "index/index_manager.h"
-#include "obs/trace.h"
 #include "query/query_engine.h"
 #include "rules/pcl.h"
 #include "rules/rule_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 
 using namespace prometheus;
@@ -71,19 +87,80 @@ void PrintResultSet(const pool::ResultSet& rs) {
   std::printf("(%zu rows)\n", rs.rows.size());
 }
 
-void LoadDemo(Database* db) {
-  if (db->FindClass("Taxon") == nullptr) {
-    (void)db->DefineClass("Taxon", {},
-                          {Attr("name", ValueType::kString),
-                           Attr("rank", ValueType::kString),
-                           Attr("year", ValueType::kInt)});
-    (void)db->DefineRelationship("placed_in", "Taxon", "Taxon", {},
-                                 {Attr("motivation", ValueType::kString)});
+void PrintHealth(const server::Server::Health& h) {
+  std::printf("degraded:        %s\n", h.degraded ? "YES (read-only)" : "no");
+  if (!h.store_status.ok()) {
+    std::printf("store status:    %s\n", h.store_status.ToString().c_str());
+  }
+  std::printf("queue:           %zu/%zu  (est. wait %.0f us, %d workers)\n",
+              h.queue_depth, h.queue_capacity, h.estimated_wait_micros,
+              h.workers);
+  std::printf("requests:        accepted %llu, rejected %llu, timed out "
+              "%llu, shed %llu, unavailable %llu\n",
+              static_cast<unsigned long long>(h.stats.accepted),
+              static_cast<unsigned long long>(h.stats.rejected),
+              static_cast<unsigned long long>(h.stats.timed_out),
+              static_cast<unsigned long long>(h.stats.shed),
+              static_cast<unsigned long long>(h.stats.unavailable));
+  std::printf("sessions:        %zu active\n", h.sessions_active);
+}
+
+/// The transport outcomes a remote client would have to handle, each with
+/// a shell-appropriate course of action. Returns true when `resp` carried
+/// an executed result the caller should go on to print.
+bool ExplainTransport(server::Client& client, const server::Response& resp) {
+  using server::ResponseCode;
+  switch (resp.code) {
+    case ResponseCode::kOk:
+      return true;
+    case ResponseCode::kRejected:
+      std::printf("overloaded: %s\n         -> the request never ran; "
+                  "retry in a moment (.health shows queue pressure)\n",
+                  resp.status.message().c_str());
+      return false;
+    case ResponseCode::kTimedOut:
+      if (resp.executed) {
+        std::printf("timed out mid-execution: %s\n         -> the query ran "
+                    "past its deadline and was aborted; raise it with "
+                    ".deadline <ms>\n",
+                    resp.status.message().c_str());
+      } else {
+        std::printf("timed out in queue: %s\n         -> it never ran; the "
+                    "server is saturated (.health) — retry or raise the "
+                    "deadline\n",
+                    resp.status.message().c_str());
+      }
+      return false;
+    case ResponseCode::kUnavailable:
+      std::printf("read-only mode: %s\n         -> queries still serve; "
+                  "run .checkpoint to re-arm the store. Current health:\n",
+                  resp.status.message().c_str());
+      PrintHealth(client.HealthInfo());
+      return false;
+    case ResponseCode::kShutdown:
+      std::printf("server is shutting down\n");
+      return false;
+  }
+  return false;
+}
+
+Status LoadDemo(Database& db) {
+  if (db.FindClass("Taxon") == nullptr) {
+    PROMETHEUS_RETURN_IF_ERROR(
+        db.DefineClass("Taxon", {},
+                       {Attr("name", ValueType::kString),
+                        Attr("rank", ValueType::kString),
+                        Attr("year", ValueType::kInt)})
+            .status());
+    PROMETHEUS_RETURN_IF_ERROR(
+        db.DefineRelationship("placed_in", "Taxon", "Taxon", {},
+                              {Attr("motivation", ValueType::kString)})
+            .status());
   }
   auto mk = [&](const char* name, const char* rank, int year) {
-    return db->CreateObject("Taxon", {{"name", Value::String(name)},
-                                      {"rank", Value::String(rank)},
-                                      {"year", Value::Int(year)}})
+    return db.CreateObject("Taxon", {{"name", Value::String(name)},
+                                     {"rank", Value::String(rank)},
+                                     {"year", Value::Int(year)}})
         .value_or(kNullOid);
   };
   Oid apiaceae = mk("Apiaceae", "Familia", 1789);
@@ -91,30 +168,65 @@ void LoadDemo(Database* db) {
   Oid helio = mk("Heliosciadium", "Genus", 1824);
   Oid graveolens = mk("graveolens", "Species", 1753);
   Oid repens = mk("repens", "Species", 1821);
-  (void)db->CreateLink("placed_in", apiaceae, apium);
-  (void)db->CreateLink("placed_in", apiaceae, helio);
-  (void)db->CreateLink("placed_in", apium, graveolens);
-  (void)db->CreateLink("placed_in", helio, repens);
+  (void)db.CreateLink("placed_in", apiaceae, apium);
+  (void)db.CreateLink("placed_in", apiaceae, helio);
+  (void)db.CreateLink("placed_in", apium, graveolens);
+  (void)db.CreateLink("placed_in", helio, repens);
   std::printf("demo taxonomy loaded: %zu taxa, %zu placements\n",
-              db->object_count(), db->link_count());
+              db.object_count(), db.link_count());
+  return Status::Ok();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Database db;
-  if (argc > 1) {
-    Status st = storage::LoadSnapshot(&db, argv[1]);
+  // Two backing modes: a durable store directory (journalled, supports
+  // .checkpoint / degraded-mode recovery) or a plain in-memory database
+  // optionally seeded from a snapshot file.
+  std::unique_ptr<storage::DurableStore> store;
+  Database plain_db;
+  Database* db = &plain_db;
+  if (argc > 2 && std::string(argv[1]) == "--store") {
+    auto opened = storage::DurableStore::Open(argv[2]);
+    if (!opened.ok()) {
+      std::printf("cannot open store %s: %s\n", argv[2],
+                  opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    db = &store->db();
+    std::printf("opened store %s: %zu objects, generation %llu\n", argv[2],
+                db->object_count(),
+                static_cast<unsigned long long>(store->generation()));
+  } else if (argc > 1) {
+    Status st = storage::LoadSnapshot(db, argv[1]);
     if (!st.ok()) {
       std::printf("cannot load %s: %s\n", argv[1], st.ToString().c_str());
       return 1;
     }
     std::printf("loaded %s: %zu objects, %zu links\n", argv[1],
-                db.object_count(), db.link_count());
+                db->object_count(), db->link_count());
   }
-  IndexManager indexes(&db);
-  RuleEngine rules(&db);
-  pool::QueryEngine engine(&db, &indexes);
+  IndexManager indexes(db);
+  RuleEngine rules(db);
+
+  server::Server::Options options;
+  options.indexes = &indexes;
+  options.store = store.get();
+  server::Server server(db, options);
+  server::Client client(&server);
+  // An engine for .explain only (planning reads the schema, so it runs
+  // under the server's lock like everything else).
+  pool::QueryEngine engine(db, &indexes);
+
+  // While the server runs, database access flows through it; `with_db`
+  // runs a closure under the exclusive lock for the meta commands.
+  auto with_db = [&](std::function<Status(Database&)> fn) {
+    Status st = client.Mutate(std::move(fn));
+    if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
+  };
+
+  std::chrono::milliseconds deadline_ms{0};  // 0 = no deadline
 
   std::printf("Prometheus shell — type .help for commands, .quit to exit\n");
   std::string line;
@@ -133,43 +245,59 @@ int main(int argc, char** argv) {
       if (cmd == ".help") {
         std::printf(
             ".classes .relationships .extent <name> .explain <query> "
-            ".rule <pcl> .warnings .save <f> .load <f> .demo .quit\n"
+            ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
+            ".checkpoint .deadline <ms> .quit\n"
             "anything else runs as POOL\n");
       } else if (cmd == ".classes") {
-        for (const ClassDef* cls : db.classes()) {
-          std::printf("%s%s (%zu attributes)\n", cls->name().c_str(),
-                      cls->is_abstract() ? " [abstract]" : "",
-                      cls->attributes().size());
-        }
+        with_db([](Database& db) {
+          for (const ClassDef* cls : db.classes()) {
+            std::printf("%s%s (%zu attributes)\n", cls->name().c_str(),
+                        cls->is_abstract() ? " [abstract]" : "",
+                        cls->attributes().size());
+          }
+          return Status::Ok();
+        });
       } else if (cmd == ".relationships") {
-        for (const RelationshipDef* rel : db.relationships()) {
-          std::printf("%s: %s -> %s\n", rel->name().c_str(),
-                      rel->source_class()->name().c_str(),
-                      rel->target_class()->name().c_str());
-        }
+        with_db([](Database& db) {
+          for (const RelationshipDef* rel : db.relationships()) {
+            std::printf("%s: %s -> %s\n", rel->name().c_str(),
+                        rel->source_class()->name().c_str(),
+                        rel->target_class()->name().c_str());
+          }
+          return Status::Ok();
+        });
       } else if (cmd == ".extent") {
         std::string name;
         in >> name;
-        std::vector<Oid> extent = db.FindClass(name) != nullptr
-                                      ? db.Extent(name)
-                                      : db.LinkExtent(name);
-        std::printf("%zu members", extent.size());
-        for (std::size_t i = 0; i < extent.size() && i < 10; ++i) {
-          std::printf(" @%llu", static_cast<unsigned long long>(extent[i]));
-        }
-        std::printf("\n");
+        with_db([&name](Database& db) {
+          std::vector<Oid> extent = db.FindClass(name) != nullptr
+                                        ? db.Extent(name)
+                                        : db.LinkExtent(name);
+          std::printf("%zu members", extent.size());
+          for (std::size_t i = 0; i < extent.size() && i < 10; ++i) {
+            std::printf(" @%llu", static_cast<unsigned long long>(extent[i]));
+          }
+          std::printf("\n");
+          return Status::Ok();
+        });
       } else if (cmd == ".explain") {
         std::string q = line.substr(9);
-        auto plan = engine.Explain(q);
-        std::printf("%s", plan.ok() ? plan.value().c_str()
-                                    : (plan.status().ToString() + "\n")
-                                          .c_str());
+        with_db([&](Database&) {
+          auto plan = engine.Explain(q);
+          std::printf("%s", plan.ok() ? plan.value().c_str()
+                                      : (plan.status().ToString() + "\n")
+                                            .c_str());
+          return Status::Ok();
+        });
       } else if (cmd == ".rule") {
         std::string pcl = line.substr(5);
-        auto installed = InstallPcl(&rules, pcl);
-        std::printf("%s\n", installed.ok()
-                                ? "rule installed"
-                                : installed.status().ToString().c_str());
+        with_db([&](Database&) {
+          auto installed = InstallPcl(&rules, pcl);
+          std::printf("%s\n", installed.ok()
+                                  ? "rule installed"
+                                  : installed.status().ToString().c_str());
+          return Status::Ok();
+        });
       } else if (cmd == ".warnings") {
         for (const RuleViolation& v : rules.warnings()) {
           std::printf("%s: %s\n", v.rule_name.c_str(), v.message.c_str());
@@ -178,36 +306,64 @@ int main(int argc, char** argv) {
       } else if (cmd == ".save") {
         std::string path;
         in >> path;
-        Status st = storage::SaveSnapshot(db, path);
-        std::printf("%s\n", st.ToString().c_str());
+        with_db([&path](Database& db) {
+          Status st = storage::SaveSnapshot(db, path);
+          std::printf("%s\n", st.ToString().c_str());
+          return Status::Ok();
+        });
       } else if (cmd == ".load") {
         std::string path;
         in >> path;
-        Status st = storage::LoadSnapshot(&db, path);
-        std::printf("%s\n", st.ToString().c_str());
+        with_db([&path](Database& db) {
+          Status st = storage::LoadSnapshot(&db, path);
+          std::printf("%s\n", st.ToString().c_str());
+          return Status::Ok();
+        });
       } else if (cmd == ".demo") {
-        LoadDemo(&db);
+        with_db([](Database& db) { return LoadDemo(db); });
+      } else if (cmd == ".health") {
+        PrintHealth(client.HealthInfo());
+      } else if (cmd == ".checkpoint") {
+        if (store == nullptr) {
+          std::printf("no durable store attached — start the shell with "
+                      "--store <dir>\n");
+        } else {
+          Status st = client.Checkpoint();
+          if (st.ok()) {
+            std::printf("checkpoint written (generation %llu)%s\n",
+                        static_cast<unsigned long long>(store->generation()),
+                        server.degraded() ? "" : "; store is armed");
+          } else {
+            std::printf("checkpoint failed: %s\n", st.ToString().c_str());
+          }
+        }
+      } else if (cmd == ".deadline") {
+        long long ms = 0;
+        in >> ms;
+        deadline_ms = std::chrono::milliseconds(ms < 0 ? 0 : ms);
+        if (deadline_ms.count() == 0) {
+          std::printf("queries run without a deadline\n");
+        } else {
+          std::printf("queries now carry a %lld ms deadline\n",
+                      static_cast<long long>(deadline_ms.count()));
+        }
       } else {
         std::printf("unknown command %s\n", cmd.c_str());
       }
       continue;
     }
-    if (pool::IsProfileQuery(line)) {
-      auto profiled = engine.ExecuteProfiled(line);
-      if (profiled.ok()) {
-        PrintResultSet(profiled.value().rows);
-        std::printf("%s", obs::RenderTree(profiled.value().trace).c_str());
-      } else {
-        std::printf("error: %s\n", profiled.status().ToString().c_str());
-      }
+    // POOL queries travel through the server like any remote client's
+    // would — deadline attached, transport outcome explained.
+    server::Request req = server::Request::Query(line);
+    if (deadline_ms.count() > 0) req.WithTimeout(deadline_ms);
+    server::Response resp = client.Call(std::move(req));
+    if (!ExplainTransport(client, resp)) continue;
+    if (!resp.status.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
       continue;
     }
-    auto rs = engine.Execute(line);
-    if (rs.ok()) {
-      PrintResultSet(rs.value());
-    } else {
-      std::printf("error: %s\n", rs.status().ToString().c_str());
-    }
+    PrintResultSet(resp.result);
+    if (!resp.text.empty()) std::printf("%s", resp.text.c_str());
   }
   std::printf("\n");
   return 0;

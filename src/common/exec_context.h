@@ -1,0 +1,91 @@
+#ifndef PROMETHEUS_COMMON_EXEC_CONTEXT_H_
+#define PROMETHEUS_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace prometheus {
+
+/// Cooperative cancellation / deadline token threaded through long-running
+/// engine loops (query scans, traversals). The executing code calls
+/// `Check()` at each natural unit of work (one binding, one edge) and
+/// unwinds with the returned non-OK status when the budget is spent —
+/// aborting mid-execution instead of holding the shared lock past the
+/// request's deadline.
+///
+/// Cost model: `Check()` is one relaxed atomic load when no deadline is
+/// set; with a deadline it amortises the clock read over `kClockStride`
+/// calls, so a tight scan loop pays ~one branch per iteration either way.
+///
+/// Thread model: one executing thread calls `Check()`; any thread may call
+/// `RequestCancel()`. The amortisation counter is intentionally unshared
+/// state of the executing thread.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sentinel for "no deadline".
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// Clock reads are amortised: at most one per this many Check() calls.
+  static constexpr std::uint32_t kClockStride = 128;
+
+  ExecutionContext() = default;
+  explicit ExecutionContext(Clock::time_point deadline)
+      : deadline_(deadline) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  Clock::time_point deadline() const { return deadline_; }
+  bool has_deadline() const { return deadline_ != kNoDeadline; }
+
+  /// Asks the executing code to unwind at its next Check(). Thread-safe.
+  void RequestCancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a Check() observed the deadline in the past.
+  bool expired() const { return expired_.load(std::memory_order_relaxed); }
+
+  /// Cooperative check, called once per unit of work. Returns OK to keep
+  /// going, `kAborted` on cancellation, `kDeadlineExceeded` once the
+  /// deadline passes (sticky: later calls keep failing without reading the
+  /// clock again).
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Aborted("execution cancelled");
+    }
+    if (deadline_ == kNoDeadline) return Status::Ok();
+    if (expired_.load(std::memory_order_relaxed)) return Expired();
+    if (ticks_++ % kClockStride != 0) return Status::Ok();
+    if (Clock::now() >= deadline_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return Expired();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Expired() {
+    return Status::DeadlineExceeded("request deadline exceeded mid-execution");
+  }
+
+  const Clock::time_point deadline_ = kNoDeadline;
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> expired_{false};
+  /// Check() call counter for clock amortisation; owned by the executing
+  /// thread (not shared), hence deliberately not atomic.
+  mutable std::uint32_t ticks_ = 0;
+};
+
+}  // namespace prometheus
+
+#endif  // PROMETHEUS_COMMON_EXEC_CONTEXT_H_

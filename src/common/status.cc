@@ -22,6 +22,10 @@ const char* StatusCodeName(Status::Code code) {
       return "IoError";
     case Status::Code::kFailedPrecondition:
       return "FailedPrecondition";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

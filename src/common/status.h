@@ -37,6 +37,12 @@ class Status {
     /// The operation is not valid in the current state (e.g. nested
     /// transaction, mutating a committed classification).
     kFailedPrecondition,
+    /// The request's deadline passed before (or while) it executed.
+    kDeadlineExceeded,
+    /// The service cannot take this operation right now — e.g. mutations
+    /// while the store is in degraded read-only mode. Retrying without an
+    /// operator action (checkpoint/rotate) will not help.
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -67,6 +73,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   /// True when the operation succeeded.

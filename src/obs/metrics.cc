@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/stats.h"
 
@@ -17,11 +18,23 @@ std::atomic<bool> g_metrics_enabled{true};
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
 
+std::vector<double> Histogram::LogSpacedBounds(double lo, double hi,
+                                               int per_decade) {
+  std::vector<double> bounds;
+  if (!(lo > 0) || !(hi > lo) || per_decade < 1) return bounds;
+  const double step = std::log10(hi / lo) * per_decade;
+  const int buckets = static_cast<int>(std::ceil(step - 1e-9));
+  bounds.reserve(static_cast<std::size_t>(buckets) + 1);
+  for (int i = 0; i < buckets; ++i) {
+    bounds.push_back(lo * std::pow(10.0, static_cast<double>(i) / per_decade));
+  }
+  bounds.push_back(hi);  // exact endpoint, never a rounding casualty
+  return bounds;
+}
+
 const std::vector<double>& Histogram::DefaultLatencyBoundsMicros() {
-  static const std::vector<double> kBounds = {
-      1,     2,     5,     10,    20,    50,    100,   200,   500,
-      1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,   2e5,   5e5,
-      1e6,   2e6,   5e6};
+  // 1µs .. 10s, 5 per decade: 36 bounds, adjacent ratio 10^0.2 ≈ 1.585.
+  static const std::vector<double> kBounds = LogSpacedBounds(1.0, 1e7, 5);
   return kBounds;
 }
 

@@ -98,9 +98,20 @@ class Histogram {
   /// bucket whose bound is >= the value, or the overflow bucket.
   explicit Histogram(std::vector<double> bounds);
 
-  /// Default latency bucket bounds in microseconds: 1µs .. 5s in a
-  /// 1-2-5 progression — wide enough for both sub-µs hot paths and slow
-  /// multi-second scans.
+  /// Log-spaced bounds: `per_decade` buckets per factor of 10, spanning
+  /// [lo, hi] inclusive (both endpoints are bounds). Auto-ranged: the
+  /// caller names the range, the geometric spacing follows, and every
+  /// adjacent bound pair has the same ratio 10^(1/per_decade) — so the
+  /// worst-case relative error of linear percentile interpolation is the
+  /// same in every bucket (bounded by ratio - 1).
+  static std::vector<double> LogSpacedBounds(double lo, double hi,
+                                             int per_decade);
+
+  /// Default latency bucket bounds in microseconds: log-spaced, 5 buckets
+  /// per decade over 1µs .. 10s (adjacent-bound ratio ~1.58, so percentile
+  /// interpolation error stays under ~60% of a bucket's width anywhere in
+  /// the range — tighter than the old 1-2-5 progression's worst-case 2.5×
+  /// steps).
   static const std::vector<double>& DefaultLatencyBoundsMicros();
 
   void Observe(double value);

@@ -129,7 +129,8 @@ std::vector<Value> ResultSet::Column(std::size_t i) const {
   return out;
 }
 
-Result<ResultSet> QueryEngine::Execute(const std::string& query) const {
+Result<ResultSet> QueryEngine::Execute(const std::string& query,
+                                       const ExecutionContext* ctx) const {
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.queries->Increment();
   obs::ScopedTimer timer(metrics.latency);
@@ -139,13 +140,13 @@ Result<ResultSet> QueryEngine::Execute(const std::string& query) const {
     return parsed.status();
   }
   Result<ResultSet> result =
-      ExecuteInternal(*parsed.value(), Environment{}, nullptr);
+      ExecuteInternal(*parsed.value(), Environment{}, nullptr, ctx);
   if (!result.ok()) metrics.errors->Increment();
   return result;
 }
 
 Result<QueryProfile> QueryEngine::ExecuteProfiled(
-    const std::string& query) const {
+    const std::string& query, const ExecutionContext* ctx) const {
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.queries->Increment();
   metrics.profiled->Increment();
@@ -169,7 +170,7 @@ Result<QueryProfile> QueryEngine::ExecuteProfiled(
   }
 
   Result<ResultSet> rows =
-      ExecuteInternal(*parsed.value(), Environment{}, &out.trace);
+      ExecuteInternal(*parsed.value(), Environment{}, &out.trace, ctx);
   if (!rows.ok()) {
     metrics.errors->Increment();
     return rows.status();
@@ -1017,13 +1018,16 @@ Result<std::string> QueryEngine::Explain(const std::string& query) const {
 }
 
 Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
-                                       const Environment& outer) const {
-  return ExecuteInternal(query, outer, nullptr);
+                                       const Environment& outer,
+                                       const ExecutionContext* ctx) const {
+  return ExecuteInternal(query, outer, nullptr, ctx);
 }
 
 Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
                                                const Environment& outer,
-                                               obs::TraceNode* trace) const {
+                                               obs::TraceNode* trace,
+                                               const ExecutionContext* ctx)
+    const {
   // Const-execution contract: this path never mutates the database, and —
   // when the caller holds the epoch guard as it must under concurrency —
   // no writer can interleave, so the epoch is stable across the run. An
@@ -1177,6 +1181,10 @@ Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
       candidates = &dynamic;
     }
     for (const Value& v : *candidates) {
+      // Cooperative deadline / cancellation: one check per enumerated
+      // binding bounds the abort latency by a single binding's work
+      // (including its subqueries and the emit path).
+      if (ctx != nullptr) PROMETHEUS_RETURN_IF_ERROR(ctx->Check());
       ++scanned;
       env[rb.range->variable] = v;
       PROMETHEUS_RETURN_IF_ERROR(recurse(depth + 1, emit));

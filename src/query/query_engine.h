@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "core/database.h"
 #include "index/index_manager.h"
@@ -63,18 +64,25 @@ class QueryEngine {
   explicit QueryEngine(Database* db, IndexManager* indexes = nullptr)
       : db_(db), indexes_(indexes) {}
 
-  /// Parses and runs a query.
-  Result<ResultSet> Execute(const std::string& query) const;
+  /// Parses and runs a query. `ctx` (nullable) is a cooperative deadline /
+  /// cancellation token: the join loops call `ctx->Check()` once per
+  /// enumerated binding and unwind with `kDeadlineExceeded` / `kAborted`,
+  /// so a long scan aborts mid-execution instead of running to completion
+  /// after its caller has given up. Without a context the loops pay one
+  /// branch per binding.
+  Result<ResultSet> Execute(const std::string& query,
+                            const ExecutionContext* ctx = nullptr) const;
 
   /// Runs a parsed query; `outer` provides correlated bindings.
-  Result<ResultSet> Execute(const SelectQuery& query,
-                            const Environment& outer) const;
+  Result<ResultSet> Execute(const SelectQuery& query, const Environment& outer,
+                            const ExecutionContext* ctx = nullptr) const;
 
   /// Parses and runs a query with span tracing: returns the rows plus the
   /// per-stage timing/cardinality tree. Accepts the query with or without
   /// a leading `profile` keyword. Tracing costs two clock reads per stage;
   /// the unprofiled `Execute` path pays none of it.
-  Result<QueryProfile> ExecuteProfiled(const std::string& query) const;
+  Result<QueryProfile> ExecuteProfiled(
+      const std::string& query, const ExecutionContext* ctx = nullptr) const;
 
   /// Parses and evaluates a standalone expression under `env`.
   Result<Value> Eval(const std::string& expr, const Environment& env) const;
@@ -109,10 +117,12 @@ class QueryEngine {
                             const std::vector<Environment>& group) const;
 
   /// Runs a parsed query; `trace` (nullable) receives plan/execute/sort/
-  /// project child spans when profiling.
+  /// project child spans when profiling; `ctx` (nullable) is checked once
+  /// per enumerated binding.
   Result<ResultSet> ExecuteInternal(const SelectQuery& query,
                                     const Environment& outer,
-                                    obs::TraceNode* trace) const;
+                                    obs::TraceNode* trace,
+                                    const ExecutionContext* ctx) const;
 
   /// Candidate oids for an extent range, narrowed through an index when the
   /// where-clause pins `var.attr` to a constant. `strategy` (nullable)

@@ -1,0 +1,54 @@
+#include "server/admission.h"
+
+namespace prometheus::server {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options), ewma_micros_(options.initial_estimate_micros) {}
+
+AdmissionController::Decision AdmissionController::Admit(
+    std::size_t queue_depth, std::size_t capacity, int threads,
+    Priority priority, DeadlineClock::time_point deadline,
+    DeadlineClock::time_point now) const {
+  const double fill =
+      capacity == 0 ? 1.0
+                    : static_cast<double>(queue_depth) /
+                          static_cast<double>(capacity);
+  // Staggered watermarks: shed the lowest class first. kHigh is never
+  // watermark-shed — a full queue refuses it at the executor instead.
+  if (priority == Priority::kLow && fill > options_.shed_low_above) {
+    return Decision::kShedOverload;
+  }
+  if (priority == Priority::kNormal && fill > options_.shed_normal_above) {
+    return Decision::kShedOverload;
+  }
+  if (options_.predict_queue_wait && deadline != kNoDeadline) {
+    const double wait = EstimatedQueueWaitMicros(queue_depth, threads);
+    if (wait > 0) {
+      const double budget =
+          std::chrono::duration<double, std::micro>(deadline - now).count();
+      if (budget < wait) return Decision::kWouldExpire;
+    }
+  }
+  return Decision::kAdmit;
+}
+
+void AdmissionController::RecordJobMicros(double micros) {
+  const double alpha = options_.ewma_alpha;
+  double prev = ewma_micros_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev == 0 ? micros : prev + alpha * (micros - prev);
+  } while (!ewma_micros_.compare_exchange_weak(prev, next,
+                                               std::memory_order_relaxed));
+}
+
+double AdmissionController::EstimatedQueueWaitMicros(std::size_t queue_depth,
+                                                     int threads) const {
+  if (threads < 1) threads = 1;
+  const double ewma = ewma_micros_.load(std::memory_order_relaxed);
+  // `queue_depth` jobs drain ahead of a new arrival, `threads` at a time.
+  return ewma * (static_cast<double>(queue_depth) /
+                 static_cast<double>(threads));
+}
+
+}  // namespace prometheus::server

@@ -1,0 +1,98 @@
+#ifndef PROMETHEUS_SERVER_ADMISSION_H_
+#define PROMETHEUS_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace prometheus::server {
+
+/// Scheduling class of a request. Under pressure the admission controller
+/// sheds lower classes first, and the executor dequeues higher classes
+/// first — kLow is for bulk / best-effort work (analytics sweeps), kHigh
+/// for operator traffic (health probes, the checkpoint that re-arms a
+/// degraded store).
+enum class Priority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+inline constexpr int kPriorityLevels = 3;
+
+/// The clock deadlines are expressed in.
+using DeadlineClock = std::chrono::steady_clock;
+
+/// Sentinel deadline meaning "no deadline" — requests default to it, and
+/// every deadline branch on the hot path is skipped for it.
+inline constexpr DeadlineClock::time_point kNoDeadline =
+    DeadlineClock::time_point::max();
+
+/// Knobs of the adaptive admission policy.
+struct AdmissionOptions {
+  /// Queue fill fraction above which kLow submissions are refused. The
+  /// thresholds stagger so load sheds lowest-priority-first as the queue
+  /// climbs toward capacity.
+  double shed_low_above = 0.50;
+  /// Queue fill fraction above which kNormal submissions are refused
+  /// (kHigh is only ever refused by a full queue).
+  double shed_normal_above = 0.85;
+  /// Refuse a deadline-bearing request up front when its estimated queue
+  /// wait already exceeds the deadline — it would only be shed at dequeue
+  /// after wasting queue space.
+  bool predict_queue_wait = true;
+  /// Smoothing factor of the per-job latency EWMA behind the wait estimate.
+  double ewma_alpha = 0.05;
+  /// Seed of the latency EWMA in microseconds; 0 disables prediction until
+  /// the first completed job calibrates it.
+  double initial_estimate_micros = 0;
+};
+
+/// Decides, per submission, whether the bounded queue takes the job — the
+/// policy half of overload protection (the executor is the mechanism).
+///
+/// Inputs are the same quantities the observability layer already exports:
+/// the instantaneous queue depth (`server_queue_depth`) and the request
+/// latency stream (`server_request_micros`), folded into an EWMA so the
+/// wait estimate tracks the current workload shape.
+///
+/// Thread-safe: `Admit` reads and `RecordJobMicros` updates one atomic.
+class AdmissionController {
+ public:
+  enum class Decision : std::uint8_t {
+    kAdmit,
+    /// Queue fill crossed this priority's shed threshold.
+    kShedOverload,
+    /// Estimated queue wait exceeds the request's deadline.
+    kWouldExpire,
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  Decision Admit(std::size_t queue_depth, std::size_t capacity, int threads,
+                 Priority priority, DeadlineClock::time_point deadline,
+                 DeadlineClock::time_point now) const;
+
+  /// Feeds one completed job's execution time into the latency EWMA.
+  void RecordJobMicros(double micros);
+
+  /// Current EWMA of job execution time (microseconds).
+  double estimated_job_micros() const {
+    return ewma_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Expected time a job submitted now spends queued, given `queue_depth`
+  /// jobs ahead of it draining through `threads` workers.
+  double EstimatedQueueWaitMicros(std::size_t queue_depth, int threads) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  std::atomic<double> ewma_micros_;
+};
+
+}  // namespace prometheus::server
+
+#endif  // PROMETHEUS_SERVER_ADMISSION_H_

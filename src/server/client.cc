@@ -1,8 +1,28 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <random>
+#include <thread>
 #include <utility>
 
 namespace prometheus::server {
+
+namespace {
+
+/// Full-jitter backoff before retry `attempt` (1-based): uniform in
+/// [0, min(initial * multiplier^(attempt-1), max)].
+std::chrono::microseconds JitteredBackoff(const RetryPolicy& policy,
+                                          int attempt) {
+  double ceiling = static_cast<double>(policy.initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) ceiling *= policy.multiplier;
+  ceiling = std::min(ceiling, static_cast<double>(policy.max_backoff.count()));
+  if (ceiling <= 0) return std::chrono::microseconds(0);
+  thread_local std::mt19937_64 rng{std::random_device{}()};
+  std::uniform_real_distribution<double> dist(0.0, ceiling);
+  return std::chrono::microseconds(static_cast<std::int64_t>(dist(rng)));
+}
+
+}  // namespace
 
 Client::Client(Server* server)
     : server_(server), session_(server->Connect()) {}
@@ -70,6 +90,50 @@ Result<std::string> Client::Stats(StatsFormat format) {
   Response resp = Call(Request::Stats(format));
   if (!resp.ok()) return TransportStatus(resp);
   return std::move(resp.text);
+}
+
+Result<std::string> Client::Health() {
+  Response resp = Call(Request::Health());
+  if (!resp.ok()) return TransportStatus(resp);
+  return std::move(resp.text);
+}
+
+Server::Health Client::HealthInfo() { return server_->health(); }
+
+Status Client::Checkpoint() {
+  return TransportStatus(Call(Request::Checkpoint()));
+}
+
+bool Client::Retryable(const Response& resp) {
+  if (resp.code == ResponseCode::kRejected) return true;
+  // Timed out before a worker picked it up: provably never ran. A request
+  // that timed out *during* execution is final — a mutation may have
+  // partially applied, and a fresh attempt would expire immediately
+  // against the same absolute deadline anyway.
+  return resp.code == ResponseCode::kTimedOut && !resp.executed;
+}
+
+Response Client::CallWithRetry(Request req, const RetryPolicy& policy) {
+  const auto start = DeadlineClock::now();
+  for (int attempt = 1;; ++attempt) {
+    Response resp = Call(req);  // copy: each attempt submits afresh
+    if (!Retryable(resp) || attempt >= policy.max_attempts) return resp;
+    const auto backoff = JitteredBackoff(policy, attempt);
+    const auto resume = DeadlineClock::now() + backoff;
+    // The retry budget and the request's own deadline both bound the
+    // retrying; give up (returning the last outcome) rather than submit a
+    // request that cannot finish in time.
+    if (resume - start > policy.budget) return resp;
+    if (req.deadline != kNoDeadline && resume >= req.deadline) return resp;
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+Result<pool::ResultSet> Client::QueryWithRetry(const std::string& pool_text,
+                                               const RetryPolicy& policy) {
+  Response resp = CallWithRetry(Request::Query(pool_text), policy);
+  if (!resp.ok()) return TransportStatus(resp);
+  return std::move(resp.result);
 }
 
 Result<Client::ProfiledQuery> Client::Profile(const std::string& pool_text) {

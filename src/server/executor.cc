@@ -1,5 +1,6 @@
 #include "server/executor.h"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -21,52 +22,135 @@ obs::Gauge* QueueDepthGauge() {
 obs::Counter* RejectedCounter() {
   static obs::Counter* c = obs::Registry().GetCounter(
       "server_requests_rejected_total",
-      "Submissions refused by backpressure or shutdown");
+      "Submissions refused by admission control or shutdown");
   return c;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* c = obs::Registry().GetCounter(
+      "server_requests_shed_total",
+      "Queued jobs evicted by higher-priority submissions");
+  return c;
+}
+
+obs::Counter* ExpiredCounter() {
+  static obs::Counter* c = obs::Registry().GetCounter(
+      "server_jobs_expired_total",
+      "Jobs shed at dequeue because their deadline had passed");
+  return c;
+}
+
+/// EWMA-smoothed job execution time — the quantity behind the admission
+/// controller's queue-wait estimate, exported for dashboards.
+obs::Gauge* EstimatedJobMicrosGauge() {
+  static obs::Gauge* g = obs::Registry().GetGauge(
+      "server_estimated_job_micros",
+      "EWMA of job execution time driving admission control");
+  return g;
 }
 
 }  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(const Options& options)
-    : capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
-  const int n = options.threads < 1 ? 1 : options.threads;
-  workers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
+    : capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity),
+      threads_(options.threads < 1 ? 1 : options.threads),
+      admission_(options.admission) {
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPoolExecutor::~ThreadPoolExecutor() { Shutdown(/*drain=*/true); }
 
-bool ThreadPoolExecutor::Submit(Job job) {
+ThreadPoolExecutor::Admission ThreadPoolExecutor::Submit(Job job,
+                                                         JobInfo info) {
+  // The clock is read at most once per submission, and only when a policy
+  // actually needs "now" (a deadline is present) — deadline-free traffic
+  // through an uncontended queue pays a few branches.
+  Job evicted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ || queue_.size() >= capacity_) {
+    if (shutting_down_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       RejectedCounter()->Increment();
-      return false;
+      return Admission::kShutdown;
     }
-    queue_.push_back(std::move(job));
-    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    const auto now = info.deadline != kNoDeadline ? DeadlineClock::now()
+                                                  : DeadlineClock::time_point();
+    switch (admission_.Admit(depth_, capacity_, threads_, info.priority,
+                             info.deadline, now)) {
+      case AdmissionController::Decision::kAdmit:
+        break;
+      case AdmissionController::Decision::kShedOverload:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        RejectedCounter()->Increment();
+        return Admission::kQueueFull;
+      case AdmissionController::Decision::kWouldExpire:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        RejectedCounter()->Increment();
+        return Admission::kWouldExpire;
+    }
+    if (depth_ >= capacity_) {
+      // Full. A higher-priority submission evicts the newest entry of the
+      // lowest occupied tier below it; everything else is refused.
+      const int incoming = static_cast<int>(info.priority);
+      int victim = -1;
+      for (int tier = 0; tier < incoming; ++tier) {
+        if (!queues_[static_cast<std::size_t>(tier)].empty()) {
+          victim = tier;
+          break;
+        }
+      }
+      if (victim < 0) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        RejectedCounter()->Increment();
+        return Admission::kQueueFull;
+      }
+      auto& q = queues_[static_cast<std::size_t>(victim)];
+      evicted = std::move(q.back().job);
+      q.pop_back();
+      --depth_;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      ShedCounter()->Increment();
+    }
+    queues_[static_cast<std::size_t>(info.priority)].push_back(
+        QueuedJob{std::move(job), info.deadline});
+    ++depth_;
+    QueueDepthGauge()->Set(static_cast<std::int64_t>(depth_));
   }
   not_empty_.notify_one();
-  return true;
+  // The evicted job's exactly-once completion, outside the lock.
+  if (evicted) evicted(Disposition::kShed);
+  return Admission::kAccepted;
 }
 
 void ThreadPoolExecutor::Shutdown(bool drain) {
   // Serialise whole shutdowns: two concurrent callers must not both join
   // the same workers.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
-  std::deque<Job> discarded;
+  std::deque<QueuedJob> discarded;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_ && workers_.empty()) return;  // already shut down
     shutting_down_ = true;
-    if (!drain) discarded.swap(queue_);
+    if (!drain) {
+      // Discard in priority order purely for determinism of completion
+      // callbacks; every job gets the same disposition.
+      for (int tier = kPriorityLevels - 1; tier >= 0; --tier) {
+        auto& q = queues_[static_cast<std::size_t>(tier)];
+        while (!q.empty()) {
+          discarded.push_back(std::move(q.front()));
+          q.pop_front();
+        }
+      }
+      depth_ = 0;
+      QueueDepthGauge()->Set(0);
+    }
   }
   not_empty_.notify_all();
   // Discarded jobs still get their exactly-once completion call.
-  for (Job& job : discarded) job(/*run=*/false);
+  for (QueuedJob& qj : discarded) qj.job(Disposition::kShutdown);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -75,7 +159,7 @@ void ThreadPoolExecutor::Shutdown(bool drain) {
 
 std::size_t ThreadPoolExecutor::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return depth_;
 }
 
 void ThreadPoolExecutor::WorkerLoop(int worker_index) {
@@ -84,16 +168,38 @@ void ThreadPoolExecutor::WorkerLoop(int worker_index) {
           "\"}",
       "Jobs executed, per worker thread");
   for (;;) {
-    Job job;
+    QueuedJob qj;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+      not_empty_.wait(lock, [this] { return shutting_down_ || depth_ > 0; });
+      if (depth_ == 0) return;  // shutting down and drained
+      for (int tier = kPriorityLevels - 1; tier >= 0; --tier) {
+        auto& q = queues_[static_cast<std::size_t>(tier)];
+        if (q.empty()) continue;
+        qj = std::move(q.front());
+        q.pop_front();
+        break;
+      }
+      --depth_;
+      QueueDepthGauge()->Set(static_cast<std::int64_t>(depth_));
     }
-    job(/*run=*/true);
+    // Expired-at-dequeue shedding: don't burn a worker on work whose
+    // caller has already given up. Applies during drain too — a drain
+    // honours deadlines, it does not resurrect them.
+    if (qj.deadline != kNoDeadline && DeadlineClock::now() >= qj.deadline) {
+      qj.job(Disposition::kExpired);
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      ExpiredCounter()->Increment();
+      continue;
+    }
+    const auto start = DeadlineClock::now();
+    qj.job(Disposition::kRun);
+    const double micros = std::chrono::duration<double, std::micro>(
+                              DeadlineClock::now() - start)
+                              .count();
+    admission_.RecordJobMicros(micros);
+    EstimatedJobMicrosGauge()->Set(
+        static_cast<std::int64_t>(admission_.estimated_job_micros()));
     executed_.fetch_add(1, std::memory_order_relaxed);
     worker_requests->Increment();
   }

@@ -1,6 +1,7 @@
 #ifndef PROMETHEUS_SERVER_EXECUTOR_H_
 #define PROMETHEUS_SERVER_EXECUTOR_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -10,30 +11,64 @@
 #include <thread>
 #include <vector>
 
+#include "server/admission.h"
+
 namespace prometheus::server {
 
-/// Fixed-size worker pool with a bounded queue — the admission half of the
-/// service layer. Three properties the server builds on:
+/// Fixed-size worker pool with a bounded, priority-tiered queue — the
+/// admission half of the service layer. The properties the server builds
+/// on:
 ///
 ///  1. **Backpressure, not buffering**: `Submit` never blocks and never
-///     grows the queue past its capacity. A full queue refuses the job, and
-///     the caller surfaces that to the client (`ResponseCode::kRejected`) —
-///     overload sheds load at the edge instead of ballooning latency.
+///     grows the queue past its capacity. Refusal is adaptive: the
+///     `AdmissionController` sheds low-priority work before the queue is
+///     full and refuses deadline-bearing work whose estimated queue wait
+///     already exceeds its budget. A higher-priority submission hitting a
+///     full queue evicts the newest lowest-priority entry instead of being
+///     refused.
 ///  2. **Exactly-once completion**: every accepted job is invoked exactly
-///     once — with `run=true` by a worker, or with `run=false` when a
-///     non-draining shutdown discards the queue. A job owns its completion
-///     signal (a promise) and can therefore always resolve it.
-///  3. **Graceful drain**: `Shutdown(drain=true)` stops admission, runs the
-///     queue dry, and joins the workers.
+///     once, with a `Disposition` saying what happened — run by a worker,
+///     shed expired at dequeue, evicted for priority, or discarded by a
+///     non-draining shutdown. A job owns its completion signal (a promise)
+///     and can therefore always resolve it.
+///  3. **Deadline shedding**: a job whose deadline passed while queued is
+///     not run; it completes with `Disposition::kExpired` (the server maps
+///     that to `ResponseCode::kTimedOut`). Jobs without deadlines pay one
+///     branch, never a clock read.
+///  4. **Graceful drain**: `Shutdown(drain=true)` stops admission, runs the
+///     queue dry (still shedding expired jobs) and joins the workers.
 class ThreadPoolExecutor {
  public:
-  /// A unit of work. `run=false` means the executor is discarding the job
-  /// (non-draining shutdown); the job must still resolve its completion.
-  using Job = std::function<void(bool run)>;
+  /// Why a job is being completed.
+  enum class Disposition : std::uint8_t {
+    kRun,       ///< executing on a worker now
+    kShutdown,  ///< discarded by a non-draining shutdown; never ran
+    kExpired,   ///< deadline passed while queued; never ran
+    kShed,      ///< evicted by a higher-priority submission; never ran
+  };
+
+  /// A unit of work. Invoked exactly once; only `kRun` means "execute".
+  using Job = std::function<void(Disposition)>;
+
+  /// Outcome of a `Submit` call.
+  enum class Admission : std::uint8_t {
+    kAccepted,     ///< queued; the job will complete exactly once
+    kQueueFull,    ///< refused: queue at capacity / over this priority's
+                   ///< shed watermark. The job was NOT invoked.
+    kWouldExpire,  ///< refused: estimated queue wait exceeds the deadline
+    kShutdown,     ///< refused: the executor is shutting down
+  };
+
+  /// Scheduling attributes of a submission.
+  struct JobInfo {
+    Priority priority = Priority::kNormal;
+    DeadlineClock::time_point deadline = kNoDeadline;
+  };
 
   struct Options {
     int threads = 4;
     std::size_t queue_capacity = 256;
+    AdmissionOptions admission;
   };
 
   explicit ThreadPoolExecutor(const Options& options);
@@ -44,43 +79,68 @@ class ThreadPoolExecutor {
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
-  /// Enqueues a job. Returns false — without blocking and without invoking
-  /// the job — when the queue is at capacity or the executor is shutting
-  /// down.
-  bool Submit(Job job);
+  /// Enqueues a job. On any non-kAccepted outcome the job has NOT been
+  /// invoked and never will be — the caller resolves its completion.
+  Admission Submit(Job job, JobInfo info);
+  Admission Submit(Job job) { return Submit(std::move(job), JobInfo{}); }
 
   /// Stops accepting work, disposes of the queue (running it with `drain`,
   /// discarding it otherwise) and joins the workers. Idempotent.
   void Shutdown(bool drain = true);
 
-  int threads() const { return static_cast<int>(workers_.size()); }
+  int threads() const { return threads_; }
   std::size_t queue_capacity() const { return capacity_; }
 
   /// Instantaneous queue depth (racy by nature; for stats only).
   std::size_t queue_depth() const;
 
-  /// Jobs run to completion (run=true invocations).
+  /// Jobs run to completion (Disposition::kRun invocations).
   std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
   }
 
-  /// Submissions refused by backpressure or shutdown.
+  /// Submissions refused (kQueueFull, kWouldExpire or kShutdown).
   std::uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Jobs shed expired at dequeue.
+  std::uint64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+  /// Jobs evicted from the queue by higher-priority submissions.
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// The adaptive policy (latency EWMA, wait estimate) — read-only access
+  /// for health reporting and tests.
+  const AdmissionController& admission() const { return admission_; }
+
  private:
+  struct QueuedJob {
+    Job job;
+    DeadlineClock::time_point deadline;
+  };
+
   void WorkerLoop(int worker_index);
 
   const std::size_t capacity_;
+  const int threads_;
+  AdmissionController admission_;
   std::mutex shutdown_mu_;  ///< serialises Shutdown callers (worker joins)
   mutable std::mutex mu_;
   std::condition_variable not_empty_;  ///< signalled on enqueue and shutdown
-  std::deque<Job> queue_;
+  /// One FIFO per priority; workers drain the highest non-empty tier first.
+  /// Strict: sustained high-priority load starves lower tiers by design —
+  /// overload protection prefers finishing important work to fairness.
+  std::array<std::deque<QueuedJob>, kPriorityLevels> queues_;
+  std::size_t depth_ = 0;  ///< total queued jobs, all tiers
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
 };
 
 }  // namespace prometheus::server

@@ -16,6 +16,15 @@ Request Request::Stats(StatsFormat format) {
   return r;
 }
 
+Request Request::Health() {
+  Request r;
+  r.kind = RequestKind::kHealth;
+  // Health probes are how operators look at an overloaded server: let them
+  // jump the queue ahead of the load they are diagnosing.
+  r.priority = Priority::kHigh;
+  return r;
+}
+
 Request Request::CreateObject(std::string class_name,
                               std::vector<AttrInit> inits) {
   Request r;
@@ -81,6 +90,15 @@ Request Request::Custom(std::function<Status(Database&)> fn) {
   r.kind = RequestKind::kMutation;
   r.mutation.kind = MutationOp::Kind::kCustom;
   r.mutation.custom = std::move(fn);
+  return r;
+}
+
+Request Request::Checkpoint() {
+  Request r;
+  r.kind = RequestKind::kMutation;
+  r.mutation.kind = MutationOp::Kind::kCheckpoint;
+  // The re-arm path must beat the backlog it is meant to clear.
+  r.priority = Priority::kHigh;
   return r;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PROMETHEUS_SERVER_REQUEST_H_
 #define PROMETHEUS_SERVER_REQUEST_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/value.h"
 #include "core/database.h"
 #include "query/query_engine.h"
+#include "server/admission.h"
 
 namespace prometheus::server {
 
@@ -27,6 +29,7 @@ enum class RequestKind : std::uint8_t {
   kQuery,     ///< POOL text, evaluated under a shared (read) lock
   kMutation,  ///< structured mutation, applied under an exclusive lock
   kStats,     ///< metrics snapshot; reads only the registry, takes no lock
+  kHealth,    ///< overload/degradation summary; takes no database lock
 };
 
 /// Rendering of a kStats response.
@@ -49,6 +52,10 @@ struct MutationOp {
     kSetLinkAttribute,
     kDeleteLink,
     kCustom,
+    /// Operator action: `DurableStore::Checkpoint()` under the exclusive
+    /// lock. The one mutation still admitted in degraded read-only mode —
+    /// a successful checkpoint re-arms the store.
+    kCheckpoint,
   };
 
   Kind kind = Kind::kCustom;
@@ -72,10 +79,34 @@ struct Request {
   MutationOp mutation;  ///< (kMutation)
   StatsFormat stats_format = StatsFormat::kJson;  ///< (kStats)
 
+  /// Absolute deadline. Expired requests are refused at admission, shed at
+  /// dequeue (`ResponseCode::kTimedOut`), and queries abort cooperatively
+  /// mid-execution. The default (`kNoDeadline`) costs one branch.
+  DeadlineClock::time_point deadline = kNoDeadline;
+  /// Scheduling class: under pressure lower classes are shed first and
+  /// higher classes dequeue first.
+  Priority priority = Priority::kNormal;
+
+  // Fluent qualifiers, chainable off a builder:
+  //   Request::Query("...").WithTimeout(std::chrono::milliseconds(50))
+  Request& WithDeadline(DeadlineClock::time_point d) {
+    deadline = d;
+    return *this;
+  }
+  Request& WithTimeout(std::chrono::microseconds budget) {
+    deadline = DeadlineClock::now() + budget;
+    return *this;
+  }
+  Request& WithPriority(Priority p) {
+    priority = p;
+    return *this;
+  }
+
   // Builders — the only intended way to make a Request.
   static Request Ping() { return {}; }
   static Request Query(std::string pool_text);
   static Request Stats(StatsFormat format = StatsFormat::kJson);
+  static Request Health();
   static Request CreateObject(std::string class_name,
                               std::vector<AttrInit> inits = {});
   static Request SetAttribute(Oid oid, std::string attribute, Value value);
@@ -86,15 +117,20 @@ struct Request {
   static Request SetLinkAttribute(Oid oid, std::string attribute, Value value);
   static Request DeleteLink(Oid oid);
   static Request Custom(std::function<Status(Database&)> fn);
+  static Request Checkpoint();
 };
 
 /// Transport-level disposition of a request — distinct from the
 /// database-level `Status` of executing it. Only `kOk` responses carry an
-/// execution outcome; the other codes mean the request never ran.
+/// execution outcome; for the other codes `executed` tells whether any
+/// side effect can have happened (`kTimedOut` covers both a request shed
+/// unexecuted from the queue and a query aborted mid-execution).
 enum class ResponseCode : std::uint8_t {
-  kOk,        ///< executed; `status` holds the database outcome
-  kRejected,  ///< backpressure: the work queue was full, nothing executed
-  kShutdown,  ///< the server stopped before the request could run
+  kOk,          ///< executed; `status` holds the database outcome
+  kRejected,    ///< admission refused it (backpressure / shed), never ran
+  kShutdown,    ///< the server stopped before the request could run
+  kTimedOut,    ///< deadline expired — before execution unless `executed`
+  kUnavailable, ///< degraded read-only mode refused a mutation, never ran
 };
 
 /// The uniform response envelope. Every *accepted* request produces exactly
@@ -108,9 +144,13 @@ struct Response {
   pool::ResultSet result;   ///< rows (kQuery); stage table (PROFILE)
   Oid oid = kNullOid;       ///< created oid (kCreateObject / kCreateLink)
   std::uint64_t epoch = 0;  ///< database epoch the request executed at
-  /// Rendered text payload: the metrics snapshot (kStats) or the span
-  /// tree of a PROFILE query.
+  /// Rendered text payload: the metrics snapshot (kStats), the health
+  /// summary (kHealth) or the span tree of a PROFILE query.
   std::string text;
+  /// True when the request began executing on a worker. The retry policy
+  /// keys off this: a request that never executed is always safe to
+  /// resubmit; an executed mutation never is.
+  bool executed = false;
 
   /// Accepted, executed, and the database reported success.
   bool ok() const { return code == ResponseCode::kOk && status.ok(); }

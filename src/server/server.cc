@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/exec_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,10 +16,14 @@ namespace {
 struct ServerMetrics {
   obs::Counter* requests;
   obs::Counter* errors;
+  obs::Counter* timed_out;
+  obs::Counter* unavailable;
+  obs::Gauge* degraded;
   obs::Histogram* ping_micros;
   obs::Histogram* query_micros;
   obs::Histogram* mutation_micros;
   obs::Histogram* stats_micros;
+  obs::Histogram* health_micros;
 
   obs::Histogram* ForKind(RequestKind kind) const {
     switch (kind) {
@@ -30,6 +35,8 @@ struct ServerMetrics {
         return mutation_micros;
       case RequestKind::kStats:
         return stats_micros;
+      case RequestKind::kHealth:
+        return health_micros;
     }
     return ping_micros;
   }
@@ -44,6 +51,16 @@ struct ServerMetrics {
       sm.errors = reg.GetCounter(
           "server_request_errors_total",
           "Requests that executed with a non-OK status");
+      sm.timed_out = reg.GetCounter(
+          "server_requests_timed_out_total",
+          "Requests resolved kTimedOut (at admission, at dequeue or "
+          "mid-execution)");
+      sm.unavailable = reg.GetCounter(
+          "server_requests_unavailable_total",
+          "Mutations refused while in degraded read-only mode");
+      sm.degraded = reg.GetGauge(
+          "server_degraded",
+          "1 while in degraded read-only mode (store durability broken)");
       sm.ping_micros =
           reg.GetHistogram("server_request_micros{type=\"ping\"}", help);
       sm.query_micros =
@@ -52,6 +69,8 @@ struct ServerMetrics {
           reg.GetHistogram("server_request_micros{type=\"mutation\"}", help);
       sm.stats_micros =
           reg.GetHistogram("server_request_micros{type=\"stats\"}", help);
+      sm.health_micros =
+          reg.GetHistogram("server_request_micros{type=\"health\"}", help);
       return sm;
     }();
     return m;
@@ -83,15 +102,68 @@ pool::ResultSet ProfileTable(const obs::TraceNode& trace) {
   return table;
 }
 
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string Server::Health::ToJson() const {
+  std::string out = "{";
+  out += "\"degraded\":" + std::string(degraded ? "true" : "false");
+  out += ",\"store_status\":\"" + JsonEscape(store_status.ToString()) + "\"";
+  out += ",\"queue_depth\":" + std::to_string(queue_depth);
+  out += ",\"queue_capacity\":" + std::to_string(queue_capacity);
+  out += ",\"workers\":" + std::to_string(workers);
+  out += ",\"estimated_wait_micros\":" +
+         std::to_string(static_cast<std::int64_t>(estimated_wait_micros));
+  out += ",\"accepted\":" + std::to_string(stats.accepted);
+  out += ",\"rejected\":" + std::to_string(stats.rejected);
+  out += ",\"timed_out\":" + std::to_string(stats.timed_out);
+  out += ",\"shed\":" + std::to_string(stats.shed);
+  out += ",\"unavailable\":" + std::to_string(stats.unavailable);
+  out += ",\"errors\":" + std::to_string(stats.errors);
+  out += ",\"sessions_active\":" + std::to_string(sessions_active);
+  out += "}";
+  return out;
+}
 
 Server::Server(Database* db, Options options)
     : db_(db),
       engine_(db, options.indexes),
       slow_log_(options.slow_query_micros, options.slow_query_capacity),
       executor_(ThreadPoolExecutor::Options{options.worker_threads,
-                                            options.queue_capacity}),
-      sessions_(this) {}
+                                            options.queue_capacity,
+                                            options.admission}),
+      sessions_(this),
+      store_(options.store) {
+  // Construction is single-threaded: reading the store directly is safe
+  // here (workers exist but have no jobs yet).
+  if (store_ != nullptr) {
+    store_status_ = store_->status();
+    if (!store_status_.ok()) {
+      degraded_.store(true, std::memory_order_release);
+    }
+  }
+  ServerMetrics::Get().degraded->Set(degraded_.load() ? 1 : 0);
+}
 
 Server::~Server() { Shutdown(/*drain=*/true); }
 
@@ -110,7 +182,39 @@ Server::Stats Server::stats() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.mutations = mutations_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.shed = executor_.shed();
+  s.unavailable = unavailable_.load(std::memory_order_relaxed);
   return s;
+}
+
+Server::Health Server::health() const {
+  Health h;
+  h.degraded = degraded_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(store_status_mu_);
+    h.store_status = store_status_;
+  }
+  h.queue_depth = executor_.queue_depth();
+  h.queue_capacity = executor_.queue_capacity();
+  h.workers = executor_.threads();
+  h.estimated_wait_micros = executor_.admission().EstimatedQueueWaitMicros(
+      h.queue_depth, h.workers);
+  h.stats = stats();
+  h.sessions_active = sessions_.active();
+  return h;
+}
+
+void Server::ObserveStoreStatus() {
+  if (store_ == nullptr) return;
+  Status st = store_->status();
+  {
+    std::lock_guard<std::mutex> lock(store_status_mu_);
+    store_status_ = st;
+  }
+  if (!st.ok() && !degraded_.exchange(true, std::memory_order_acq_rel)) {
+    ServerMetrics::Get().degraded->Set(1);
+  }
 }
 
 std::future<Response> Server::Enqueue(Request req) {
@@ -132,28 +236,99 @@ std::future<Response> Server::Enqueue(Request req) {
     return future;
   }
 
+  // Deadline already in the past: fail before touching the queue.
+  if (req.deadline != kNoDeadline && DeadlineClock::now() >= req.deadline) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().timed_out->Increment();
+    respond_unrun(
+        ResponseCode::kTimedOut,
+        Status::DeadlineExceeded("deadline expired before admission"));
+    return future;
+  }
+
+  // Degraded read-only mode: fail mutations fast — except the checkpoint
+  // that re-arms the store.
+  if (req.kind == RequestKind::kMutation &&
+      req.mutation.kind != MutationOp::Kind::kCheckpoint &&
+      degraded_.load(std::memory_order_acquire)) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().unavailable->Increment();
+    Status store_status;
+    {
+      std::lock_guard<std::mutex> lock(store_status_mu_);
+      store_status = store_status_;
+    }
+    respond_unrun(ResponseCode::kUnavailable,
+                  Status::Unavailable(
+                      "degraded read-only mode (durability failure: " +
+                      store_status.ToString() +
+                      "); mutations refused until a checkpoint re-arms "
+                      "the store"));
+    return future;
+  }
+
   // The request moves into the job via shared_ptr: std::function requires
   // copyable targets, and a Request (its closure, its inits) should not be
   // deep-copied per hop.
   auto boxed = std::make_shared<Request>(std::move(req));
-  ThreadPoolExecutor::Job job = [this, id, promise, boxed](bool run) {
-    if (!run) {
-      Response resp;
-      resp.id = id;
-      resp.code = ResponseCode::kShutdown;
-      resp.status =
-          Status::FailedPrecondition("server shut down before execution");
-      promise->set_value(std::move(resp));
-      return;
-    }
-    promise->set_value(Execute(id, *boxed));
-  };
+  ThreadPoolExecutor::Job job =
+      [this, id, promise, boxed](ThreadPoolExecutor::Disposition d) {
+        switch (d) {
+          case ThreadPoolExecutor::Disposition::kRun:
+            promise->set_value(Execute(id, *boxed));
+            return;
+          case ThreadPoolExecutor::Disposition::kShutdown: {
+            Response resp;
+            resp.id = id;
+            resp.code = ResponseCode::kShutdown;
+            resp.status =
+                Status::FailedPrecondition("server shut down before execution");
+            promise->set_value(std::move(resp));
+            return;
+          }
+          case ThreadPoolExecutor::Disposition::kExpired: {
+            timed_out_.fetch_add(1, std::memory_order_relaxed);
+            ServerMetrics::Get().timed_out->Increment();
+            Response resp;
+            resp.id = id;
+            resp.code = ResponseCode::kTimedOut;
+            resp.status = Status::DeadlineExceeded(
+                "deadline expired while queued (shed at dequeue)");
+            promise->set_value(std::move(resp));
+            return;
+          }
+          case ThreadPoolExecutor::Disposition::kShed: {
+            Response resp;
+            resp.id = id;
+            resp.code = ResponseCode::kRejected;
+            resp.status = Status::FailedPrecondition(
+                "evicted from the work queue by higher-priority work");
+            promise->set_value(std::move(resp));
+            return;
+          }
+        }
+      };
 
-  if (!executor_.Submit(std::move(job))) {
-    respond_unrun(
-        ResponseCode::kRejected,
-        Status::FailedPrecondition("work queue full (backpressure)"));
-    return future;
+  ThreadPoolExecutor::JobInfo info;
+  info.priority = boxed->priority;
+  info.deadline = boxed->deadline;
+  switch (executor_.Submit(std::move(job), info)) {
+    case ThreadPoolExecutor::Admission::kAccepted:
+      break;
+    case ThreadPoolExecutor::Admission::kQueueFull:
+      respond_unrun(
+          ResponseCode::kRejected,
+          Status::FailedPrecondition("work queue full (backpressure)"));
+      return future;
+    case ThreadPoolExecutor::Admission::kWouldExpire:
+      respond_unrun(ResponseCode::kRejected,
+                    Status::FailedPrecondition(
+                        "estimated queue wait exceeds the request deadline"));
+      return future;
+    case ThreadPoolExecutor::Admission::kShutdown:
+      respond_unrun(ResponseCode::kShutdown,
+                    Status::FailedPrecondition("server is shut down"));
+      return future;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   return future;
@@ -180,7 +355,11 @@ Response Server::Execute(RequestId id, const Request& req) {
     case RequestKind::kStats:
       resp = ExecuteStats(id, req);
       break;
+    case RequestKind::kHealth:
+      resp = ExecuteHealth(id, req);
+      break;
   }
+  resp.executed = true;
   if (!resp.status.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     metrics.errors->Increment();
@@ -196,10 +375,26 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
   Database::ReadGuard guard(*db_);
   resp.epoch = guard.epoch();
 
+  // Cooperative deadline: the engine checks this context per enumerated
+  // binding, so a query that outlives its budget aborts instead of holding
+  // the shared lock indefinitely.
+  ExecutionContext ctx(req.deadline);
+  const ExecutionContext* ctx_ptr = req.deadline != kNoDeadline ? &ctx : nullptr;
+
+  auto finish_status = [this, &resp](const Status& st) {
+    if (st.code() == Status::Code::kDeadlineExceeded) {
+      resp.code = ResponseCode::kTimedOut;
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().timed_out->Increment();
+    }
+    resp.status = st;
+  };
+
   if (pool::IsProfileQuery(req.query)) {
-    Result<pool::QueryProfile> result = engine_.ExecuteProfiled(req.query);
+    Result<pool::QueryProfile> result =
+        engine_.ExecuteProfiled(req.query, ctx_ptr);
     if (!result.ok()) {
-      resp.status = result.status();
+      finish_status(result.status());
       return resp;
     }
     pool::QueryProfile& profile = result.value();
@@ -215,11 +410,11 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
   // The clock is only read when the slow-query log wants it.
   std::chrono::steady_clock::time_point start;
   if (slow_log_.enabled()) start = std::chrono::steady_clock::now();
-  Result<pool::ResultSet> result = engine_.Execute(req.query);
+  Result<pool::ResultSet> result = engine_.Execute(req.query, ctx_ptr);
   if (result.ok()) {
     resp.result = std::move(result).value();
   } else {
-    resp.status = result.status();
+    finish_status(result.status());
   }
   if (slow_log_.enabled()) {
     const double micros =
@@ -248,6 +443,35 @@ Response Server::ExecuteStats(RequestId id, const Request& req) {
   resp.text = req.stats_format == StatsFormat::kPrometheusText
                   ? obs::RenderPrometheusText(snap)
                   : obs::RenderJson(snap);
+  return resp;
+}
+
+Response Server::ExecuteHealth(RequestId id, const Request&) {
+  Response resp;
+  resp.id = id;
+  resp.epoch = db_->epoch();
+  // Reads only server-cached state (atomics + the cached store status) —
+  // like kStats it never queues behind a writer's lock, so it stays
+  // answerable exactly when things go wrong.
+  Health h = health();
+  resp.text = h.ToJson();
+  resp.result.columns = {"field", "value"};
+  auto row = [&resp](const char* k, std::string v) {
+    resp.result.rows.push_back(
+        {Value::String(k), Value::String(std::move(v))});
+  };
+  row("degraded", h.degraded ? "true" : "false");
+  row("store_status", h.store_status.ToString());
+  row("queue_depth", std::to_string(h.queue_depth) + "/" +
+                         std::to_string(h.queue_capacity));
+  row("estimated_wait_micros",
+      std::to_string(static_cast<std::int64_t>(h.estimated_wait_micros)));
+  row("accepted", std::to_string(h.stats.accepted));
+  row("rejected", std::to_string(h.stats.rejected));
+  row("timed_out", std::to_string(h.stats.timed_out));
+  row("shed", std::to_string(h.stats.shed));
+  row("unavailable", std::to_string(h.stats.unavailable));
+  row("sessions_active", std::to_string(h.sessions_active));
   return resp;
 }
 
@@ -307,7 +531,23 @@ Response Server::ExecuteMutation(RequestId id, const Request& req) {
         }
       }
       break;
+    case MutationOp::Kind::kCheckpoint:
+      if (store_ == nullptr) {
+        resp.status = Status::FailedPrecondition(
+            "no durable store attached to this server");
+      } else {
+        // Checkpoint requires exclusive access — the write guard held here
+        // provides it. A success supersedes any broken journal with a full
+        // snapshot and a fresh journal, so it also lifts degraded mode.
+        resp.status = store_->Checkpoint();
+        if (resp.status.ok() &&
+            degraded_.exchange(false, std::memory_order_acq_rel)) {
+          ServerMetrics::Get().degraded->Set(0);
+        }
+      }
+      break;
   }
+  ObserveStoreStatus();
   return resp;
 }
 

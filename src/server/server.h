@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 
 #include "core/database.h"
 #include "index/index_manager.h"
@@ -13,6 +14,7 @@
 #include "server/executor.h"
 #include "server/request.h"
 #include "server/session.h"
+#include "storage/recovery.h"
 
 namespace prometheus::server {
 
@@ -30,9 +32,18 @@ namespace prometheus::server {
 ///    journal (when a `DurableStore` wraps the database) observes a serial
 ///    mutation history.
 ///
-/// Admission: a bounded work queue with reject-on-full backpressure
-/// (`ResponseCode::kRejected`) and graceful drain-on-shutdown. Every
-/// admitted request resolves its future exactly once.
+/// Overload protection: a bounded priority-tiered work queue with adaptive
+/// admission control (see executor.h / admission.h), per-request deadlines
+/// enforced at admission, at dequeue and cooperatively inside query
+/// execution (`ResponseCode::kTimedOut`), and graceful drain-on-shutdown.
+/// Every admitted request resolves its future exactly once.
+///
+/// Graceful degradation: when an attached `DurableStore` reports a sticky
+/// durability failure, the server enters **degraded read-only mode** —
+/// queries keep executing, mutations fail fast with
+/// `ResponseCode::kUnavailable` (they never reach the write path), and a
+/// `Request::Checkpoint()` that succeeds re-arms the store and lifts the
+/// mode. `Request::Health()` reports the state without taking any lock.
 class Server {
  public:
   struct Options {
@@ -50,6 +61,12 @@ class Server {
     double slow_query_micros = -1;
     /// Slow-query log ring capacity.
     std::size_t slow_query_capacity = 128;
+    /// Optional durability manager wrapping `db`. Must outlive the server
+    /// and must be the store whose `db()` the server serves. Enables
+    /// degraded read-only mode and the kCheckpoint mutation.
+    storage::DurableStore* store = nullptr;
+    /// Adaptive admission policy (watermarks, wait prediction).
+    AdmissionOptions admission;
   };
 
   /// `db` must outlive the server. While the server runs, all access to
@@ -72,20 +89,44 @@ class Server {
   SessionManager& sessions() { return sessions_; }
 
   /// Stops admission, closes every session and joins the workers. With
-  /// `drain` queued requests execute first; without, each queued request
-  /// resolves with `ResponseCode::kShutdown`. Idempotent.
+  /// `drain` queued requests execute first (expired ones still shed as
+  /// kTimedOut); without, each queued request resolves with
+  /// `ResponseCode::kShutdown`. Idempotent.
   void Shutdown(bool drain = true);
 
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
+  /// True while the attached store's durability is broken and mutations
+  /// are refused (queries still serve).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
   struct Stats {
-    std::uint64_t accepted = 0;   ///< admitted to the queue
-    std::uint64_t rejected = 0;   ///< refused by backpressure / shutdown
-    std::uint64_t queries = 0;    ///< kQuery requests executed
-    std::uint64_t mutations = 0;  ///< kMutation requests executed
-    std::uint64_t errors = 0;     ///< executed with a non-OK status
+    std::uint64_t accepted = 0;     ///< admitted to the queue
+    std::uint64_t rejected = 0;     ///< refused by admission / shutdown
+    std::uint64_t queries = 0;      ///< kQuery requests executed
+    std::uint64_t mutations = 0;    ///< kMutation requests executed
+    std::uint64_t errors = 0;       ///< executed with a non-OK status
+    std::uint64_t timed_out = 0;    ///< resolved kTimedOut (any stage)
+    std::uint64_t shed = 0;         ///< evicted by priority under overload
+    std::uint64_t unavailable = 0;  ///< mutations refused while degraded
   };
   Stats stats() const;
+
+  /// Point-in-time overload/degradation summary — what kHealth renders.
+  /// Lock-free with respect to the database: never queues behind a writer.
+  struct Health {
+    bool degraded = false;
+    Status store_status;          ///< last observed store status
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    int workers = 0;
+    double estimated_wait_micros = 0;  ///< admission's queue-wait estimate
+    Stats stats;
+    std::size_t sessions_active = 0;
+
+    std::string ToJson() const;
+  };
+  Health health() const;
 
   /// Queries that exceeded Options::slow_query_micros (empty when disabled).
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
@@ -105,18 +146,33 @@ class Server {
   Response ExecuteQuery(RequestId id, const Request& req);
   Response ExecuteMutation(RequestId id, const Request& req);
   Response ExecuteStats(RequestId id, const Request& req);
+  Response ExecuteHealth(RequestId id, const Request& req);
+
+  /// Re-reads the store's sticky status (caller must hold the write guard)
+  /// and enters degraded mode when it went bad. Exit happens only in the
+  /// kCheckpoint success path.
+  void ObserveStoreStatus();
 
   Database* db_;
   pool::QueryEngine engine_;
   obs::SlowQueryLog slow_log_;
   ThreadPoolExecutor executor_;
   SessionManager sessions_;
+  storage::DurableStore* store_;
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> degraded_{false};
+  /// Cache of the store's status as last observed under the write guard.
+  /// kHealth reads this copy — `DurableStore::status()` itself is not safe
+  /// to call concurrently with a checkpoint swapping the journal.
+  mutable std::mutex store_status_mu_;
+  Status store_status_;
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> mutations_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
 };
 
 }  // namespace prometheus::server

@@ -281,6 +281,11 @@ Status DurableStore::Checkpoint() {
     return sticky_;
   }
   journal_ = std::move(rotated).value();
+  // The snapshot persisted the full in-memory state and the rotation gave
+  // mutations a healthy journal to land in — whatever failure was latched
+  // (a dead journal, a failed earlier rotation) is superseded. This is the
+  // operator's re-arm path out of degraded read-only mode.
+  sticky_ = Status::Ok();
 
   // Prune generations older than the fallback pair (previous snapshot +
   // the journal that supersedes it). Crash-tolerant: recovery ignores

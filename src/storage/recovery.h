@@ -107,7 +107,10 @@ class DurableStore {
   /// Writes an atomic snapshot of the current state, rotates the journal
   /// and prunes superseded generations. On failure the previous
   /// snapshot/journal pair remains authoritative and is reported intact by
-  /// the next `Open`.
+  /// the next `Open`. On success any latched durability failure is cleared
+  /// (`status()` returns Ok again): the snapshot supersedes whatever the
+  /// broken journal failed to record — this is the operator's re-arm path
+  /// out of the server's degraded read-only mode.
   Status Checkpoint();
 
   /// Journal flush / fsync; both return the sticky durability status.

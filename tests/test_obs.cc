@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -143,6 +144,45 @@ TEST(HistogramTest, PercentileInterpolatesAndOverflowSaturates) {
   // The overflow bucket has no upper bound; the estimate reports its
   // lower bound rather than inventing a value.
   EXPECT_DOUBLE_EQ(over.snapshot().Percentile(99), 10.0);
+}
+
+TEST(HistogramTest, LogSpacedBoundsAreGeometricAndHitEndpoints) {
+  const std::vector<double> bounds = Histogram::LogSpacedBounds(1.0, 1e7, 5);
+  // 7 decades * 5 per decade = 35 steps, 36 bounds including both ends.
+  ASSERT_EQ(bounds.size(), 36u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e7);
+  const double ratio = std::pow(10.0, 0.2);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]) << "bounds must strictly increase";
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], ratio, 1e-9);
+  }
+  // Degenerate inputs yield no bounds rather than garbage.
+  EXPECT_TRUE(Histogram::LogSpacedBounds(0.0, 10.0, 5).empty());
+  EXPECT_TRUE(Histogram::LogSpacedBounds(10.0, 10.0, 5).empty());
+  EXPECT_TRUE(Histogram::LogSpacedBounds(1.0, 10.0, 0).empty());
+  // The registry default is exactly this shape.
+  EXPECT_EQ(Histogram::DefaultLatencyBoundsMicros(), bounds);
+}
+
+TEST(HistogramTest, LogSpacedDefaultsBoundPercentileInterpolationError) {
+  // With geometric buckets of ratio r, linear interpolation inside the
+  // containing bucket can miss the true percentile by at most (r - 1) of
+  // the bucket's lower bound — the same *relative* error everywhere in
+  // the range. Check it empirically at several magnitudes.
+  const double ratio = std::pow(10.0, 0.2);  // ~1.585
+  for (double true_value : {3.0, 47.0, 512.0, 8200.0, 123456.0, 2.5e6}) {
+    Histogram h(Histogram::DefaultLatencyBoundsMicros());
+    for (int i = 0; i < 1000; ++i) h.Observe(true_value);
+    const double est = h.snapshot().Percentile(50);
+    EXPECT_GT(est, true_value / ratio)
+        << "p50 of a point mass at " << true_value;
+    EXPECT_LT(est, true_value * ratio)
+        << "p50 of a point mass at " << true_value;
+    // Relative error never exceeds ratio - 1 (~58.5%), and in practice is
+    // about half that since interpolation lands mid-bucket.
+    EXPECT_LT(std::abs(est - true_value) / true_value, ratio - 1.0);
+  }
 }
 
 TEST(HistogramTest, SnapshotWhileMutatingIsSafe) {
