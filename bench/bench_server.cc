@@ -19,11 +19,22 @@
 //      fast-fail latency are measured while degraded; a checkpoint then
 //      re-arms the store.
 //
+// E17 — remote telemetry plane (src/net/ HTTP front-end):
+//
+//   a. scrape cost: GET /metrics over keep-alive HTTP while 8 in-process
+//      reader clients keep the workers busy — the scrape path takes no
+//      database lock, so its p99 should stay in single-digit milliseconds
+//      (< 5 ms target) regardless of query load;
+//   b. remote overhead: the same POOL query issued through POST /query
+//      (keep-alive, one connection) vs the in-process client, reporting
+//      the per-request cost the HTTP envelope adds.
+//
 // Reports throughput and p50/p95/p99 latency per sweep and writes the
 // machine-readable BENCH_server.json next to the binary's working dir.
 //
 // Usage: bench_server [requests_per_client]   (default 150)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +46,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
 #include "oo7/oo7.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -374,6 +387,101 @@ DegradedResult RunDegraded(const std::string& dir, int clients,
   return result;
 }
 
+// ------------------------------------------------------------------- E17
+
+struct TelemetryResult {
+  LatencyStats scrape_lat;        ///< GET /metrics under load, ms
+  std::size_t scrape_failures = 0;
+  std::size_t scrape_bytes = 0;   ///< last payload size
+  LatencyStats remote_query_lat;  ///< POST /query (keep-alive), ms
+  LatencyStats local_query_lat;   ///< same queries, in-process client
+  std::size_t remote_failures = 0;
+};
+
+/// Scrape + remote-query cost against a front-end mounted on `server`,
+/// with `readers` in-process clients keeping the workers busy throughout.
+TelemetryResult RunTelemetry(Server& server, int readers, int scrapes,
+                             int queries) {
+  using prometheus::net::HttpConnection;
+  using prometheus::net::HttpFrontEnd;
+
+  TelemetryResult result;
+  HttpFrontEnd::Options net_options;
+  net_options.port = 0;  // ephemeral
+  HttpFrontEnd front(&server, net_options);
+  if (!front.Start().ok()) {
+    std::fprintf(stderr, "E17: front-end failed to start\n");
+    return result;
+  }
+
+  // Background read pressure for the whole measurement window.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int c = 0; c < readers; ++c) {
+    load.emplace_back([&server, &stop, c] {
+      Client client(&server);
+      std::mt19937 rng(2000u + static_cast<unsigned>(c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)client.Query(ReadQuery(rng));
+      }
+    });
+  }
+
+  // E17a: keep-alive scrapes, as a Prometheus server would issue them.
+  auto scrape_conn = HttpConnection::Connect("127.0.0.1", front.port());
+  if (scrape_conn.ok()) {
+    std::vector<double> lats;
+    lats.reserve(static_cast<std::size_t>(scrapes));
+    for (int i = 0; i < scrapes; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      auto resp = scrape_conn.value()->RoundTrip("GET", "/metrics");
+      lats.push_back(MillisSince(t0));
+      if (!resp.ok() || resp.value().status_code != 200) {
+        ++result.scrape_failures;
+      } else {
+        result.scrape_bytes = resp.value().body.size();
+      }
+    }
+    result.scrape_lat = SummarizeLatencies(lats);
+  } else {
+    result.scrape_failures = static_cast<std::size_t>(scrapes);
+  }
+
+  // E17b: identical queries remote (POST /query, keep-alive) vs local.
+  auto query_conn = HttpConnection::Connect("127.0.0.1", front.port());
+  {
+    std::vector<double> remote, local;
+    remote.reserve(static_cast<std::size_t>(queries));
+    local.reserve(static_cast<std::size_t>(queries));
+    Client client(&server);
+    std::mt19937 remote_rng(5000), local_rng(5000);  // same query stream
+    for (int i = 0; i < queries; ++i) {
+      const std::string q = ReadQuery(remote_rng);
+      const Clock::time_point t0 = Clock::now();
+      bool ok = false;
+      if (query_conn.ok()) {
+        auto resp = query_conn.value()->RoundTrip("POST", "/query", q);
+        ok = resp.ok() && resp.value().status_code == 200;
+      }
+      remote.push_back(MillisSince(t0));
+      if (!ok) ++result.remote_failures;
+    }
+    for (int i = 0; i < queries; ++i) {
+      const std::string q = ReadQuery(local_rng);
+      const Clock::time_point t0 = Clock::now();
+      (void)client.Query(q);
+      local.push_back(MillisSince(t0));
+    }
+    result.remote_query_lat = SummarizeLatencies(remote);
+    result.local_query_lat = SummarizeLatencies(local);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : load) t.join();
+  front.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,6 +621,57 @@ int main(int argc, char** argv) {
     json.Key("fastfail_p99_ms").Number(r.fastfail_lat.p99);
     json.Key("unavailable").Int(static_cast<long long>(r.unavailable));
     json.Key("rearmed").Int(r.rearmed ? 1 : 0);
+  }
+  json.EndObject();
+
+  // ---- E17: remote telemetry plane ------------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E17: remote telemetry plane (keep-alive HTTP, 8 readers as load)",
+      "  metric                         value");
+  json.Key("e17").BeginObject();
+  {
+    PrometheusOo7 oo7(config);
+    Server::Options options;
+    options.worker_threads = 4;
+    options.queue_capacity = 4096;
+    Server server(&oo7.db(), options);
+    const int scrapes = std::max(50, requests_per_client);
+    const int queries = std::max(50, requests_per_client);
+    TelemetryResult r =
+        RunTelemetry(server, kClientThreads, scrapes, queries);
+    server.Shutdown();
+    std::printf("  /metrics scrape p50         %10.3f ms\n",
+                r.scrape_lat.p50);
+    std::printf("  /metrics scrape p95         %10.3f ms\n",
+                r.scrape_lat.p95);
+    std::printf("  /metrics scrape p99         %10.3f ms  (target < 5 ms)"
+                "%s\n",
+                r.scrape_lat.p99,
+                r.scrape_lat.p99 < 5.0 ? "" : "  [OVER TARGET]");
+    std::printf("  scrape payload              %10zu bytes, %zu failures\n",
+                r.scrape_bytes, r.scrape_failures);
+    std::printf("  query p50  remote / local   %10.3f / %.3f ms  "
+                "(overhead %+.3f ms)\n",
+                r.remote_query_lat.p50, r.local_query_lat.p50,
+                r.remote_query_lat.p50 - r.local_query_lat.p50);
+    std::printf("  query p99  remote / local   %10.3f / %.3f ms\n",
+                r.remote_query_lat.p99, r.local_query_lat.p99);
+    json.Key("scrapes").Int(scrapes);
+    json.Key("scrape_p50_ms").Number(r.scrape_lat.p50);
+    json.Key("scrape_p95_ms").Number(r.scrape_lat.p95);
+    json.Key("scrape_p99_ms").Number(r.scrape_lat.p99);
+    json.Key("scrape_max_ms").Number(r.scrape_lat.max);
+    json.Key("scrape_bytes").Int(static_cast<long long>(r.scrape_bytes));
+    json.Key("scrape_failures")
+        .Int(static_cast<long long>(r.scrape_failures));
+    json.Key("remote_query_p50_ms").Number(r.remote_query_lat.p50);
+    json.Key("remote_query_p99_ms").Number(r.remote_query_lat.p99);
+    json.Key("local_query_p50_ms").Number(r.local_query_lat.p50);
+    json.Key("local_query_p99_ms").Number(r.local_query_lat.p99);
+    json.Key("remote_overhead_p50_ms")
+        .Number(r.remote_query_lat.p50 - r.local_query_lat.p50);
+    json.Key("remote_failures")
+        .Int(static_cast<long long>(r.remote_failures));
   }
   json.EndObject();
   json.EndObject();

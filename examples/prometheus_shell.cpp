@@ -10,6 +10,14 @@
 //
 //   ./build/examples/prometheus_shell [snapshot.pdb]
 //   ./build/examples/prometheus_shell --store <dir>    (durable mode)
+//   ./build/examples/prometheus_shell --listen <port>  (+ HTTP telemetry)
+//   ./build/examples/prometheus_shell --listen <port> --serve   (headless)
+//
+// With --listen the shell also mounts the remote telemetry plane
+// (src/net/): GET /metrics /stats /health /slowlog /debug/requests and
+// POST /query /profile on the given port, serving concurrently with the
+// console. --serve skips the console loop entirely and serves until
+// SIGINT/SIGTERM — the mode the CI smoke job and a scrape target use.
 //
 // Commands:
 //   .help                    this text
@@ -21,6 +29,7 @@
 //   .save <file> / .load <file>
 //   .demo                    load a small demonstration taxonomy
 //   .health                  overload/degradation summary (server-side)
+//   .recent                  flight recorder: last completed requests
 //   .checkpoint              snapshot + journal rotation; re-arms a
 //                            degraded store (durable mode)
 //   .deadline <ms>           deadline applied to subsequent queries
@@ -30,15 +39,19 @@
 //   select t.name from Taxon t where t.rank = 'Genus'
 // Prefix a query with `profile` to also print its per-stage span tree.
 
+#include <csignal>
+
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "index/index_manager.h"
+#include "net/http_server.h"
 #include "query/query_engine.h"
 #include "rules/pcl.h"
 #include "rules/rule_engine.h"
@@ -144,6 +157,26 @@ bool ExplainTransport(server::Client& client, const server::Response& resp) {
   return false;
 }
 
+void PrintRecent(const obs::FlightRecorder& recorder) {
+  const std::vector<obs::FlightRecorder::Entry> entries = recorder.Snapshot();
+  if (!recorder.enabled()) {
+    std::printf("flight recorder disabled (capacity 0)\n");
+    return;
+  }
+  for (const auto& e : entries) {
+    std::printf("#%-6llu %-9s %-7s %-11s wait %8.0fus  total %8.0fus  %s\n",
+                static_cast<unsigned long long>(e.request_id),
+                e.type.c_str(), e.priority.c_str(), e.code.c_str(),
+                e.queue_wait_micros, e.total_micros, e.detail.c_str());
+  }
+  std::printf("(%zu of the last %llu recorded requests retained)\n",
+              entries.size(),
+              static_cast<unsigned long long>(recorder.recorded_total()));
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
+
 Status LoadDemo(Database& db) {
   if (db.FindClass("Taxon") == nullptr) {
     PROMETHEUS_RETURN_IF_ERROR(
@@ -186,25 +219,48 @@ int main(int argc, char** argv) {
   std::unique_ptr<storage::DurableStore> store;
   Database plain_db;
   Database* db = &plain_db;
-  if (argc > 2 && std::string(argv[1]) == "--store") {
-    auto opened = storage::DurableStore::Open(argv[2]);
+  int listen_port = -1;     // -1 = no telemetry plane
+  bool headless = false;    // --serve: no console, run until a signal
+  std::string store_dir, snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+    } else if (arg == "--serve") {
+      headless = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::printf("unknown option %s\n", arg.c_str());
+      return 1;
+    } else {
+      snapshot_path = arg;
+    }
+  }
+  if (headless && listen_port < 0) {
+    std::printf("--serve requires --listen <port>\n");
+    return 1;
+  }
+  if (!store_dir.empty()) {
+    auto opened = storage::DurableStore::Open(store_dir);
     if (!opened.ok()) {
-      std::printf("cannot open store %s: %s\n", argv[2],
+      std::printf("cannot open store %s: %s\n", store_dir.c_str(),
                   opened.status().ToString().c_str());
       return 1;
     }
     store = std::move(opened).value();
     db = &store->db();
-    std::printf("opened store %s: %zu objects, generation %llu\n", argv[2],
-                db->object_count(),
+    std::printf("opened store %s: %zu objects, generation %llu\n",
+                store_dir.c_str(), db->object_count(),
                 static_cast<unsigned long long>(store->generation()));
-  } else if (argc > 1) {
-    Status st = storage::LoadSnapshot(db, argv[1]);
+  } else if (!snapshot_path.empty()) {
+    Status st = storage::LoadSnapshot(db, snapshot_path);
     if (!st.ok()) {
-      std::printf("cannot load %s: %s\n", argv[1], st.ToString().c_str());
+      std::printf("cannot load %s: %s\n", snapshot_path.c_str(),
+                  st.ToString().c_str());
       return 1;
     }
-    std::printf("loaded %s: %zu objects, %zu links\n", argv[1],
+    std::printf("loaded %s: %zu objects, %zu links\n", snapshot_path.c_str(),
                 db->object_count(), db->link_count());
   }
   IndexManager indexes(db);
@@ -226,6 +282,37 @@ int main(int argc, char** argv) {
     if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
   };
 
+  // The remote telemetry plane, sharing this server with the console.
+  std::unique_ptr<net::HttpFrontEnd> front_end;
+  if (listen_port >= 0) {
+    net::HttpFrontEnd::Options net_options;
+    net_options.port = listen_port;
+    front_end = std::make_unique<net::HttpFrontEnd>(&server, net_options);
+    Status st = front_end->Start();
+    if (!st.ok()) {
+      std::printf("cannot listen on port %d: %s\n", listen_port,
+                  st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry plane on http://127.0.0.1:%d — GET /metrics "
+                "/stats /health /slowlog /debug/requests, POST /query "
+                "/profile\n",
+                front_end->port());
+  }
+
+  if (headless) {
+    // Scrape-target mode: serve HTTP until SIGINT/SIGTERM.
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("shutting down\n");
+    front_end->Stop();
+    server.Shutdown();
+    return 0;
+  }
+
   std::chrono::milliseconds deadline_ms{0};  // 0 = no deadline
 
   std::printf("Prometheus shell — type .help for commands, .quit to exit\n");
@@ -246,7 +333,7 @@ int main(int argc, char** argv) {
         std::printf(
             ".classes .relationships .extent <name> .explain <query> "
             ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
-            ".checkpoint .deadline <ms> .quit\n"
+            ".recent .checkpoint .deadline <ms> .quit\n"
             "anything else runs as POOL\n");
       } else if (cmd == ".classes") {
         with_db([](Database& db) {
@@ -323,6 +410,8 @@ int main(int argc, char** argv) {
         with_db([](Database& db) { return LoadDemo(db); });
       } else if (cmd == ".health") {
         PrintHealth(client.HealthInfo());
+      } else if (cmd == ".recent") {
+        PrintRecent(server.flight_recorder());
       } else if (cmd == ".checkpoint") {
         if (store == nullptr) {
           std::printf("no durable store attached — start the shell with "
@@ -366,5 +455,6 @@ int main(int argc, char** argv) {
     if (!resp.text.empty()) std::printf("%s", resp.text.c_str());
   }
   std::printf("\n");
+  if (front_end != nullptr) front_end->Stop();
   return 0;
 }

@@ -137,8 +137,25 @@ class JsonWriter {
   }
   void Escape(const std::string& s) {
     for (char c : s) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          out_ += c;
+      }
     }
   }
 

@@ -1,0 +1,343 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace prometheus::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c <= ' ' || c == 0x7f || c == ':') return false;
+  }
+  return true;
+}
+
+/// Finds the end of the head (the "\r\n\r\n" separator). Tolerates bare
+/// "\n\n" — curl never sends it, but lenient parsing here costs nothing.
+/// Returns npos while incomplete; sets `*head_len` to the bytes before the
+/// separator and `*sep_len` to the separator's length.
+std::size_t FindHeadEnd(std::string_view in, std::size_t* sep_len) {
+  const std::size_t crlf = in.find("\r\n\r\n");
+  const std::size_t lf = in.find("\n\n");
+  if (crlf == std::string_view::npos && lf == std::string_view::npos) {
+    return std::string_view::npos;
+  }
+  if (crlf != std::string_view::npos &&
+      (lf == std::string_view::npos || crlf < lf)) {
+    *sep_len = 4;
+    return crlf;
+  }
+  *sep_len = 2;
+  return lf;
+}
+
+/// Splits the head into lines (first line + header lines), trimming one
+/// trailing '\r' per line.
+std::vector<std::string_view> SplitHeadLines(std::string_view head) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    std::size_t nl = head.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Parses the header lines shared by requests and responses. Returns false
+/// (with *error set) on malformed input.
+bool ParseHeaderLines(
+    const std::vector<std::string_view>& lines, const HttpLimits& limits,
+    std::vector<std::pair<std::string, std::string>>* headers,
+    std::string* error) {
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      *error = "header line without ':'";
+      return false;
+    }
+    std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) {
+      *error = "malformed header name";
+      return false;
+    }
+    if (headers->size() >= limits.max_headers) {
+      *error = "too many headers";
+      return false;
+    }
+    headers->emplace_back(ToLower(name),
+                          std::string(Trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+/// Parses Content-Length (0 when absent); rejects Transfer-Encoding and
+/// non-numeric or over-limit lengths.
+ParseResult BodyLength(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const HttpLimits& limits, std::size_t* length, std::string* error) {
+  *length = 0;
+  for (const auto& [name, value] : headers) {
+    if (name == "transfer-encoding") {
+      *error = "Transfer-Encoding is not supported";
+      return ParseResult::kBad;
+    }
+    if (name == "content-length") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        *error = "malformed Content-Length";
+        return ParseResult::kBad;
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (n > limits.max_body_bytes) {
+        *error = "body exceeds the size limit";
+        return ParseResult::kTooLarge;
+      }
+      *length = static_cast<std::size_t>(n);
+    }
+  }
+  return ParseResult::kComplete;
+}
+
+const std::string* FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& lower_name) {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(const std::string& lower_name) const {
+  return FindHeader(headers, lower_name);
+}
+
+const std::string* HttpResponse::Header(const std::string& lower_name) const {
+  return FindHeader(headers, lower_name);
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = Header("connection");
+  if (connection != nullptr) {
+    const std::string value = ToLower(*connection);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  return version == "HTTP/1.1";  // 1.1 defaults to persistent
+}
+
+ParseResult ParseHttpRequest(std::string_view in, std::size_t* consumed,
+                             HttpRequest* out, std::string* error,
+                             const HttpLimits& limits) {
+  *consumed = 0;
+  std::size_t sep_len = 0;
+  const std::size_t head_len = FindHeadEnd(in, &sep_len);
+  if (head_len == std::string_view::npos) {
+    // No separator yet: bound how much head we are willing to buffer.
+    if (in.size() > limits.max_request_line + limits.max_header_bytes) {
+      *error = "request head exceeds the size limit";
+      return ParseResult::kTooLarge;
+    }
+    return ParseResult::kIncomplete;
+  }
+  if (head_len > limits.max_request_line + limits.max_header_bytes) {
+    *error = "request head exceeds the size limit";
+    return ParseResult::kTooLarge;
+  }
+
+  const std::vector<std::string_view> lines =
+      SplitHeadLines(in.substr(0, head_len));
+  if (lines.empty() || lines[0].size() > limits.max_request_line) {
+    *error = "request line exceeds the size limit";
+    return ParseResult::kTooLarge;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  std::string_view line = lines[0];
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    *error = "malformed request line";
+    return ParseResult::kBad;
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(line.substr(sp2 + 1));
+  if (!IsToken(req.method) || req.target.empty() || req.target[0] != '/') {
+    *error = "malformed method or target";
+    return ParseResult::kBad;
+  }
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    *error = "unsupported HTTP version";
+    return ParseResult::kBad;
+  }
+
+  if (!ParseHeaderLines(lines, limits, &req.headers, error)) {
+    return ParseResult::kBad;
+  }
+  std::size_t body_len = 0;
+  const ParseResult body_check =
+      BodyLength(req.headers, limits, &body_len, error);
+  if (body_check != ParseResult::kComplete) return body_check;
+
+  const std::size_t total = head_len + sep_len + body_len;
+  if (in.size() < total) return ParseResult::kIncomplete;
+  req.body = std::string(in.substr(head_len + sep_len, body_len));
+  *out = std::move(req);
+  *consumed = total;
+  return ParseResult::kComplete;
+}
+
+ParseResult ParseHttpResponse(std::string_view in, std::size_t* consumed,
+                              HttpResponse* out, std::string* error,
+                              const HttpLimits& limits) {
+  *consumed = 0;
+  std::size_t sep_len = 0;
+  const std::size_t head_len = FindHeadEnd(in, &sep_len);
+  if (head_len == std::string_view::npos) {
+    if (in.size() > limits.max_request_line + limits.max_header_bytes) {
+      *error = "response head exceeds the size limit";
+      return ParseResult::kTooLarge;
+    }
+    return ParseResult::kIncomplete;
+  }
+
+  const std::vector<std::string_view> lines =
+      SplitHeadLines(in.substr(0, head_len));
+  if (lines.empty()) {
+    *error = "empty response head";
+    return ParseResult::kBad;
+  }
+
+  // Status line: VERSION SP CODE SP REASON.
+  std::string_view line = lines[0];
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || line.substr(0, 5) != "HTTP/") {
+    *error = "malformed status line";
+    return ParseResult::kBad;
+  }
+  HttpResponse resp;
+  resp.version = std::string(line.substr(0, sp1));
+  std::string_view rest = line.substr(sp1 + 1);
+  const std::size_t sp2 = rest.find(' ');
+  std::string_view code =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  if (code.size() != 3 ||
+      code.find_first_not_of("0123456789") != std::string_view::npos) {
+    *error = "malformed status code";
+    return ParseResult::kBad;
+  }
+  resp.status_code = (code[0] - '0') * 100 + (code[1] - '0') * 10 +
+                     (code[2] - '0');
+  if (sp2 != std::string_view::npos) {
+    resp.reason = std::string(rest.substr(sp2 + 1));
+  }
+
+  if (!ParseHeaderLines(lines, limits, &resp.headers, error)) {
+    return ParseResult::kBad;
+  }
+  std::size_t body_len = 0;
+  const ParseResult body_check =
+      BodyLength(resp.headers, limits, &body_len, error);
+  if (body_check != ParseResult::kComplete) return body_check;
+
+  const std::size_t total = head_len + sep_len + body_len;
+  if (in.size() < total) return ParseResult::kIncomplete;
+  resp.body = std::string(in.substr(head_len + sep_len, body_len));
+  *out = std::move(resp);
+  *consumed = total;
+  return ParseResult::kComplete;
+}
+
+const char* ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(
+    int status_code, const std::string& content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    ReasonPhrase(status_code) + "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: " + content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string SerializeHttpRequest(
+    const std::string& method, const std::string& target,
+    std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  bool has_host = false;
+  for (const auto& [name, value] : headers) {
+    if (ToLower(name) == "host") has_host = true;
+    out += name + ": " + value + "\r\n";
+  }
+  if (!has_host) out += "Host: localhost\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace prometheus::net

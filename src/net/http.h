@@ -1,0 +1,89 @@
+#ifndef PROMETHEUS_NET_HTTP_H_
+#define PROMETHEUS_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace prometheus::net {
+
+/// Hard caps on what the parser will buffer — a remote peer can never make
+/// the front-end allocate more than these, whatever it sends.
+struct HttpLimits {
+  std::size_t max_request_line = 8 * 1024;  ///< method + target + version
+  std::size_t max_header_bytes = 16 * 1024; ///< all header lines together
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 1 * 1024 * 1024;
+};
+
+/// A parsed HTTP/1.x request. Header names are stored lower-cased (field
+/// names are case-insensitive); values are trimmed of surrounding spaces.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (verbatim)
+  std::string target;   ///< request target, e.g. "/metrics"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given lower-case name, or nullptr.
+  const std::string* Header(const std::string& lower_name) const;
+
+  /// Whether the connection should stay open after this exchange
+  /// (HTTP/1.1 default keep-alive, overridden by `Connection:`).
+  bool KeepAlive() const;
+};
+
+/// A parsed HTTP/1.x response (client side).
+struct HttpResponse {
+  int status_code = 0;
+  std::string reason;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* Header(const std::string& lower_name) const;
+};
+
+enum class ParseResult {
+  kComplete,    ///< one full message parsed; `*consumed` bytes used
+  kIncomplete,  ///< need more bytes; nothing consumed
+  kBad,         ///< malformed — the connection should be closed
+  kTooLarge,    ///< exceeds HttpLimits — close with 431/413 semantics
+};
+
+/// Incremental request parse over a connection buffer. On kComplete the
+/// request (line, headers, and Content-Length body) occupied the first
+/// `*consumed` bytes of `in`; the caller erases them and may find a second
+/// pipelined request behind. On kBad/kTooLarge `*error` names the offence.
+/// `Transfer-Encoding` is not supported and parses as kBad.
+ParseResult ParseHttpRequest(std::string_view in, std::size_t* consumed,
+                             HttpRequest* out, std::string* error,
+                             const HttpLimits& limits = HttpLimits{});
+
+/// Incremental response parse (for the in-repo client); same contract.
+ParseResult ParseHttpResponse(std::string_view in, std::size_t* consumed,
+                              HttpResponse* out, std::string* error,
+                              const HttpLimits& limits = HttpLimits{});
+
+/// The canonical reason phrase for a status code ("OK", "Not Found", ...).
+const char* ReasonPhrase(int status_code);
+
+/// Serializes a response head + body with Content-Length and Connection
+/// headers. `extra_headers` are emitted verbatim (name, value).
+std::string SerializeHttpResponse(
+    int status_code, const std::string& content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+/// Serializes a request head + body (client side).
+std::string SerializeHttpRequest(
+    const std::string& method, const std::string& target,
+    std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+}  // namespace prometheus::net
+
+#endif  // PROMETHEUS_NET_HTTP_H_

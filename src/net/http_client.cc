@@ -1,0 +1,116 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prometheus::net {
+
+namespace {
+
+void SetRecvTimeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpConnection>> HttpConnection::Connect(
+    const std::string& host, int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                           "): " + err);
+  }
+  SetRecvTimeout(fd, timeout_ms);
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return std::unique_ptr<HttpConnection>(new HttpConnection(fd));
+}
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<HttpResponse> HttpConnection::RoundTrip(
+    const std::string& method, const std::string& target,
+    std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  if (fd_ < 0) return Status::IoError("connection is closed");
+  if (!SendAll(fd_, SerializeHttpRequest(method, target, body, headers))) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IoError("send failed (peer closed the connection?)");
+  }
+  char chunk[8192];
+  for (;;) {
+    HttpResponse resp;
+    std::size_t consumed = 0;
+    std::string error;
+    const ParseResult pr = ParseHttpResponse(buffer_, &consumed, &resp,
+                                             &error);
+    if (pr == ParseResult::kComplete) {
+      buffer_.erase(0, consumed);
+      return resp;
+    }
+    if (pr != ParseResult::kIncomplete) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::ParseError("bad HTTP response: " + error);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    if (n == 0) return Status::IoError("connection closed mid-response");
+    return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+  }
+}
+
+Result<HttpResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    int timeout_ms) {
+  auto conn = HttpConnection::Connect(host, port, timeout_ms);
+  if (!conn.ok()) return conn.status();
+  return conn.value()->RoundTrip(method, target, body, headers);
+}
+
+}  // namespace prometheus::net

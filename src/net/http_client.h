@@ -1,0 +1,52 @@
+#ifndef PROMETHEUS_NET_HTTP_CLIENT_H_
+#define PROMETHEUS_NET_HTTP_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/http.h"
+
+namespace prometheus::net {
+
+/// A blocking HTTP/1.1 client connection over a POSIX socket — enough for
+/// the test suite and the remote-overhead benchmark (E17) to exercise the
+/// front-end the way curl does, including keep-alive reuse.
+class HttpConnection {
+ public:
+  /// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1").
+  /// `timeout_ms` bounds connect and each subsequent receive.
+  static Result<std::unique_ptr<HttpConnection>> Connect(
+      const std::string& host, int port, int timeout_ms = 5000);
+
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Sends one request and reads one response. Reusable while the server
+  /// keeps the connection alive; fails once either side closed it.
+  Result<HttpResponse> RoundTrip(
+      const std::string& method, const std::string& target,
+      std::string_view body = {},
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+ private:
+  explicit HttpConnection(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;  ///< bytes received beyond the last response
+};
+
+/// One-shot convenience: connect, round-trip, close.
+Result<HttpResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target, std::string_view body = {},
+    const std::vector<std::pair<std::string, std::string>>& headers = {},
+    int timeout_ms = 5000);
+
+}  // namespace prometheus::net
+
+#endif  // PROMETHEUS_NET_HTTP_CLIENT_H_

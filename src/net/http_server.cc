@@ -1,0 +1,460 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/stats.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "query/query_engine.h"
+
+namespace prometheus::net {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+constexpr const char* kTextType = "text/plain; charset=utf-8";
+/// The content type Prometheus scrapers expect for the text format.
+constexpr const char* kPromType = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Receive timeout per recv() call — short so handler threads notice the
+/// stop flag promptly without busy-waiting.
+constexpr int kRecvPollMs = 250;
+
+void SetRecvTimeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer; false on peer reset. MSG_NOSIGNAL keeps a
+/// disconnected peer from raising SIGPIPE at the process.
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Maps a request's transport disposition + database status to HTTP.
+int HttpStatusFor(const server::Response& resp) {
+  switch (resp.code) {
+    case server::ResponseCode::kOk:
+      return resp.status.ok() ? 200 : 400;
+    case server::ResponseCode::kRejected:
+      return 429;  // backpressure: retry with less load
+    case server::ResponseCode::kTimedOut:
+      return 504;  // deadline expired before/inside execution
+    case server::ResponseCode::kUnavailable:
+      return 503;  // degraded read-only mode
+    case server::ResponseCode::kShutdown:
+      return 503;
+  }
+  return 500;
+}
+
+const char* CodeLabel(server::ResponseCode code) {
+  switch (code) {
+    case server::ResponseCode::kOk: return "ok";
+    case server::ResponseCode::kRejected: return "rejected";
+    case server::ResponseCode::kShutdown: return "shutdown";
+    case server::ResponseCode::kTimedOut: return "timed_out";
+    case server::ResponseCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+/// Renders a query response the way the shell prints it, as JSON: the
+/// envelope (id, code, status, epoch), the result set, and the profile
+/// text when present.
+std::string RenderQueryJson(const server::Response& resp) {
+  stats::JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.Uint(resp.id);
+  w.Key("code");
+  w.String(CodeLabel(resp.code));
+  w.Key("ok");
+  w.Bool(resp.ok());
+  w.Key("status");
+  w.String(resp.status.ToString());
+  w.Key("epoch");
+  w.Uint(resp.epoch);
+  w.Key("columns");
+  w.BeginArray();
+  for (const auto& c : resp.result.columns) w.String(c);
+  w.EndArray();
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : resp.result.rows) {
+    w.BeginArray();
+    for (const auto& cell : row) w.String(cell.ToString());
+    w.EndArray();
+  }
+  w.EndArray();
+  if (!resp.text.empty()) {
+    w.Key("text");
+    w.String(resp.text);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderSlowLogJson(
+    const std::vector<obs::SlowQueryLog::Entry>& entries) {
+  stats::JsonWriter w;
+  w.BeginArray();
+  for (const auto& e : entries) {
+    w.BeginObject();
+    w.Key("id");
+    w.Uint(e.request_id);
+    w.Key("query");
+    w.String(e.query);
+    w.Key("micros");
+    w.Number(e.micros);
+    w.Key("profile");
+    w.String(e.profile);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+/// Parses the X-Deadline-Micros / X-Priority request headers into the
+/// envelope. Returns false (with *error set) on a malformed value — the
+/// caller answers 400 rather than silently running without the caller's
+/// intended budget.
+bool ApplyRequestHeaders(const HttpRequest& http, server::Request* req,
+                         std::string* error) {
+  if (const std::string* v = http.Header("x-deadline-micros")) {
+    if (v->empty() ||
+        v->find_first_not_of("0123456789") != std::string::npos) {
+      *error = "malformed X-Deadline-Micros (want a relative microsecond "
+               "budget)";
+      return false;
+    }
+    req->WithTimeout(std::chrono::microseconds(std::stoll(*v)));
+  }
+  if (const std::string* v = http.Header("x-priority")) {
+    if (*v == "low") {
+      req->WithPriority(server::Priority::kLow);
+    } else if (*v == "normal") {
+      req->WithPriority(server::Priority::kNormal);
+    } else if (*v == "high") {
+      req->WithPriority(server::Priority::kHigh);
+    } else {
+      *error = "malformed X-Priority (want low|normal|high)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ErrorBody(const std::string& message) {
+  stats::JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+HttpFrontEnd::HttpFrontEnd(server::Server* server, Options options)
+    : server_(server), options_(std::move(options)) {}
+
+HttpFrontEnd::~HttpFrontEnd() { Stop(); }
+
+Status HttpFrontEnd::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("front-end already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind(" + options_.bind_address + ":" +
+                            std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(fd, static_cast<int>(options_.pending_connections)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen(): " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  const int threads = options_.handler_threads < 1 ? 1
+                                                   : options_.handler_threads;
+  handlers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpFrontEnd::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutdown() first covers
+  // platforms where close() alone does not wake a blocked accept.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  ready_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  // Connections still waiting for a handler are closed unserved.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+HttpFrontEnd::Stats HttpFrontEnd::stats() const {
+  Stats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_dropped = dropped_.load(std::memory_order_relaxed);
+  s.requests_served = served_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpFrontEnd::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF / EINVAL after Stop() closed the listener — exit quietly.
+      break;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.size() < options_.pending_connections) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      ready_.notify_one();
+    } else {
+      // Hand-off queue full: shed at the door instead of buffering an
+      // unbounded backlog of idle sockets.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpFrontEnd::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpFrontEnd::ServeConnection(int fd) {
+  SetRecvTimeout(fd, kRecvPollMs);
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  // One logical session per connection: remote requests flow through the
+  // same admission control as in-process clients.
+  std::shared_ptr<server::Session> session = server_->Connect();
+
+  std::string buffer;
+  char chunk[8192];
+  auto last_activity = std::chrono::steady_clock::now();
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    // Drain every complete pipelined request already buffered.
+    while (open) {
+      HttpRequest req;
+      std::size_t consumed = 0;
+      std::string error;
+      const ParseResult pr =
+          ParseHttpRequest(buffer, &consumed, &req, &error, options_.limits);
+      if (pr == ParseResult::kIncomplete) break;
+      if (pr == ParseResult::kBad || pr == ParseResult::kTooLarge) {
+        bad_.fetch_add(1, std::memory_order_relaxed);
+        const int code = pr == ParseResult::kBad ? 400 : 413;
+        SendAll(fd, SerializeHttpResponse(code, kJsonType, ErrorBody(error),
+                                          /*keep_alive=*/false));
+        open = false;
+        break;
+      }
+      buffer.erase(0, consumed);
+      const bool keep =
+          options_.keep_alive && req.KeepAlive() &&
+          !stopping_.load(std::memory_order_acquire);
+      const std::string out = Handle(req, *session, keep);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if (!SendAll(fd, out) || !keep) {
+        open = false;
+        break;
+      }
+      last_activity = std::chrono::steady_clock::now();
+    }
+    if (!open) break;
+
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) break;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      const auto idle = std::chrono::steady_clock::now() - last_activity;
+      if (idle >= std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        break;  // idle keep-alive connection: reclaim the handler
+      }
+      continue;
+    }
+    break;  // hard socket error
+  }
+
+  server_->sessions().Close(session->id());
+  ::close(fd);
+}
+
+std::string HttpFrontEnd::Handle(const HttpRequest& req,
+                                 server::Session& session, bool keep_alive) {
+  const std::string& path = req.target;
+
+  // Telemetry routes are answered directly on the handler thread — they
+  // read only the metrics registry, the health snapshot and the bounded
+  // rings, never the database guard, so a scrape succeeds while a writer
+  // holds the exclusive lock or the work queue is saturated.
+  if (req.method == "GET" || req.method == "HEAD") {
+    std::string body;
+    std::string content_type = kJsonType;
+    int status = 200;
+    if (path == "/metrics") {
+      obs::UpdateProcessUptime();
+      obs::MetricsSnapshot snap = obs::Registry().Snapshot();
+      body = obs::RenderPrometheusText(snap) +
+             "# HELP server_epoch Wall-clock microseconds at server "
+             "construction; changes on restart\n"
+             "# TYPE server_epoch gauge\n"
+             "server_epoch " +
+             std::to_string(server_->server_epoch()) + "\n";
+      content_type = kPromType;
+    } else if (path == "/stats") {
+      obs::UpdateProcessUptime();
+      body = obs::RenderJson(obs::Registry().Snapshot());
+      body.insert(1, "\"server_epoch\":" +
+                         std::to_string(server_->server_epoch()) + ",");
+    } else if (path == "/health") {
+      const server::Server::Health h = server_->health();
+      body = h.ToJson();
+      if (h.degraded) status = 503;  // probes alert on the code alone
+    } else if (path == "/slowlog") {
+      body = RenderSlowLogJson(server_->slow_query_log().entries());
+    } else if (path == "/debug/requests") {
+      body = obs::RenderFlightRecorderJson(
+          server_->flight_recorder().Snapshot());
+    } else if (path == "/query" || path == "/profile") {
+      return SerializeHttpResponse(
+          405, kJsonType, ErrorBody("use POST with a POOL query body"),
+          keep_alive, {{"Allow", "POST"}});
+    } else {
+      return SerializeHttpResponse(404, kJsonType,
+                                   ErrorBody("no route for " + path),
+                                   keep_alive);
+    }
+    if (req.method == "HEAD") body.clear();
+    return SerializeHttpResponse(status, content_type, body, keep_alive);
+  }
+
+  if (req.method == "POST" && (path == "/query" || path == "/profile")) {
+    std::string text = req.body;
+    if (text.empty()) {
+      return SerializeHttpResponse(400, kJsonType,
+                                   ErrorBody("empty query body"), keep_alive);
+    }
+    if (path == "/profile" && !pool::IsProfileQuery(text)) {
+      text = "profile " + text;
+    }
+    server::Request query = server::Request::Query(std::move(text));
+    std::string header_error;
+    if (!ApplyRequestHeaders(req, &query, &header_error)) {
+      return SerializeHttpResponse(400, kJsonType, ErrorBody(header_error),
+                                   keep_alive);
+    }
+    const server::Response resp = session.Call(std::move(query));
+    return SerializeHttpResponse(HttpStatusFor(resp), kJsonType,
+                                 RenderQueryJson(resp), keep_alive);
+  }
+
+  // Known telemetry path with the wrong verb?
+  if (path == "/metrics" || path == "/stats" || path == "/health" ||
+      path == "/slowlog" || path == "/debug/requests") {
+    return SerializeHttpResponse(405, kJsonType,
+                                 ErrorBody("use GET for " + path), keep_alive,
+                                 {{"Allow", "GET"}});
+  }
+  return SerializeHttpResponse(404, kJsonType,
+                               ErrorBody("no route for " + path), keep_alive);
+}
+
+}  // namespace prometheus::net

@@ -1,0 +1,29 @@
+#include "obs/flight_recorder.h"
+
+#include "common/stats.h"
+
+namespace prometheus::obs {
+
+std::string RenderFlightRecorderJson(
+    const std::vector<FlightRecorder::Entry>& entries) {
+  stats::JsonWriter json;
+  json.BeginArray();
+  for (const FlightRecorder::Entry& e : entries) {
+    json.BeginObject();
+    json.Key("id").Uint(e.request_id);
+    json.Key("type").String(e.type);
+    json.Key("priority").String(e.priority);
+    json.Key("code").String(e.code);
+    json.Key("ok").Bool(e.ok);
+    json.Key("executed").Bool(e.executed);
+    json.Key("queue_wait_micros").Number(e.queue_wait_micros);
+    json.Key("total_micros").Number(e.total_micros);
+    json.Key("detail").String(e.detail);
+    if (!e.stages.empty()) json.Key("stages").String(e.stages);
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
+}  // namespace prometheus::obs

@@ -1,0 +1,106 @@
+#ifndef PROMETHEUS_OBS_FLIGHT_RECORDER_H_
+#define PROMETHEUS_OBS_FLIGHT_RECORDER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prometheus::obs {
+
+/// Always-on bounded ring of the last N *completed* request traces — the
+/// "what just happened" window the per-query tracer cannot provide (it only
+/// answers for queries someone thought to PROFILE in advance). The server
+/// records every admitted request's disposition here: type, priority,
+/// queue wait, total time, transport code, and — for profiled queries —
+/// the rendered span tree.
+///
+/// Lock-cheap by construction: writers claim a slot with one relaxed
+/// fetch_add and then lock only that slot's mutex, so concurrent writers
+/// contend only when they hash to the same slot (capacity writers apart).
+/// Readers lock each slot briefly in turn; a snapshot is consistent per
+/// entry, not across entries — fine for a diagnostic window.
+///
+/// A capacity of 0 disables recording entirely (`Record` is then a single
+/// branch).
+class FlightRecorder {
+ public:
+  struct Entry {
+    std::uint64_t request_id = 0;
+    std::string type;       ///< "ping", "query", "mutation", "stats", ...
+    std::string priority;   ///< "low", "normal", "high"
+    std::string code;       ///< transport outcome ("ok", "timed_out", ...)
+    bool ok = false;        ///< executed and the database reported success
+    bool executed = false;  ///< false: shed from the queue, never ran
+    double queue_wait_micros = 0;  ///< admission -> worker pickup
+    double total_micros = 0;       ///< time on the worker (0 if never ran)
+    std::string detail;  ///< query text (truncated) or mutation kind
+    std::string stages;  ///< rendered span tree (profiled queries only)
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 128)
+      : capacity_(capacity),
+        slots_(capacity == 0 ? nullptr : std::make_unique<Slot[]>(capacity)) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  void Record(Entry entry) {
+    if (capacity_ == 0) return;
+    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[seq % capacity_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.entry = std::move(entry);
+    slot.seq = seq + 1;  // 0 stays "never written"
+  }
+
+  /// Copies the retained entries, oldest first. At most `capacity` long;
+  /// entries overwritten mid-snapshot may appear with their new content
+  /// (each slot is copied under its own lock).
+  std::vector<Entry> Snapshot() const {
+    std::vector<Entry> out;
+    if (capacity_ == 0) return out;
+    std::vector<std::pair<std::uint64_t, Entry>> tagged;
+    tagged.reserve(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      Slot& slot = slots_[i];
+      std::lock_guard<std::mutex> lock(slot.mu);
+      if (slot.seq != 0) tagged.emplace_back(slot.seq, slot.entry);
+    }
+    std::sort(tagged.begin(), tagged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.reserve(tagged.size());
+    for (auto& [seq, entry] : tagged) out.push_back(std::move(entry));
+    return out;
+  }
+
+  /// Total recorded since construction (including overwritten entries).
+  std::uint64_t recorded_total() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    std::uint64_t seq = 0;  ///< 1-based write sequence; 0 = unused
+    Entry entry;
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Renders a snapshot as a JSON array, oldest first.
+std::string RenderFlightRecorderJson(const std::vector<FlightRecorder::Entry>& entries);
+
+}  // namespace prometheus::obs
+
+#endif  // PROMETHEUS_OBS_FLIGHT_RECORDER_H_

@@ -146,13 +146,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : metrics_) {
     if (entry.counter != nullptr) {
-      snap.counters.push_back({name, entry.counter->value()});
+      snap.counters.push_back({name, entry.counter->value(), entry.help});
     }
     if (entry.gauge != nullptr) {
-      snap.gauges.push_back({name, entry.gauge->value()});
+      snap.gauges.push_back({name, entry.gauge->value(), entry.help});
     }
     if (entry.histogram != nullptr) {
-      snap.histograms.push_back({name, entry.histogram->snapshot()});
+      snap.histograms.push_back({name, entry.histogram->snapshot(),
+                                 entry.help});
     }
   }
   return snap;
@@ -240,6 +241,23 @@ void FormatNumber(std::string* out, double v) {
   *out += buf;
 }
 
+/// Escapes a # HELP text: the format requires `\\` and `\n` escaping in
+/// help lines (a raw newline would start a new, malformed line).
+void AppendEscapedHelp(std::string* out, const std::string& help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
 /// Emits the # HELP / # TYPE preamble once per base metric name.
 void Preamble(std::string* out, std::string* last_base,
               const std::string& base, const std::string& help,
@@ -247,7 +265,9 @@ void Preamble(std::string* out, std::string* last_base,
   if (base == *last_base) return;
   *last_base = base;
   if (!help.empty()) {
-    *out += "# HELP " + base + " " + help + "\n";
+    *out += "# HELP " + base + " ";
+    AppendEscapedHelp(out, help);
+    *out += "\n";
   }
   *out += "# TYPE " + base + " ";
   *out += type;
@@ -265,17 +285,17 @@ std::string RenderPrometheusText(const MetricsSnapshot& snap) {
   std::string base, labels;
   for (const auto& c : snap.counters) {
     SplitLabels(c.name, &base, &labels);
-    Preamble(&out, &last_base, base, "", "counter");
+    Preamble(&out, &last_base, base, c.help, "counter");
     out += base + labels + " " + std::to_string(c.value) + "\n";
   }
   for (const auto& g : snap.gauges) {
     SplitLabels(g.name, &base, &labels);
-    Preamble(&out, &last_base, base, "", "gauge");
+    Preamble(&out, &last_base, base, g.help, "gauge");
     out += base + labels + " " + std::to_string(g.value) + "\n";
   }
   for (const auto& h : snap.histograms) {
     SplitLabels(h.name, &base, &labels);
-    Preamble(&out, &last_base, base, "", "histogram");
+    Preamble(&out, &last_base, base, h.help, "histogram");
     // Cumulative buckets, as the exposition format requires; an existing
     // label block gains the `le` label.
     const std::string label_prefix =
@@ -298,6 +318,83 @@ std::string RenderPrometheusText(const MetricsSnapshot& snap) {
            "\n";
   }
   return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- process metrics
+
+namespace {
+
+/// Monotonic anchor for uptime; pinned by the first RegisterProcessMetrics.
+std::chrono::steady_clock::time_point& ProcessStart() {
+  static std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+Gauge*& UptimeGauge() {
+  static Gauge* gauge = nullptr;
+  return gauge;
+}
+
+}  // namespace
+
+const char* BuildVersion() { return "0.5.0"; }
+
+void RegisterProcessMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    (void)ProcessStart();
+    MetricsRegistry& reg = Registry();
+#if defined(__VERSION__)
+    const std::string compiler = EscapeLabelValue(__VERSION__);
+#else
+    const std::string compiler = "unknown";
+#endif
+    reg.GetGauge("prometheus_build_info{version=\"" +
+                     EscapeLabelValue(BuildVersion()) + "\",compiler=\"" +
+                     compiler + "\"}",
+                 "Build metadata; the value is always 1")
+        ->Set(1);
+    reg.GetGauge("process_start_time_seconds",
+                 "Unix time the process started, for restart detection")
+        ->Set(static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count()));
+    UptimeGauge() = reg.GetGauge(
+        "process_uptime_seconds",
+        "Seconds since process start (refreshed per scrape)");
+    UpdateProcessUptime();
+  });
+}
+
+void UpdateProcessUptime() {
+  Gauge* gauge = UptimeGauge();
+  if (gauge == nullptr) return;
+  gauge->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                 std::chrono::steady_clock::now() - ProcessStart())
+                 .count());
 }
 
 }  // namespace prometheus::obs

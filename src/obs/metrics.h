@@ -172,14 +172,17 @@ struct MetricsSnapshot {
   struct CounterValue {
     std::string name;
     std::uint64_t value;
+    std::string help;
   };
   struct GaugeValue {
     std::string name;
     std::int64_t value;
+    std::string help;
   };
   struct HistogramValue {
     std::string name;
     Histogram::Snapshot hist;
+    std::string help;
   };
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
@@ -247,6 +250,30 @@ inline MetricsRegistry& Registry() { return MetricsRegistry::Default(); }
 // without holding the registry.
 std::string RenderJson(const MetricsSnapshot& snap);
 std::string RenderPrometheusText(const MetricsSnapshot& snap);
+
+/// Escapes a label *value* for the Prometheus text exposition format:
+/// backslash, double quote and newline become \\, \" and \n. Use when
+/// composing a `name{label="<runtime value>"}` metric name from data that
+/// is not a compile-time literal.
+std::string EscapeLabelValue(const std::string& value);
+
+// --------------------------------------------------------- process metrics
+
+/// Registers the process-level gauges a scraper needs to detect restarts
+/// and correlate runs against `Default()`:
+///   - `prometheus_build_info{version="...",compiler="..."}` = 1
+///   - `process_start_time_seconds` — unix time of process start
+///   - `process_uptime_seconds` — refreshed by `UpdateProcessUptime()`
+/// Idempotent; the first call pins the start time.
+void RegisterProcessMetrics();
+
+/// Refreshes `process_uptime_seconds` from the monotonic clock. Exposition
+/// endpoints call this right before snapshotting so every scrape carries a
+/// current value.
+void UpdateProcessUptime();
+
+/// The version string baked into `prometheus_build_info`.
+const char* BuildVersion();
 
 }  // namespace prometheus::obs
 

@@ -102,6 +102,84 @@ pool::ResultSet ProfileTable(const obs::TraceNode& trace) {
   return table;
 }
 
+const char* KindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing:
+      return "ping";
+    case RequestKind::kQuery:
+      return "query";
+    case RequestKind::kMutation:
+      return "mutation";
+    case RequestKind::kStats:
+      return "stats";
+    case RequestKind::kHealth:
+      return "health";
+  }
+  return "unknown";
+}
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+const char* CodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "ok";
+    case ResponseCode::kRejected:
+      return "rejected";
+    case ResponseCode::kShutdown:
+      return "shutdown";
+    case ResponseCode::kTimedOut:
+      return "timed_out";
+    case ResponseCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+/// What the flight recorder stores as the "what ran" column: the (bounded)
+/// query text, or the mutation kind.
+std::string FlightDetail(const Request& req) {
+  switch (req.kind) {
+    case RequestKind::kQuery: {
+      constexpr std::size_t kMaxDetail = 200;
+      if (req.query.size() <= kMaxDetail) return req.query;
+      return req.query.substr(0, kMaxDetail) + "…";
+    }
+    case RequestKind::kMutation:
+      switch (req.mutation.kind) {
+        case MutationOp::Kind::kCreateObject:
+          return "create " + req.mutation.type_name;
+        case MutationOp::Kind::kSetAttribute:
+          return "set " + req.mutation.attribute;
+        case MutationOp::Kind::kDeleteObject:
+          return "delete object";
+        case MutationOp::Kind::kCreateLink:
+          return "link " + req.mutation.type_name;
+        case MutationOp::Kind::kSetLinkAttribute:
+          return "set link " + req.mutation.attribute;
+        case MutationOp::Kind::kDeleteLink:
+          return "delete link";
+        case MutationOp::Kind::kCustom:
+          return "custom";
+        case MutationOp::Kind::kCheckpoint:
+          return "checkpoint";
+      }
+      return "mutation";
+    default:
+      return "";
+  }
+}
+
 std::string JsonEscape(const std::string& in) {
   std::string out;
   out.reserve(in.size());
@@ -127,7 +205,8 @@ std::string JsonEscape(const std::string& in) {
 
 std::string Server::Health::ToJson() const {
   std::string out = "{";
-  out += "\"degraded\":" + std::string(degraded ? "true" : "false");
+  out += "\"server_epoch\":" + std::to_string(server_epoch);
+  out += ",\"degraded\":" + std::string(degraded ? "true" : "false");
   out += ",\"store_status\":\"" + JsonEscape(store_status.ToString()) + "\"";
   out += ",\"queue_depth\":" + std::to_string(queue_depth);
   out += ",\"queue_capacity\":" + std::to_string(queue_capacity);
@@ -149,11 +228,19 @@ Server::Server(Database* db, Options options)
     : db_(db),
       engine_(db, options.indexes),
       slow_log_(options.slow_query_micros, options.slow_query_capacity),
+      flight_recorder_(options.flight_recorder_capacity),
       executor_(ThreadPoolExecutor::Options{options.worker_threads,
                                             options.queue_capacity,
                                             options.admission}),
       sessions_(this),
-      store_(options.store) {
+      store_(options.store),
+      server_epoch_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count())) {
+  // Scrape targets need the restart-detection gauges from the first
+  // exposition on; registering here keeps every embedding in sync.
+  obs::RegisterProcessMetrics();
   // Construction is single-threaded: reading the store directly is safe
   // here (workers exist but have no jobs yet).
   if (store_ != nullptr) {
@@ -190,6 +277,7 @@ Server::Stats Server::stats() const {
 
 Server::Health Server::health() const {
   Health h;
+  h.server_epoch = server_epoch_;
   h.degraded = degraded_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(store_status_mu_);
@@ -271,11 +359,21 @@ std::future<Response> Server::Enqueue(Request req) {
   // copyable targets, and a Request (its closure, its inits) should not be
   // deep-copied per hop.
   auto boxed = std::make_shared<Request>(std::move(req));
+  const auto enqueued_at = std::chrono::steady_clock::now();
   ThreadPoolExecutor::Job job =
-      [this, id, promise, boxed](ThreadPoolExecutor::Disposition d) {
+      [this, id, promise, boxed,
+       enqueued_at](ThreadPoolExecutor::Disposition d) {
+        // With the recorder disabled the job path pays one branch, not a
+        // clock read.
+        const double queue_wait_micros =
+            flight_recorder_.enabled()
+                ? std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - enqueued_at)
+                      .count()
+                : 0;
         switch (d) {
           case ThreadPoolExecutor::Disposition::kRun:
-            promise->set_value(Execute(id, *boxed));
+            promise->set_value(Execute(id, *boxed, queue_wait_micros));
             return;
           case ThreadPoolExecutor::Disposition::kShutdown: {
             Response resp;
@@ -283,6 +381,7 @@ std::future<Response> Server::Enqueue(Request req) {
             resp.code = ResponseCode::kShutdown;
             resp.status =
                 Status::FailedPrecondition("server shut down before execution");
+            RecordFlight(id, *boxed, resp, queue_wait_micros, 0);
             promise->set_value(std::move(resp));
             return;
           }
@@ -294,6 +393,7 @@ std::future<Response> Server::Enqueue(Request req) {
             resp.code = ResponseCode::kTimedOut;
             resp.status = Status::DeadlineExceeded(
                 "deadline expired while queued (shed at dequeue)");
+            RecordFlight(id, *boxed, resp, queue_wait_micros, 0);
             promise->set_value(std::move(resp));
             return;
           }
@@ -303,6 +403,7 @@ std::future<Response> Server::Enqueue(Request req) {
             resp.code = ResponseCode::kRejected;
             resp.status = Status::FailedPrecondition(
                 "evicted from the work queue by higher-priority work");
+            RecordFlight(id, *boxed, resp, queue_wait_micros, 0);
             promise->set_value(std::move(resp));
             return;
           }
@@ -334,10 +435,16 @@ std::future<Response> Server::Enqueue(Request req) {
   return future;
 }
 
-Response Server::Execute(RequestId id, const Request& req) {
+Response Server::Execute(RequestId id, const Request& req,
+                         double queue_wait_micros) {
   const ServerMetrics& metrics = ServerMetrics::Get();
   metrics.requests->Increment();
-  obs::ScopedTimer timer(metrics.ForKind(req.kind));
+  // One explicit clock pair instead of a ScopedTimer: the elapsed value
+  // feeds both the latency histogram and the flight recorder.
+  const bool timing =
+      obs::MetricsEnabled() || flight_recorder_.enabled();
+  std::chrono::steady_clock::time_point start;
+  if (timing) start = std::chrono::steady_clock::now();
   Response resp;
   switch (req.kind) {
     case RequestKind::kPing:
@@ -364,7 +471,36 @@ Response Server::Execute(RequestId id, const Request& req) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     metrics.errors->Increment();
   }
+  if (timing) {
+    const double micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    metrics.ForKind(req.kind)->Observe(micros);
+    RecordFlight(id, req, resp, queue_wait_micros, micros);
+  }
   return resp;
+}
+
+void Server::RecordFlight(RequestId id, const Request& req,
+                          const Response& resp, double queue_wait_micros,
+                          double total_micros) {
+  if (!flight_recorder_.enabled()) return;
+  obs::FlightRecorder::Entry entry;
+  entry.request_id = id;
+  entry.type = KindName(req.kind);
+  entry.priority = PriorityName(req.priority);
+  entry.code = CodeName(resp.code);
+  entry.ok = resp.code == ResponseCode::kOk && resp.status.ok();
+  entry.executed = resp.executed;
+  entry.queue_wait_micros = queue_wait_micros;
+  entry.total_micros = total_micros;
+  entry.detail = FlightDetail(req);
+  // PROFILE queries already rendered their span tree into the response;
+  // keep it so `.recent` / /debug/requests shows per-stage structure.
+  if (req.kind == RequestKind::kQuery && pool::IsProfileQuery(req.query)) {
+    entry.stages = resp.text;
+  }
+  flight_recorder_.Record(std::move(entry));
 }
 
 Response Server::ExecuteQuery(RequestId id, const Request& req) {
@@ -439,10 +575,24 @@ Response Server::ExecuteStats(RequestId id, const Request& req) {
   resp.epoch = db_->epoch();
   // The registry synchronises itself; no database lock is needed, so a
   // stats probe never queues behind a long mutation's write guard.
+  obs::UpdateProcessUptime();
   obs::MetricsSnapshot snap = obs::Registry().Snapshot();
-  resp.text = req.stats_format == StatsFormat::kPrometheusText
-                  ? obs::RenderPrometheusText(snap)
-                  : obs::RenderJson(snap);
+  if (req.stats_format == StatsFormat::kPrometheusText) {
+    // `server_epoch` rides along as its own gauge block so a scraper can
+    // tell a restarted server from an in-place counter reset.
+    resp.text = obs::RenderPrometheusText(snap) +
+                "# HELP server_epoch Wall-clock microseconds at server "
+                "construction; changes on restart\n"
+                "# TYPE server_epoch gauge\n"
+                "server_epoch " +
+                std::to_string(server_epoch_) + "\n";
+  } else {
+    std::string json = obs::RenderJson(snap);
+    // The snapshot renders as one object; splice the epoch in as its
+    // first member.
+    json.insert(1, "\"server_epoch\":" + std::to_string(server_epoch_) + ",");
+    resp.text = std::move(json);
+  }
   return resp;
 }
 
@@ -460,6 +610,7 @@ Response Server::ExecuteHealth(RequestId id, const Request&) {
     resp.result.rows.push_back(
         {Value::String(k), Value::String(std::move(v))});
   };
+  row("server_epoch", std::to_string(h.server_epoch));
   row("degraded", h.degraded ? "true" : "false");
   row("store_status", h.store_status.ToString());
   row("queue_depth", std::to_string(h.queue_depth) + "/" +

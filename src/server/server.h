@@ -9,6 +9,7 @@
 
 #include "core/database.h"
 #include "index/index_manager.h"
+#include "obs/flight_recorder.h"
 #include "obs/slow_query_log.h"
 #include "query/query_engine.h"
 #include "server/executor.h"
@@ -61,6 +62,9 @@ class Server {
     double slow_query_micros = -1;
     /// Slow-query log ring capacity.
     std::size_t slow_query_capacity = 128;
+    /// Flight-recorder ring capacity: the last N completed request traces
+    /// (`GET /debug/requests`, shell `.recent`). 0 disables recording.
+    std::size_t flight_recorder_capacity = 128;
     /// Optional durability manager wrapping `db`. Must outlive the server
     /// and must be the store whose `db()` the server serves. Enables
     /// degraded read-only mode and the kCheckpoint mutation.
@@ -115,6 +119,7 @@ class Server {
   /// Point-in-time overload/degradation summary — what kHealth renders.
   /// Lock-free with respect to the database: never queues behind a writer.
   struct Health {
+    std::uint64_t server_epoch = 0;  ///< see Server::server_epoch()
     bool degraded = false;
     Status store_status;          ///< last observed store status
     std::size_t queue_depth = 0;
@@ -131,6 +136,18 @@ class Server {
   /// Queries that exceeded Options::slow_query_micros (empty when disabled).
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
+  /// The last N completed request traces (see Options).
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
+  /// Wall-clock microseconds at server construction — a value that is
+  /// monotonic *across restarts*, unlike the in-memory counters it
+  /// accompanies. A remote scraper seeing counters go backwards while
+  /// `server_epoch` held steady is looking at a counter reset; a changed
+  /// epoch means a different server instance.
+  std::uint64_t server_epoch() const { return server_epoch_; }
+
   Database& db() { return *db_; }
   int worker_threads() const { return executor_.threads(); }
 
@@ -141,8 +158,10 @@ class Server {
   /// returned future resolves with exactly one Response on every path.
   std::future<Response> Enqueue(Request req);
 
-  /// Runs on a worker thread.
-  Response Execute(RequestId id, const Request& req);
+  /// Runs on a worker thread. `queue_wait_micros` is the time the request
+  /// spent queued (admission to worker pickup), recorded in the flight
+  /// recorder alongside the execution outcome.
+  Response Execute(RequestId id, const Request& req, double queue_wait_micros);
   Response ExecuteQuery(RequestId id, const Request& req);
   Response ExecuteMutation(RequestId id, const Request& req);
   Response ExecuteStats(RequestId id, const Request& req);
@@ -153,12 +172,18 @@ class Server {
   /// kCheckpoint success path.
   void ObserveStoreStatus();
 
+  /// Records a disposition (executed or shed) in the flight recorder.
+  void RecordFlight(RequestId id, const Request& req, const Response& resp,
+                    double queue_wait_micros, double total_micros);
+
   Database* db_;
   pool::QueryEngine engine_;
   obs::SlowQueryLog slow_log_;
+  obs::FlightRecorder flight_recorder_;
   ThreadPoolExecutor executor_;
   SessionManager sessions_;
   storage::DurableStore* store_;
+  const std::uint64_t server_epoch_;
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<bool> stopped_{false};
   std::atomic<bool> degraded_{false};

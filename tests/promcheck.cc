@@ -1,0 +1,32 @@
+// promcheck: reads a Prometheus text exposition from stdin and validates
+// it with the strict conformance parser the test suite uses. Exit 0 when
+// clean; exit 1 with the offence on stderr otherwise. The CI smoke job
+// pipes a live `curl /metrics` scrape through this, so a conformance
+// regression fails the build even if no unit test anticipated it.
+//
+//   curl -fsS localhost:9464/metrics | ./promcheck
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "prometheus_text_parser.h"
+
+int main() {
+  std::ostringstream input;
+  input << std::cin.rdbuf();
+  const std::string text = input.str();
+
+  prometheus::testing::PromExposition exposition;
+  const std::string error =
+      prometheus::testing::ParsePrometheusText(text, &exposition);
+  if (!error.empty()) {
+    std::cerr << "promcheck: " << error << "\n";
+    return 1;
+  }
+  std::size_t samples = 0;
+  for (const auto& f : exposition.families) samples += f.samples.size();
+  std::cout << "promcheck: OK — " << exposition.families.size()
+            << " families, " << samples << " samples\n";
+  return 0;
+}

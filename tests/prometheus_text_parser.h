@@ -1,0 +1,441 @@
+#ifndef PROMETHEUS_TESTS_PROMETHEUS_TEXT_PARSER_H_
+#define PROMETHEUS_TESTS_PROMETHEUS_TEXT_PARSER_H_
+
+// A strict conformance parser for the Prometheus text exposition format
+// (version 0.0.4) — the test-side contract for everything /metrics and
+// kStats emit. Deliberately stricter than a scraper: it rejects anything
+// our own renderer has no business producing (unknown comment forms,
+// untyped samples, non-cumulative histogram buckets), so a conformance
+// regression fails a test even when a lenient real-world scraper would
+// shrug it off. Shared by test_obs, test_net and the promcheck CLI tool
+// the CI smoke job pipes a live scrape through.
+//
+// Header-only on purpose: tests and the tool include it without a library
+// target.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prometheus::testing {
+
+/// One sample line: `name{labels} value`.
+struct PromSample {
+  std::string name;  ///< the sample's own name (e.g. `foo_bucket`)
+  /// Label pairs in source order (name, unescaped value).
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+
+  /// The raw value of a label, or "" when absent.
+  std::string Label(const std::string& label_name) const {
+    for (const auto& [k, v] : labels) {
+      if (k == label_name) return v;
+    }
+    return {};
+  }
+};
+
+/// One metric family: a # TYPE line plus its samples.
+struct PromFamily {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram" | ...
+  std::string help;  ///< unescaped # HELP text ("" when absent)
+  std::vector<PromSample> samples;
+};
+
+/// A fully parsed exposition, family order preserved.
+struct PromExposition {
+  std::vector<PromFamily> families;
+
+  const PromFamily* Find(const std::string& name) const {
+    for (const auto& f : families) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  /// The single sample with this exact name (no labels considered);
+  /// nullptr when absent or ambiguous.
+  const PromSample* FindSample(const std::string& name) const {
+    const PromSample* found = nullptr;
+    for (const auto& f : families) {
+      for (const auto& s : f.samples) {
+        if (s.name == name) {
+          if (found != nullptr) return nullptr;
+          found = &s;
+        }
+      }
+    }
+    return found;
+  }
+};
+
+namespace prom_internal {
+
+inline bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+inline bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+inline bool IsLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+inline bool ValidMetricName(const std::string& s) {
+  if (s.empty() || !IsMetricNameStart(s[0])) return false;
+  for (char c : s) {
+    if (!IsMetricNameChar(c)) return false;
+  }
+  return true;
+}
+
+inline bool ValidLabelName(const std::string& s) {
+  if (s.empty() || !IsLabelNameStart(s[0])) return false;
+  for (char c : s) {
+    if (!IsLabelNameChar(c)) return false;
+  }
+  return true;
+}
+
+/// Parses a sample value: decimal floats plus +Inf / -Inf / NaN.
+inline bool ParseValue(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  if (s == "+Inf" || s == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "NaN") {
+    *out = std::nan("");
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+/// Unescapes a label value body (between the quotes). Only \\, \" and \n
+/// are legal escapes in the text format.
+inline bool UnescapeLabelValue(const std::string& raw, std::string* out,
+                               std::string* error) {
+  out->clear();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '\\') {
+      *out += raw[i];
+      continue;
+    }
+    if (i + 1 >= raw.size()) {
+      *error = "dangling backslash in label value";
+      return false;
+    }
+    const char esc = raw[++i];
+    if (esc == '\\') {
+      *out += '\\';
+    } else if (esc == '"') {
+      *out += '"';
+    } else if (esc == 'n') {
+      *out += '\n';
+    } else {
+      *error = std::string("illegal escape '\\") + esc + "' in label value";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses `{name="value",...}` starting at `pos` (the '{'). Advances `pos`
+/// past the closing '}'.
+inline bool ParseLabels(
+    const std::string& line, std::size_t* pos,
+    std::vector<std::pair<std::string, std::string>>* labels,
+    std::string* error) {
+  ++*pos;  // consume '{'
+  for (;;) {
+    if (*pos >= line.size()) {
+      *error = "unterminated label block";
+      return false;
+    }
+    if (line[*pos] == '}') {
+      ++*pos;
+      return true;
+    }
+    std::size_t name_end = *pos;
+    while (name_end < line.size() && line[name_end] != '=') ++name_end;
+    if (name_end >= line.size()) {
+      *error = "label without '='";
+      return false;
+    }
+    const std::string label_name = line.substr(*pos, name_end - *pos);
+    if (!ValidLabelName(label_name)) {
+      *error = "malformed label name '" + label_name + "'";
+      return false;
+    }
+    std::size_t v = name_end + 1;
+    if (v >= line.size() || line[v] != '"') {
+      *error = "label value is not quoted";
+      return false;
+    }
+    ++v;
+    std::string raw;
+    while (v < line.size() && line[v] != '"') {
+      if (line[v] == '\\') {
+        if (v + 1 >= line.size()) {
+          *error = "dangling backslash in label value";
+          return false;
+        }
+        raw += line[v];
+        raw += line[v + 1];
+        v += 2;
+        continue;
+      }
+      raw += line[v];
+      ++v;
+    }
+    if (v >= line.size()) {
+      *error = "unterminated label value";
+      return false;
+    }
+    ++v;  // closing quote
+    std::string unescaped;
+    if (!UnescapeLabelValue(raw, &unescaped, error)) return false;
+    labels->emplace_back(label_name, std::move(unescaped));
+    if (v < line.size() && line[v] == ',') {
+      *pos = v + 1;
+      continue;
+    }
+    *pos = v;
+    if (*pos < line.size() && line[*pos] == '}') continue;
+    *error = "expected ',' or '}' after label value";
+    return false;
+  }
+}
+
+/// The family a sample name belongs to: for a histogram family F, samples
+/// may be F, F_bucket, F_sum or F_count; otherwise the names must match.
+inline bool BelongsToFamily(const std::string& sample, const PromFamily& f) {
+  if (sample == f.name) return true;
+  if (f.type == "histogram" || f.type == "summary") {
+    if (sample == f.name + "_bucket" && f.type == "histogram") return true;
+    if (sample == f.name + "_sum") return true;
+    if (sample == f.name + "_count") return true;
+  }
+  return false;
+}
+
+}  // namespace prom_internal
+
+/// Parses (and validates) a text exposition. Returns "" on success or a
+/// description of the first offence. Enforced beyond raw syntax:
+///  - the payload is non-empty and newline-terminated;
+///  - comments are only `# HELP <name> <text>` / `# TYPE <name> <type>`,
+///    TYPE precedes the family's samples and appears once per family;
+///  - metric and label names match the Prometheus grammar, label values
+///    use only the \\ \" \n escapes;
+///  - every sample belongs to a typed family (histogram children only
+///    under a histogram TYPE);
+///  - per histogram label-set: buckets are cumulative (non-decreasing),
+///    end with le="+Inf", and _count equals the +Inf bucket.
+inline std::string ParsePrometheusText(const std::string& text,
+                                       PromExposition* out) {
+  using namespace prom_internal;
+  out->families.clear();
+  if (text.empty()) return "empty exposition";
+  if (text.back() != '\n') return "exposition does not end with a newline";
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&line_no](const std::string& msg) {
+    return "line " + std::to_string(line_no) + ": " + msg;
+  };
+
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n', pos);
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;  // blank lines are legal separators
+
+    if (line[0] == '#') {
+      // Only the two structured comment forms are accepted.
+      std::string keyword, name;
+      std::size_t p = 1;
+      while (p < line.size() && line[p] == ' ') ++p;
+      while (p < line.size() && line[p] != ' ') keyword += line[p++];
+      while (p < line.size() && line[p] == ' ') ++p;
+      while (p < line.size() && line[p] != ' ') name += line[p++];
+      if (p < line.size()) ++p;  // single space before the payload
+      const std::string payload = line.substr(p);
+      if (keyword != "HELP" && keyword != "TYPE") {
+        return fail("unexpected comment (only # HELP and # TYPE allowed): " +
+                    line);
+      }
+      if (!ValidMetricName(name)) {
+        return fail("malformed metric name in comment: '" + name + "'");
+      }
+      if (keyword == "TYPE") {
+        if (payload != "counter" && payload != "gauge" &&
+            payload != "histogram" && payload != "summary" &&
+            payload != "untyped") {
+          return fail("unknown metric type '" + payload + "'");
+        }
+        // A # HELP line may have parked an untyped placeholder already.
+        PromFamily* family = nullptr;
+        for (auto& f : out->families) {
+          if (f.name == name) family = &f;
+        }
+        if (family != nullptr) {
+          if (!family->type.empty()) {
+            return fail("duplicate # TYPE for '" + name + "'");
+          }
+          family->type = payload;
+        } else {
+          PromFamily fresh;
+          fresh.name = name;
+          fresh.type = payload;
+          out->families.push_back(std::move(fresh));
+        }
+      } else {  // HELP
+        // HELP may precede TYPE; park it on an untyped placeholder that
+        // the TYPE line upgrades. Our renderer always orders HELP first.
+        PromFamily* family = nullptr;
+        for (auto& f : out->families) {
+          if (f.name == name) family = &f;
+        }
+        if (family == nullptr) {
+          PromFamily fresh;
+          fresh.name = name;
+          fresh.type = "";  // pending TYPE
+          out->families.push_back(std::move(fresh));
+          family = &out->families.back();
+        } else if (!family->help.empty()) {
+          return fail("duplicate # HELP for '" + name + "'");
+        }
+        // Unescape \\ and \n.
+        std::string help;
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          if (payload[i] == '\\' && i + 1 < payload.size()) {
+            const char esc = payload[i + 1];
+            if (esc == '\\') {
+              help += '\\';
+              ++i;
+              continue;
+            }
+            if (esc == 'n') {
+              help += '\n';
+              ++i;
+              continue;
+            }
+          }
+          help += payload[i];
+        }
+        family->help = std::move(help);
+      }
+      continue;
+    }
+
+    // A sample line: name[{labels}] value
+    std::size_t p = 0;
+    std::string name;
+    while (p < line.size() && IsMetricNameChar(line[p])) name += line[p++];
+    if (!ValidMetricName(name)) {
+      return fail("malformed sample name in: " + line);
+    }
+    PromSample sample;
+    sample.name = name;
+    std::string error;
+    if (p < line.size() && line[p] == '{') {
+      if (!ParseLabels(line, &p, &sample.labels, &error)) {
+        return fail(error + " in: " + line);
+      }
+    }
+    if (p >= line.size() || line[p] != ' ') {
+      return fail("expected ' ' before the value in: " + line);
+    }
+    while (p < line.size() && line[p] == ' ') ++p;
+    std::string value_text = line.substr(p);
+    // An optional timestamp may trail the value; our renderer never emits
+    // one, but tolerate it as the format allows.
+    const std::size_t space = value_text.find(' ');
+    if (space != std::string::npos) value_text.resize(space);
+    if (!ParseValue(value_text, &sample.value)) {
+      return fail("malformed value '" + value_text + "' in: " + line);
+    }
+
+    // Attach to its (already typed) family.
+    PromFamily* family = nullptr;
+    for (auto& f : out->families) {
+      if (BelongsToFamily(name, f)) family = &f;
+    }
+    if (family == nullptr || family->type.empty()) {
+      return fail("sample '" + name + "' has no preceding # TYPE");
+    }
+    family->samples.push_back(std::move(sample));
+  }
+
+  // A # HELP without a matching # TYPE means an untyped family slipped out.
+  for (const auto& f : out->families) {
+    if (f.type.empty()) {
+      return "family '" + f.name + "' has # HELP but no # TYPE";
+    }
+    if (f.type == "histogram") {
+      // Validate bucket structure per label-set (ignoring `le`).
+      std::map<std::string, std::vector<const PromSample*>> buckets;
+      std::map<std::string, double> counts;
+      for (const auto& s : f.samples) {
+        std::string key;
+        for (const auto& [k, v] : s.labels) {
+          if (k != "le") key += k + "=" + v + ";";
+        }
+        if (s.name == f.name + "_bucket") {
+          buckets[key].push_back(&s);
+        } else if (s.name == f.name + "_count") {
+          counts[key] = s.value;
+        }
+      }
+      for (const auto& [key, series] : buckets) {
+        double prev = -1;
+        bool has_inf = false;
+        for (const PromSample* b : series) {
+          if (b->value < prev) {
+            return "histogram '" + f.name +
+                   "' buckets are not cumulative (a bucket decreased)";
+          }
+          prev = b->value;
+          if (b->Label("le") == "+Inf") has_inf = true;
+        }
+        if (!has_inf) {
+          return "histogram '" + f.name + "' lacks an le=\"+Inf\" bucket";
+        }
+        if (series.back()->Label("le") != "+Inf") {
+          return "histogram '" + f.name +
+                 "' buckets do not end with le=\"+Inf\"";
+        }
+        const auto count_it = counts.find(key);
+        if (count_it == counts.end()) {
+          return "histogram '" + f.name + "' lacks a _count sample";
+        }
+        if (count_it->second != series.back()->value) {
+          return "histogram '" + f.name +
+                 "' _count disagrees with the +Inf bucket";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace prometheus::testing
+
+#endif  // PROMETHEUS_TESTS_PROMETHEUS_TEXT_PARSER_H_

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <memory>
@@ -13,9 +14,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "prometheus_text_parser.h"
 #include "query/query_engine.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -465,6 +468,147 @@ TEST(DurableStoreObsTest, StatsExposeJournalBytesSyncsAndCheckpoints) {
   EXPECT_GT(rotated.generation, 0u);
   // The rotation swapped in a fresh continuation journal.
   EXPECT_EQ(rotated.journal_records, 0u);
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorderTest, RingKeepsLastNOldestFirst) {
+  prometheus::obs::FlightRecorder recorder(/*capacity=*/3);
+  EXPECT_TRUE(recorder.enabled());
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    prometheus::obs::FlightRecorder::Entry e;
+    e.request_id = i;
+    e.type = "query";
+    recorder.Record(std::move(e));
+  }
+  EXPECT_EQ(recorder.recorded_total(), 5u);
+  auto entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].request_id, 3u);
+  EXPECT_EQ(entries[2].request_id, 5u);
+}
+
+TEST(FlightRecorderTest, ZeroCapacityDisablesRecording) {
+  prometheus::obs::FlightRecorder recorder(/*capacity=*/0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record({});
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.recorded_total(), 0u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersAndSnapshotsStayConsistent) {
+  // The TSan target: writers claim slots with an atomic counter while a
+  // reader snapshots concurrently; every observed entry must be intact
+  // (id and type agree — a torn entry would mix them).
+  prometheus::obs::FlightRecorder recorder(/*capacity=*/16);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const auto& e : recorder.Snapshot()) {
+        EXPECT_EQ(e.type, "w" + std::to_string(e.request_id % kWriters));
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        prometheus::obs::FlightRecorder::Entry e;
+        e.request_id = static_cast<std::uint64_t>(i * kWriters + w);
+        e.type = "w" + std::to_string(w);
+        recorder.Record(std::move(e));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.recorded_total(),
+            static_cast<std::uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(recorder.Snapshot().size(), 16u);
+}
+
+TEST(ServerObsTest, FlightRecorderTracesServedRequests) {
+  std::unique_ptr<Database> db = MakePartsDb(4);
+  Server server(db.get(), Server::Options{});
+  Client client(&server);
+
+  ASSERT_TRUE(client.Query("select p.name from Part p").ok());
+  ASSERT_TRUE(client.Profile("select p from Part p").ok());
+  ASSERT_TRUE(client.CreateObject("Part", {{"name", Value::String("x")},
+                                           {"a", Value::Int(1)}})
+                  .ok());
+  server.Shutdown();
+
+  auto entries = server.flight_recorder().Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].type, "query");
+  EXPECT_EQ(entries[0].code, "ok");
+  EXPECT_TRUE(entries[0].executed);
+  EXPECT_NE(entries[0].detail.find("select p.name"), std::string::npos);
+  EXPECT_GE(entries[0].total_micros, 0.0);
+  EXPECT_GE(entries[0].queue_wait_micros, 0.0);
+  // The profiled query keeps its rendered span tree.
+  EXPECT_NE(entries[1].stages.find("execute"), std::string::npos);
+  EXPECT_EQ(entries[2].type, "mutation");
+  EXPECT_NE(entries[2].detail.find("create Part"), std::string::npos);
+
+  const std::string json =
+      prometheus::obs::RenderFlightRecorderJson(entries);
+  EXPECT_NE(json.find("\"type\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+}
+
+// ----------------------------------------------- exposition conformance
+
+TEST(ServerObsTest, PrometheusStatsAreConformantAndCarryServerEpoch) {
+  Registry().ResetForTest();
+  std::unique_ptr<Database> db = MakePartsDb(4);
+  Server server(db.get(), Server::Options{});
+  Client client(&server);
+  ASSERT_TRUE(client.Query("select p from Part p").ok());
+
+  auto text = client.Stats(StatsFormat::kPrometheusText);
+  ASSERT_TRUE(text.ok());
+  prometheus::testing::PromExposition exposition;
+  const std::string error =
+      prometheus::testing::ParsePrometheusText(text.value(), &exposition);
+  EXPECT_TRUE(error.empty()) << error << "\n--- payload ---\n"
+                             << text.value();
+  const auto* epoch = exposition.FindSample("server_epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->value, static_cast<double>(server.server_epoch()));
+  EXPECT_NE(exposition.Find("prometheus_build_info"), nullptr);
+  EXPECT_NE(exposition.Find("process_uptime_seconds"), nullptr);
+  server.Shutdown();
+}
+
+TEST(ServerObsTest, StatsResolveWhileWriterHoldsExclusiveGuard) {
+  // kStats reads only the registry and the lock-free epoch counter; it
+  // must resolve while another thread holds the exclusive guard.
+  std::unique_ptr<Database> db = MakePartsDb(4);
+  Server server(db.get(), Server::Options{});
+  Client client(&server);
+
+  std::atomic<bool> release{false};
+  std::thread writer([&] {
+    Database::WriteGuard guard(*db);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  auto text = client.Stats(StatsFormat::kPrometheusText);
+  EXPECT_TRUE(text.ok());
+  Response health = client.Call(Request::Health());
+  EXPECT_TRUE(health.ok());
+
+  release.store(true);
+  writer.join();
+  server.Shutdown();
 }
 
 TEST(SlowQueryLogTest, RingEvictsOldestAndCountsTotal) {
