@@ -100,12 +100,15 @@ bool ParseHeaderLines(
   return true;
 }
 
-/// Parses Content-Length (0 when absent); rejects Transfer-Encoding and
-/// non-numeric or over-limit lengths.
+/// Parses Content-Length (0 when absent); rejects Transfer-Encoding,
+/// non-numeric or over-limit lengths, and conflicting duplicates (RFC 9112
+/// §6.3 — letting the last one win invites desync/smuggling behind a
+/// proxy that picked the first).
 ParseResult BodyLength(
     const std::vector<std::pair<std::string, std::string>>& headers,
     const HttpLimits& limits, std::size_t* length, std::string* error) {
   *length = 0;
+  bool seen = false;
   for (const auto& [name, value] : headers) {
     if (name == "transfer-encoding") {
       *error = "Transfer-Encoding is not supported";
@@ -123,6 +126,11 @@ ParseResult BodyLength(
         *error = "body exceeds the size limit";
         return ParseResult::kTooLarge;
       }
+      if (seen && static_cast<std::size_t>(n) != *length) {
+        *error = "conflicting Content-Length headers";
+        return ParseResult::kBad;
+      }
+      seen = true;
       *length = static_cast<std::size_t>(n);
     }
   }

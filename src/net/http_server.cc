@@ -8,7 +8,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/stats.h"
 #include "obs/flight_recorder.h"
@@ -148,7 +150,20 @@ bool ApplyRequestHeaders(const HttpRequest& http, server::Request* req,
                "budget)";
       return false;
     }
-    req->WithTimeout(std::chrono::microseconds(std::stoll(*v)));
+    // strtoull + an explicit range check: std::stoll would throw
+    // out_of_range on a 20-digit header, and an uncaught exception on the
+    // handler thread takes the whole server down.
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long micros = std::strtoull(v->c_str(), &end, 10);
+    if (errno == ERANGE ||
+        micros > static_cast<unsigned long long>(
+                     std::numeric_limits<std::int64_t>::max())) {
+      *error = "X-Deadline-Micros out of range";
+      return false;
+    }
+    req->WithTimeout(
+        std::chrono::microseconds(static_cast<std::int64_t>(micros)));
   }
   if (const std::string* v = http.Header("x-priority")) {
     if (*v == "low") {
@@ -237,7 +252,14 @@ Status HttpFrontEnd::Start() {
 
 void HttpFrontEnd::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
+  // Publish the stop flag under mu_: a handler that evaluated the wait
+  // predicate just before the store would otherwise miss the notify and
+  // block forever (lost wakeup), hanging the joins below.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  ready_.notify_all();
   // Closing the listener unblocks accept(); shutdown() first covers
   // platforms where close() alone does not wake a blocked accept.
   const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
@@ -245,7 +267,6 @@ void HttpFrontEnd::Stop() {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
-  ready_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& t : handlers_) {
     if (t.joinable()) t.join();
@@ -401,9 +422,8 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
       content_type = kPromType;
     } else if (path == "/stats") {
       obs::UpdateProcessUptime();
-      body = obs::RenderJson(obs::Registry().Snapshot());
-      body.insert(1, "\"server_epoch\":" +
-                         std::to_string(server_->server_epoch()) + ",");
+      body = obs::RenderJson(obs::Registry().Snapshot(),
+                             {{"server_epoch", server_->server_epoch()}});
     } else if (path == "/health") {
       const server::Server::Health h = server_->health();
       body = h.ToJson();

@@ -54,11 +54,15 @@ class FlightRecorder {
 
   void Record(Entry entry) {
     if (capacity_ == 0) return;
-    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
-    Slot& slot = slots_[seq % capacity_];
-    std::lock_guard<std::mutex> lock(slot.mu);
-    slot.entry = std::move(entry);
-    slot.seq = seq + 1;  // 0 stays "never written"
+    Install(next_.fetch_add(1, std::memory_order_relaxed), std::move(entry));
+  }
+
+  /// Test-only: installs `entry` as if it had claimed `seq` (0-based),
+  /// without touching the claim counter — reproduces the wrap race (an
+  /// older claimant reaching the slot lock last) deterministically.
+  void InstallForTest(std::uint64_t seq, Entry entry) {
+    if (capacity_ == 0) return;
+    Install(seq, std::move(entry));
   }
 
   /// Copies the retained entries, oldest first. At most `capacity` long;
@@ -92,6 +96,17 @@ class FlightRecorder {
     std::uint64_t seq = 0;  ///< 1-based write sequence; 0 = unused
     Entry entry;
   };
+
+  void Install(std::uint64_t seq, Entry entry) {
+    Slot& slot = slots_[seq % capacity_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    // On ring wrap a writer holding an older seq can reach the slot lock
+    // after a newer writer; install monotonically so the stale entry is
+    // dropped instead of overwriting the fresher one.
+    if (slot.seq > seq + 1) return;
+    slot.entry = std::move(entry);
+    slot.seq = seq + 1;  // 0 stays "never written"
+  }
 
   const std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;

@@ -191,9 +191,15 @@ std::uint64_t MetricsSnapshot::CounterOr0(const std::string& name) const {
 
 // --------------------------------------------------------------- rendering
 
-std::string RenderJson(const MetricsSnapshot& snap) {
+std::string RenderJson(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::uint64_t>>&
+        extra_members) {
   stats::JsonWriter json;
   json.BeginObject();
+  for (const auto& [key, value] : extra_members) {
+    json.Key(key).Uint(value);
+  }
   json.Key("counters").BeginObject();
   for (const auto& c : snap.counters) {
     json.Key(c.name).Uint(c.value);

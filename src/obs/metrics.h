@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace prometheus::obs {
@@ -247,8 +248,13 @@ class MetricsRegistry {
 inline MetricsRegistry& Registry() { return MetricsRegistry::Default(); }
 
 // Free-standing renderers so an already-taken snapshot can be serialized
-// without holding the registry.
-std::string RenderJson(const MetricsSnapshot& snap);
+// without holding the registry. `extra_members` are emitted as the leading
+// members of the top-level object (e.g. a server epoch), keeping callers
+// out of the string-splicing business.
+std::string RenderJson(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extra_members =
+        {});
 std::string RenderPrometheusText(const MetricsSnapshot& snap);
 
 /// Escapes a label *value* for the Prometheus text exposition format:

@@ -587,11 +587,9 @@ Response Server::ExecuteStats(RequestId id, const Request& req) {
                 "server_epoch " +
                 std::to_string(server_epoch_) + "\n";
   } else {
-    std::string json = obs::RenderJson(snap);
-    // The snapshot renders as one object; splice the epoch in as its
-    // first member.
-    json.insert(1, "\"server_epoch\":" + std::to_string(server_epoch_) + ",");
-    resp.text = std::move(json);
+    // The epoch rides as the object's first member so a scraper can tell a
+    // restarted server from an in-place counter reset.
+    resp.text = obs::RenderJson(snap, {{"server_epoch", server_epoch_}});
   }
   return resp;
 }

@@ -133,6 +133,24 @@ TEST(HttpParserTest, RejectsMalformedInput) {
             ParseResult::kBad);
 }
 
+TEST(HttpParserTest, RejectsConflictingContentLengths) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  std::string error;
+  // Conflicting duplicates invite request smuggling behind a proxy that
+  // honoured the other one (RFC 9112 §6.3) — reject, never last-wins.
+  EXPECT_EQ(ParseHttpRequest("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                             "Content-Length: 8\r\n\r\nbodybody",
+                             &consumed, &req, &error),
+            ParseResult::kBad);
+  // Duplicates that agree are collapsed to the one value.
+  EXPECT_EQ(ParseHttpRequest("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                             "Content-Length: 4\r\n\r\nbody",
+                             &consumed, &req, &error),
+            ParseResult::kComplete);
+  EXPECT_EQ(req.body, "body");
+}
+
 TEST(HttpParserTest, EnforcesLimits) {
   HttpRequest req;
   std::size_t consumed = 0;
@@ -403,6 +421,15 @@ TEST_F(NetTest, QueryErrorsMapToHttpStatuses) {
       Fetch("POST", "/query", "select p from Part p",
             {{"X-Deadline-Micros", "soon"}});
   EXPECT_EQ(malformed.status_code, 400);
+  // A 20-digit deadline overflows int64 — it must answer 400, not throw
+  // out_of_range on the handler thread and terminate the server.
+  const HttpResponse overflow =
+      Fetch("POST", "/query", "select p from Part p",
+            {{"X-Deadline-Micros", "99999999999999999999"}});
+  EXPECT_EQ(overflow.status_code, 400);
+  EXPECT_NE(overflow.body.find("out of range"), std::string::npos);
+  // The server survived to serve the next request.
+  EXPECT_EQ(Fetch("GET", "/health").status_code, 200);
   const HttpResponse bad_priority =
       Fetch("POST", "/query", "select p from Part p",
             {{"X-Priority", "urgent"}});

@@ -255,6 +255,17 @@ TEST(RenderingTest, JsonSnapshotIsWellFormedEnough) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST(RenderingTest, JsonExtraLeadingMembersStayValidOnEmptySnapshot) {
+  // The server composes `server_epoch` through this parameter; with an
+  // empty registry the old string-splice produced `{"server_epoch":N,}`.
+  prometheus::obs::MetricsSnapshot empty;
+  const std::string json =
+      prometheus::obs::RenderJson(empty, {{"server_epoch", 42}});
+  EXPECT_EQ(json,
+            "{\"server_epoch\":42,\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{}}");
+}
+
 // ----------------------------------------------------------- kill switch
 
 TEST(KillSwitchTest, DisabledMetricsRecordNothing) {
@@ -528,6 +539,24 @@ TEST(FlightRecorderTest, ConcurrentWritersAndSnapshotsStayConsistent) {
   EXPECT_EQ(recorder.recorded_total(),
             static_cast<std::uint64_t>(kWriters * kPerWriter));
   EXPECT_EQ(recorder.Snapshot().size(), 16u);
+}
+
+TEST(FlightRecorderTest, WrapKeepsNewerEntryWhenOlderWriterLandsLast) {
+  // The wrap race: seq 1 and seq 3 share a slot (capacity 2); the older
+  // claimant can reach the slot lock after the newer writer already
+  // installed. The stale write must be dropped, not surface in the window.
+  prometheus::obs::FlightRecorder recorder(/*capacity=*/2);
+  prometheus::obs::FlightRecorder::Entry e;
+  e.request_id = 102;
+  recorder.InstallForTest(2, e);  // slot 0
+  e.request_id = 103;
+  recorder.InstallForTest(3, e);  // slot 1, the newer write lands first
+  e.request_id = 101;
+  recorder.InstallForTest(1, e);  // slot 1 again, but with an older seq
+  auto entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].request_id, 102u);
+  EXPECT_EQ(entries[1].request_id, 103u);  // 101 was dropped as stale
 }
 
 TEST(ServerObsTest, FlightRecorderTracesServedRequests) {
