@@ -29,6 +29,17 @@
 //      (keep-alive, one connection) vs the in-process client, reporting
 //      the per-request cost the HTTP envelope adds.
 //
+// E18 — journal-shipping replication (src/replication/):
+//
+//   a. read offload: aggregate read throughput over the fleet with 0, 1
+//      and 2 caught-up followers — replicas add read capacity without
+//      touching the leader's exclusive lock;
+//   b. catch-up: a write burst on the leader, then the time until both
+//      followers report caught-up again (records/s shipping rate);
+//   c. failover: the leader is killed, the most-advanced follower is
+//      promoted, and the time from kill to the first successful write on
+//      the promoted store is the measured recovery window.
+//
 // Reports throughput and p50/p95/p99 latency per sweep and writes the
 // machine-readable BENCH_server.json next to the binary's working dir.
 //
@@ -49,6 +60,8 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "oo7/oo7.h"
+#include "replication/follower.h"
+#include "replication/source.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "storage/fault.h"
@@ -482,6 +495,193 @@ TelemetryResult RunTelemetry(Server& server, int readers, int scrapes,
   return result;
 }
 
+// ------------------------------------------------------------------- E18
+
+struct ReplicationBench {
+  double read_rps[3] = {0, 0, 0};  ///< fleet throughput, 0/1/2 replicas
+  std::size_t catchup_writes = 0;
+  double catchup_ms = 0;
+  double ship_records_per_sec = 0;
+  std::uint64_t residual_lag_records = 0;
+  double failover_ms = 0;
+  bool failover_ok = false;
+};
+
+/// Fleet read throughput: `clients` query threads spread round-robin over
+/// `nodes`, each thread with its own session on its node.
+double MeasureFleetReadRps(const std::vector<Server*>& nodes, int clients,
+                           int requests_per_client) {
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    Server* node = nodes[static_cast<std::size_t>(c) % nodes.size()];
+    threads.emplace_back([&, node, c] {
+      Client client(node);
+      std::mt19937 rng(7000u + static_cast<unsigned>(c));
+      std::uniform_int_distribution<int> lo_dist(0, 800);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const int lo = lo_dist(rng);
+        auto r = client.Query("select i.n from Item i where i.n >= " +
+                              std::to_string(lo) + " and i.n <= " +
+                              std::to_string(lo + 100));
+        if (r.ok()) done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = MillisSince(start);
+  return wall_ms > 0 ? static_cast<double>(done.load()) / (wall_ms / 1000.0)
+                     : 0;
+}
+
+ReplicationBench RunReplication(const std::string& base, int clients,
+                                int requests_per_client) {
+  using prometheus::net::HttpFrontEnd;
+  using prometheus::replication::Follower;
+  using prometheus::replication::ReplicationSource;
+
+  ReplicationBench result;
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  DurableStore::Options store_options;
+  store_options.bootstrap = [](Database* db) {
+    prometheus::AttributeDef n;
+    n.name = "n";
+    n.type = ValueType::kInt;
+    PROMETHEUS_RETURN_IF_ERROR(db->DefineClass("Item", {}, {n}).status());
+    for (int i = 0; i < 1000; ++i) {
+      PROMETHEUS_RETURN_IF_ERROR(
+          db->CreateObject("Item", {{"n", Value::Int(i)}}).status());
+    }
+    return Status::Ok();
+  };
+  auto store = DurableStore::Open(base + "/leader", store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "E18: store open failed: %s\n",
+                 store.status().ToString().c_str());
+    return result;
+  }
+
+  Server::Options options;
+  options.worker_threads = 4;
+  options.queue_capacity = 4096;
+  options.store = store.value().get();
+  auto server = std::make_unique<Server>(&store.value()->db(), options);
+  auto source = std::make_unique<ReplicationSource>(store.value().get());
+  HttpFrontEnd::Options net_options;
+  net_options.port = 0;  // ephemeral
+  net_options.aux_handler = source->AuxHandler();
+  auto front = std::make_unique<HttpFrontEnd>(server.get(), net_options);
+  if (!front->Start().ok()) {
+    std::fprintf(stderr, "E18: front-end failed to start\n");
+    return result;
+  }
+
+  std::unique_ptr<Follower> followers[2];
+  auto start_follower = [&](int i) {
+    Follower::Options fo;
+    fo.dir = base + "/f" + std::to_string(i + 1);
+    fo.leader_port = front->port();
+    fo.serve_http = false;
+    fo.poll_interval_ms = 2;
+    auto f = Follower::Start(std::move(fo));
+    if (!f.ok()) {
+      std::fprintf(stderr, "E18: follower %d failed: %s\n", i + 1,
+                   f.status().ToString().c_str());
+      return false;
+    }
+    followers[i] = std::move(f).value();
+    return followers[i]->WaitCaughtUp(10000);
+  };
+
+  // E18a: fleet read throughput as replicas join.
+  std::vector<Server*> nodes = {server.get()};
+  result.read_rps[0] =
+      MeasureFleetReadRps(nodes, clients, requests_per_client);
+  for (int i = 0; i < 2; ++i) {
+    if (!start_follower(i)) return result;
+    nodes.push_back(&followers[i]->server());
+    result.read_rps[i + 1] =
+        MeasureFleetReadRps(nodes, clients, requests_per_client);
+  }
+
+  // E18b: write burst on the leader, then time until both replicas report
+  // caught-up again (from the start of the burst — the replicas ship
+  // concurrently with the writes, not after them).
+  {
+    Client writer(server.get());
+    const std::vector<Oid> items = store.value()->db().Extent("Item");
+    result.catchup_writes = static_cast<std::size_t>(clients) *
+                            static_cast<std::size_t>(requests_per_client);
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t i = 0; i < result.catchup_writes; ++i) {
+      (void)writer.SetAttribute(items[i % items.size()], "n",
+                                Value::Int(static_cast<std::int64_t>(i)));
+    }
+    const bool caught = followers[0]->WaitCaughtUp(30000) &&
+                        followers[1]->WaitCaughtUp(30000);
+    result.catchup_ms = MillisSince(t0);
+    if (!caught) {
+      std::fprintf(stderr, "E18: catch-up timed out\n  f1=%s\n  f2=%s\n",
+                   followers[0]->ProgressJson().c_str(),
+                   followers[1]->ProgressJson().c_str());
+    }
+    if (caught && result.catchup_ms > 0) {
+      result.ship_records_per_sec =
+          static_cast<double>(result.catchup_writes) /
+          (result.catchup_ms / 1000.0);
+    }
+    result.residual_lag_records =
+        std::max(followers[0]->progress().lag_records,
+                 followers[1]->progress().lag_records);
+  }
+
+  // E18c: kill the leader, promote the most-advanced replica, and time the
+  // window from kill to the first committed write on the promoted store.
+  {
+    const Clock::time_point t0 = Clock::now();
+    front->Stop();
+    server->Shutdown();
+    front.reset();
+    source.reset();
+    server.reset();
+    store.value().reset();
+
+    const Follower::Progress p0 = followers[0]->progress();
+    const Follower::Progress p1 = followers[1]->progress();
+    const int newest = (p1.journal_seq > p0.journal_seq ||
+                        (p1.journal_seq == p0.journal_seq &&
+                         p1.offset > p0.offset))
+                           ? 1
+                           : 0;
+    followers[1 - newest]->Stop();
+    auto promoted = followers[newest]->Promote();
+    if (promoted.ok()) {
+      followers[newest].reset();
+      auto new_store = std::move(promoted).value();
+      Server::Options o2;
+      o2.worker_threads = 4;
+      o2.store = new_store.get();
+      Server new_server(&new_store->db(), o2);
+      Client new_client(&new_server);
+      const Oid item = new_store->db().Extent("Item").front();
+      result.failover_ok =
+          new_client.SetAttribute(item, "n", Value::Int(-1)).ok();
+      result.failover_ms = MillisSince(t0);
+      new_server.Shutdown();
+    } else {
+      std::fprintf(stderr, "E18: promote failed: %s\n",
+                   promoted.status().ToString().c_str());
+    }
+    followers[0].reset();
+    followers[1].reset();
+  }
+  std::filesystem::remove_all(base);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -672,6 +872,41 @@ int main(int argc, char** argv) {
         .Number(r.remote_query_lat.p50 - r.local_query_lat.p50);
     json.Key("remote_failures")
         .Int(static_cast<long long>(r.remote_failures));
+  }
+  json.EndObject();
+
+  // ---- E18: journal-shipping replication ------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E18: journal-shipping replication (8 clients over the fleet)",
+      "  metric                         value");
+  json.Key("e18").BeginObject();
+  {
+    ReplicationBench r = RunReplication("bench_e18_repl", kClientThreads,
+                                        requests_per_client);
+    std::printf("  fleet read rps, 0 replicas  %10.1f\n", r.read_rps[0]);
+    std::printf("  fleet read rps, 1 replica   %10.1f  (%.2fx)\n",
+                r.read_rps[1],
+                r.read_rps[0] > 0 ? r.read_rps[1] / r.read_rps[0] : 0);
+    std::printf("  fleet read rps, 2 replicas  %10.1f  (%.2fx)\n",
+                r.read_rps[2],
+                r.read_rps[0] > 0 ? r.read_rps[2] / r.read_rps[0] : 0);
+    std::printf("  catch-up: %zu writes shipped to both replicas in %.1f ms "
+                "(%.0f records/s)\n",
+                r.catchup_writes, r.catchup_ms, r.ship_records_per_sec);
+    std::printf("  residual lag                %10llu records\n",
+                static_cast<unsigned long long>(r.residual_lag_records));
+    std::printf("  failover (kill -> writable) %10.1f ms  %s\n",
+                r.failover_ms, r.failover_ok ? "" : "[FAILED]");
+    json.Key("read_rps_0_replicas").Number(r.read_rps[0]);
+    json.Key("read_rps_1_replica").Number(r.read_rps[1]);
+    json.Key("read_rps_2_replicas").Number(r.read_rps[2]);
+    json.Key("catchup_writes").Int(static_cast<long long>(r.catchup_writes));
+    json.Key("catchup_ms").Number(r.catchup_ms);
+    json.Key("ship_records_per_sec").Number(r.ship_records_per_sec);
+    json.Key("residual_lag_records")
+        .Int(static_cast<long long>(r.residual_lag_records));
+    json.Key("failover_ms").Number(r.failover_ms);
+    json.Key("failover_ok").Int(r.failover_ok ? 1 : 0);
   }
   json.EndObject();
   json.EndObject();

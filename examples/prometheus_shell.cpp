@@ -12,12 +12,24 @@
 //   ./build/examples/prometheus_shell --store <dir>    (durable mode)
 //   ./build/examples/prometheus_shell --listen <port>  (+ HTTP telemetry)
 //   ./build/examples/prometheus_shell --listen <port> --serve   (headless)
+//   ./build/examples/prometheus_shell --store <dir> --follow <host:port>
+//                                                      (read replica)
 //
 // With --listen the shell also mounts the remote telemetry plane
 // (src/net/): GET /metrics /stats /health /slowlog /debug/requests and
 // POST /query /profile on the given port, serving concurrently with the
 // console. --serve skips the console loop entirely and serves until
 // SIGINT/SIGTERM — the mode the CI smoke job and a scrape target use.
+//
+// A durable leader with --listen additionally serves /repl/* (manifest,
+// snapshot and journal bytes), so another shell started with
+// `--store <mirror-dir> --follow <host:port>` replicates from it: the
+// follower bootstraps from the leader's newest snapshot, tails its
+// journal, and serves read-only queries (mutations answer kUnavailable).
+// `.lag` shows replication progress; `.promote` ends replication and
+// turns the mirror into a standalone writable leader in place — with
+// --listen the promoted shell starts serving /repl/* itself, so
+// surviving replicas can be re-pointed at it.
 //
 // Commands:
 //   .help                    this text
@@ -34,6 +46,8 @@
 //                            degraded store (durable mode)
 //   .deadline <ms>           deadline applied to subsequent queries
 //                            (0 = none)
+//   .lag                     replication progress (follower mode)
+//   .promote                 follower -> standalone writable leader
 //   .quit
 // Anything else is run as a POOL query, e.g.:
 //   select t.name from Taxon t where t.rank = 'Genus'
@@ -53,6 +67,8 @@
 #include "index/index_manager.h"
 #include "net/http_server.h"
 #include "query/query_engine.h"
+#include "replication/follower.h"
+#include "replication/source.h"
 #include "rules/pcl.h"
 #include "rules/rule_engine.h"
 #include "server/client.h"
@@ -213,21 +229,26 @@ Status LoadDemo(Database& db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Two backing modes: a durable store directory (journalled, supports
-  // .checkpoint / degraded-mode recovery) or a plain in-memory database
-  // optionally seeded from a snapshot file.
+  // Three backing modes: a durable store directory (journalled, supports
+  // .checkpoint / degraded-mode recovery), a read replica of a remote
+  // leader (--follow; the store directory is the local mirror), or a
+  // plain in-memory database optionally seeded from a snapshot file.
   std::unique_ptr<storage::DurableStore> store;
+  std::unique_ptr<replication::Follower> follower;
+  std::unique_ptr<replication::ReplicationSource> repl_source;
   Database plain_db;
   Database* db = &plain_db;
   int listen_port = -1;     // -1 = no telemetry plane
   bool headless = false;    // --serve: no console, run until a signal
-  std::string store_dir, snapshot_path;
+  std::string store_dir, snapshot_path, follow_addr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--store" && i + 1 < argc) {
       store_dir = argv[++i];
     } else if (arg == "--listen" && i + 1 < argc) {
       listen_port = std::atoi(argv[++i]);
+    } else if (arg == "--follow" && i + 1 < argc) {
+      follow_addr = argv[++i];
     } else if (arg == "--serve") {
       headless = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -241,7 +262,48 @@ int main(int argc, char** argv) {
     std::printf("--serve requires --listen <port>\n");
     return 1;
   }
-  if (!store_dir.empty()) {
+  if (!follow_addr.empty()) {
+    // Replica mode: the Follower owns the database, the read-only server
+    // and (with --listen) the HTTP plane; the console is a client of it.
+    if (store_dir.empty()) {
+      std::printf("--follow requires --store <dir> (the local mirror)\n");
+      return 1;
+    }
+    replication::Follower::Options fo;
+    fo.dir = store_dir;
+    const std::size_t colon = follow_addr.rfind(':');
+    if (colon == std::string::npos) {
+      fo.leader_port = std::atoi(follow_addr.c_str());
+    } else {
+      if (colon > 0) fo.leader_host = follow_addr.substr(0, colon);
+      fo.leader_port = std::atoi(follow_addr.c_str() + colon + 1);
+    }
+    if (fo.leader_port <= 0) {
+      std::printf("--follow wants <host:port>, got %s\n", follow_addr.c_str());
+      return 1;
+    }
+    fo.serve_http = listen_port >= 0;
+    fo.http_port = listen_port < 0 ? 0 : listen_port;
+    auto started = replication::Follower::Start(std::move(fo));
+    if (!started.ok()) {
+      std::printf("cannot start follower in %s: %s\n", store_dir.c_str(),
+                  started.status().ToString().c_str());
+      return 1;
+    }
+    follower = std::move(started).value();
+    db = &follower->db();
+    std::printf("following %s into mirror %s (read-only; .lag shows "
+                "progress, .promote takes over)\n",
+                follow_addr.c_str(), store_dir.c_str());
+    if (!headless && !follower->WaitCaughtUp(3000)) {
+      std::printf("still catching up — queries may see a stale prefix "
+                  "(.lag to watch)\n");
+    }
+    if (follower->front_end() != nullptr) {
+      std::printf("replica telemetry on http://127.0.0.1:%d\n",
+                  follower->http_port());
+    }
+  } else if (!store_dir.empty()) {
     auto opened = storage::DurableStore::Open(store_dir);
     if (!opened.ok()) {
       std::printf("cannot open store %s: %s\n", store_dir.c_str(),
@@ -263,42 +325,85 @@ int main(int argc, char** argv) {
     std::printf("loaded %s: %zu objects, %zu links\n", snapshot_path.c_str(),
                 db->object_count(), db->link_count());
   }
-  IndexManager indexes(db);
-  RuleEngine rules(db);
+  // The serving stack. Pointers because .promote rebuilds it in place:
+  // the follower's read-only server is swapped for a writable one over
+  // the promoted store, and the console keeps running.
+  std::unique_ptr<IndexManager> indexes;
+  std::unique_ptr<RuleEngine> rules;
+  std::unique_ptr<server::Server> owned_server;
+  server::Server* server = nullptr;
+  std::unique_ptr<server::Client> client;
+  std::unique_ptr<pool::QueryEngine> engine;
+  std::unique_ptr<net::HttpFrontEnd> front_end;
 
-  server::Server::Options options;
-  options.indexes = &indexes;
-  options.store = store.get();
-  server::Server server(db, options);
-  server::Client client(&server);
-  // An engine for .explain only (planning reads the schema, so it runs
-  // under the server's lock like everything else).
-  pool::QueryEngine engine(db, &indexes);
+  auto build_stack = [&]() -> bool {
+    if (follower != nullptr) {
+      // A replica's database is mutated by the fetch thread; the rule
+      // engine and index manager would subscribe to its event bus and be
+      // read from this thread unsynchronised, so they stay off until
+      // .promote. The follower owns the server (read-only role) and,
+      // with --listen, the HTTP plane.
+      server = &follower->server();
+    } else {
+      indexes = std::make_unique<IndexManager>(db);
+      rules = std::make_unique<RuleEngine>(db);
+      server::Server::Options options;
+      options.indexes = indexes.get();
+      options.store = store.get();
+      owned_server = std::make_unique<server::Server>(db, options);
+      server = owned_server.get();
+    }
+    client = std::make_unique<server::Client>(server);
+    // An engine for .explain only (planning reads the schema, so it runs
+    // under the server's lock like everything else).
+    engine = std::make_unique<pool::QueryEngine>(db, indexes.get());
+
+    // The remote telemetry plane, sharing this server with the console.
+    // A durable leader also mounts /repl/* so replicas can follow it.
+    if (listen_port >= 0 && follower == nullptr) {
+      net::HttpFrontEnd::Options net_options;
+      net_options.port = listen_port;
+      if (store != nullptr) {
+        repl_source =
+            std::make_unique<replication::ReplicationSource>(store.get());
+        net_options.aux_handler = repl_source->AuxHandler();
+      }
+      front_end = std::make_unique<net::HttpFrontEnd>(server, net_options);
+      Status st = front_end->Start();
+      if (!st.ok()) {
+        std::printf("cannot listen on port %d: %s\n", listen_port,
+                    st.ToString().c_str());
+        return false;
+      }
+      std::printf("telemetry plane on http://127.0.0.1:%d — GET /metrics "
+                  "/stats /health /slowlog /debug/requests, POST /query "
+                  "/profile%s\n",
+                  front_end->port(),
+                  repl_source != nullptr ? "; /repl/* serves followers" : "");
+    }
+    return true;
+  };
+  if (!build_stack()) return 1;
 
   // While the server runs, database access flows through it; `with_db`
   // runs a closure under the exclusive lock for the meta commands.
+  // `with_db_read` is for read-only closures: on a replica they run under
+  // the database's shared epoch guard (safe alongside the fetch thread's
+  // write guard) instead of the server's mutation path, which a read-only
+  // role would refuse.
   auto with_db = [&](std::function<Status(Database&)> fn) {
-    Status st = client.Mutate(std::move(fn));
+    Status st = client->Mutate(std::move(fn));
     if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
   };
-
-  // The remote telemetry plane, sharing this server with the console.
-  std::unique_ptr<net::HttpFrontEnd> front_end;
-  if (listen_port >= 0) {
-    net::HttpFrontEnd::Options net_options;
-    net_options.port = listen_port;
-    front_end = std::make_unique<net::HttpFrontEnd>(&server, net_options);
-    Status st = front_end->Start();
-    if (!st.ok()) {
-      std::printf("cannot listen on port %d: %s\n", listen_port,
-                  st.ToString().c_str());
-      return 1;
+  auto with_db_read = [&](std::function<Status(Database&)> fn) {
+    if (follower != nullptr) {
+      Database::ReadGuard guard(*db);
+      Status st = fn(*db);
+      if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
+      return;
     }
-    std::printf("telemetry plane on http://127.0.0.1:%d — GET /metrics "
-                "/stats /health /slowlog /debug/requests, POST /query "
-                "/profile\n",
-                front_end->port());
-  }
+    with_db(std::move(fn));
+  };
 
   if (headless) {
     // Scrape-target mode: serve HTTP until SIGINT/SIGTERM.
@@ -308,8 +413,12 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     std::printf("shutting down\n");
-    front_end->Stop();
-    server.Shutdown();
+    if (follower != nullptr) {
+      follower->Stop();
+    } else {
+      front_end->Stop();
+      server->Shutdown();
+    }
     return 0;
   }
 
@@ -333,10 +442,10 @@ int main(int argc, char** argv) {
         std::printf(
             ".classes .relationships .extent <name> .explain <query> "
             ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
-            ".recent .checkpoint .deadline <ms> .quit\n"
+            ".recent .checkpoint .deadline <ms> .lag .promote .quit\n"
             "anything else runs as POOL\n");
       } else if (cmd == ".classes") {
-        with_db([](Database& db) {
+        with_db_read([](Database& db) {
           for (const ClassDef* cls : db.classes()) {
             std::printf("%s%s (%zu attributes)\n", cls->name().c_str(),
                         cls->is_abstract() ? " [abstract]" : "",
@@ -345,7 +454,7 @@ int main(int argc, char** argv) {
           return Status::Ok();
         });
       } else if (cmd == ".relationships") {
-        with_db([](Database& db) {
+        with_db_read([](Database& db) {
           for (const RelationshipDef* rel : db.relationships()) {
             std::printf("%s: %s -> %s\n", rel->name().c_str(),
                         rel->source_class()->name().c_str(),
@@ -356,7 +465,7 @@ int main(int argc, char** argv) {
       } else if (cmd == ".extent") {
         std::string name;
         in >> name;
-        with_db([&name](Database& db) {
+        with_db_read([&name](Database& db) {
           std::vector<Oid> extent = db.FindClass(name) != nullptr
                                         ? db.Extent(name)
                                         : db.LinkExtent(name);
@@ -369,31 +478,41 @@ int main(int argc, char** argv) {
         });
       } else if (cmd == ".explain") {
         std::string q = line.substr(9);
-        with_db([&](Database&) {
-          auto plan = engine.Explain(q);
+        with_db_read([&](Database&) {
+          auto plan = engine->Explain(q);
           std::printf("%s", plan.ok() ? plan.value().c_str()
                                       : (plan.status().ToString() + "\n")
                                             .c_str());
           return Status::Ok();
         });
       } else if (cmd == ".rule") {
+        if (rules == nullptr) {
+          std::printf("rules are unavailable on a read replica "
+                      "(.promote first)\n");
+          continue;
+        }
         std::string pcl = line.substr(5);
         with_db([&](Database&) {
-          auto installed = InstallPcl(&rules, pcl);
+          auto installed = InstallPcl(rules.get(), pcl);
           std::printf("%s\n", installed.ok()
                                   ? "rule installed"
                                   : installed.status().ToString().c_str());
           return Status::Ok();
         });
       } else if (cmd == ".warnings") {
-        for (const RuleViolation& v : rules.warnings()) {
+        if (rules == nullptr) {
+          std::printf("rules are unavailable on a read replica "
+                      "(.promote first)\n");
+          continue;
+        }
+        for (const RuleViolation& v : rules->warnings()) {
           std::printf("%s: %s\n", v.rule_name.c_str(), v.message.c_str());
         }
-        std::printf("(%zu warnings)\n", rules.warnings().size());
+        std::printf("(%zu warnings)\n", rules->warnings().size());
       } else if (cmd == ".save") {
         std::string path;
         in >> path;
-        with_db([&path](Database& db) {
+        with_db_read([&path](Database& db) {
           Status st = storage::SaveSnapshot(db, path);
           std::printf("%s\n", st.ToString().c_str());
           return Status::Ok();
@@ -409,22 +528,71 @@ int main(int argc, char** argv) {
       } else if (cmd == ".demo") {
         with_db([](Database& db) { return LoadDemo(db); });
       } else if (cmd == ".health") {
-        PrintHealth(client.HealthInfo());
+        PrintHealth(client->HealthInfo());
       } else if (cmd == ".recent") {
-        PrintRecent(server.flight_recorder());
+        PrintRecent(server->flight_recorder());
       } else if (cmd == ".checkpoint") {
         if (store == nullptr) {
           std::printf("no durable store attached — start the shell with "
                       "--store <dir>\n");
         } else {
-          Status st = client.Checkpoint();
+          Status st = client->Checkpoint();
           if (st.ok()) {
             std::printf("checkpoint written (generation %llu)%s\n",
                         static_cast<unsigned long long>(store->generation()),
-                        server.degraded() ? "" : "; store is armed");
+                        server->degraded() ? "" : "; store is armed");
           } else {
             std::printf("checkpoint failed: %s\n", st.ToString().c_str());
           }
+        }
+      } else if (cmd == ".lag") {
+        if (follower == nullptr) {
+          std::printf("not a replica — start the shell with "
+                      "--follow <host:port>\n");
+        } else {
+          const auto p = follower->progress();
+          std::printf("connected:   %s%s\n", p.connected ? "yes" : "NO",
+                      p.caught_up ? " (caught up)" : "");
+          std::printf("cursor:      generation %llu, journal %llu @ %llu\n",
+                      static_cast<unsigned long long>(p.generation),
+                      static_cast<unsigned long long>(p.journal_seq),
+                      static_cast<unsigned long long>(p.offset));
+          std::printf("lag:         %llu records, %llu bytes\n",
+                      static_cast<unsigned long long>(p.lag_records),
+                      static_cast<unsigned long long>(p.lag_bytes));
+          std::printf("history:     %llu reconnects, %llu rebootstraps, "
+                      "%llu corrupt frames\n",
+                      static_cast<unsigned long long>(p.reconnects),
+                      static_cast<unsigned long long>(p.rebootstraps),
+                      static_cast<unsigned long long>(p.corrupt_frames));
+        }
+      } else if (cmd == ".promote") {
+        if (follower == nullptr) {
+          std::printf("not a replica — start the shell with "
+                      "--follow <host:port>\n");
+        } else {
+          // Tear down clients of the follower's server before it stops,
+          // then reopen the mirror as a writable store and rebuild the
+          // stack (indexes, rules, server, telemetry + /repl/*) over it.
+          client.reset();
+          engine.reset();
+          server = nullptr;
+          auto promoted = follower->Promote();
+          if (!promoted.ok()) {
+            std::printf("promote failed: %s — the replica is stopped, "
+                        "exiting\n",
+                        promoted.status().ToString().c_str());
+            return 1;
+          }
+          follower.reset();
+          store = std::move(promoted).value();
+          db = &store->db();
+          if (!build_stack()) return 1;
+          std::printf("promoted: standalone writable leader over %s "
+                      "(generation %llu, %zu objects)\n",
+                      store_dir.c_str(),
+                      static_cast<unsigned long long>(store->generation()),
+                      db->object_count());
         }
       } else if (cmd == ".deadline") {
         long long ms = 0;
@@ -445,8 +613,8 @@ int main(int argc, char** argv) {
     // would — deadline attached, transport outcome explained.
     server::Request req = server::Request::Query(line);
     if (deadline_ms.count() > 0) req.WithTimeout(deadline_ms);
-    server::Response resp = client.Call(std::move(req));
-    if (!ExplainTransport(client, resp)) continue;
+    server::Response resp = client->Call(std::move(req));
+    if (!ExplainTransport(*client, resp)) continue;
     if (!resp.status.ok()) {
       std::printf("error: %s\n", resp.status.ToString().c_str());
       continue;

@@ -96,6 +96,9 @@ Result<const ClassDef*> Database::DefineClass(
   classes_by_name_[name] = raw;
   extents_[raw] = {};
   class_storage_.push_back(std::move(cls));
+  Event ddl(EventKind::kAfterDefineClass);
+  ddl.type_name = name;
+  PROMETHEUS_RETURN_IF_ERROR(PublishEvent(ddl));
   return static_cast<const ClassDef*>(raw);
 }
 
@@ -178,6 +181,9 @@ Result<const RelationshipDef*> Database::DefineRelationship(
   rels_by_name_[name] = raw;
   link_extents_[raw] = {};
   rel_storage_.push_back(std::move(rel));
+  Event ddl(EventKind::kAfterDefineRelationship);
+  ddl.type_name = name;
+  PROMETHEUS_RETURN_IF_ERROR(PublishEvent(ddl));
   return static_cast<const RelationshipDef*>(raw);
 }
 
@@ -213,7 +219,9 @@ Status Database::DefineRelationshipTemplate(
   rel_templates_[name] =
       RelationshipTemplate{std::move(semantics), std::move(link_attributes)};
   rel_template_order_.push_back(name);
-  return Status::Ok();
+  Event ddl(EventKind::kAfterDefineTemplate);
+  ddl.type_name = name;
+  return PublishEvent(ddl);
 }
 
 Result<const RelationshipDef*> Database::InstantiateRelationship(
@@ -1112,6 +1120,30 @@ Status Database::RestoreSynonymRaw(Oid child, Oid parent) {
 
 void Database::EnsureNextOidAbove(Oid oid) {
   if (next_oid_ <= oid) next_oid_ = oid + 1;
+}
+
+Status Database::Clear() {
+  AssertExclusiveAccess();
+  if (in_transaction_) {
+    return Status::FailedPrecondition("cannot clear inside a transaction");
+  }
+  undo_log_.clear();
+  synonym_parent_.clear();
+  context_index_.clear();
+  link_extents_.clear();
+  extents_.clear();
+  links_.clear();
+  objects_.clear();
+  rel_template_order_.clear();
+  rel_templates_.clear();
+  rels_by_name_.clear();
+  rel_storage_.clear();
+  classes_by_name_.clear();
+  class_storage_.clear();
+  live_objects_ = 0;
+  live_links_ = 0;
+  next_oid_ = 1;
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------ transactions

@@ -341,6 +341,14 @@ class Database {
   /// Guarantees future oids are allocated strictly above `oid`.
   void EnsureNextOidAbove(Oid oid);
 
+  /// Drops every schema definition, instance, link, synonym and the oid
+  /// counter, returning the database to its just-constructed state while
+  /// keeping identity: the event bus (and its subscribers) and the epoch
+  /// guard survive, so holders of a `Database*` stay valid. Used by a
+  /// replication follower to rebootstrap from a fresh leader snapshot in
+  /// place. No events are published. Fails inside a transaction.
+  Status Clear();
+
   // --------------------------------------------------------------- plumbing
 
   /// The event bus all mutations are published on.

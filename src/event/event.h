@@ -33,6 +33,12 @@ enum class EventKind : std::uint8_t {
   /// Two objects were declared instance synonyms (thesis 4.5); `source`
   /// and `target` carry the two canonical roots that were united.
   kAfterDeclareSynonym,
+  /// Schema definitions (runtime DDL); `type_name` carries the defined
+  /// name. Not vetoable — they exist so the journal can make DDL durable
+  /// the moment it happens, exactly like data mutations.
+  kAfterDefineClass,
+  kAfterDefineTemplate,
+  kAfterDefineRelationship,
 };
 
 /// Returns the canonical name of an event kind.

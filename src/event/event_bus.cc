@@ -14,7 +14,7 @@ namespace {
 /// under the magic-static guard, so lookups are race-free.
 obs::Counter* KindCounter(EventKind kind) {
   static constexpr int kKinds =
-      static_cast<int>(EventKind::kAfterDeclareSynonym) + 1;
+      static_cast<int>(EventKind::kAfterDefineRelationship) + 1;
   static const std::array<obs::Counter*, kKinds> counters = [] {
     std::array<obs::Counter*, kKinds> c{};
     for (int i = 0; i < kKinds; ++i) {
@@ -74,6 +74,12 @@ const char* EventKindName(EventKind kind) {
       return "AfterAbort";
     case EventKind::kAfterDeclareSynonym:
       return "AfterDeclareSynonym";
+    case EventKind::kAfterDefineClass:
+      return "AfterDefineClass";
+    case EventKind::kAfterDefineTemplate:
+      return "AfterDefineTemplate";
+    case EventKind::kAfterDefineRelationship:
+      return "AfterDefineRelationship";
   }
   return "Unknown";
 }

@@ -300,7 +300,9 @@ const char* ReasonPhrase(int status_code) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 410: return "Gone";
     case 413: return "Payload Too Large";
+    case 416: return "Range Not Satisfiable";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -308,6 +310,41 @@ const char* ReasonPhrase(int status_code) {
     case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
+}
+
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query) {
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    *path = target;
+    *query = std::string_view();
+  } else {
+    *path = target.substr(0, q);
+    *query = target.substr(q + 1);
+  }
+}
+
+bool QueryParam(std::string_view query, std::string_view key,
+                std::string* value) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    const std::string_view k =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (k == key) {
+      if (value != nullptr) {
+        *value = eq == std::string_view::npos
+                     ? std::string()
+                     : std::string(pair.substr(eq + 1));
+      }
+      return true;
+    }
+    pos = amp + 1;
+  }
+  return false;
 }
 
 std::string SerializeHttpResponse(

@@ -70,6 +70,17 @@ ParseResult ParseHttpResponse(std::string_view in, std::size_t* consumed,
 /// The canonical reason phrase for a status code ("OK", "Not Found", ...).
 const char* ReasonPhrase(int status_code);
 
+/// Splits a request target into its path and query string ("/a/b?x=1" →
+/// "/a/b", "x=1"; no '?' → empty query). Views into `target`.
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query);
+
+/// Looks up `key` in a query string ("a=1&b=2"). Returns false when absent;
+/// a bare key ("a&b=2") yields an empty value. No percent-decoding — the
+/// replication protocol only passes integers and file-safe identifiers.
+bool QueryParam(std::string_view query, std::string_view key,
+                std::string* value);
+
 /// Serializes a response head + body with Content-Length and Connection
 /// headers. `extra_headers` are emitted verbatim (name, value).
 std::string SerializeHttpResponse(

@@ -1,8 +1,10 @@
 #include "net/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,11 +15,45 @@ namespace prometheus::net {
 
 namespace {
 
-void SetRecvTimeout(int fd, int ms) {
+/// Arms both directions: a stalled peer must not be able to hang us in
+/// `recv` *or* in `send` (a full socket buffer against a dead reader blocks
+/// send() just as effectively as silence blocks recv()).
+void SetIoTimeouts(int fd, int ms) {
   timeval tv{};
   tv.tv_sec = ms / 1000;
   tv.tv_usec = (ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Connects with a deadline: non-blocking connect + poll. A blocking
+/// `::connect` against a black-holed address waits for the kernel's SYN
+/// retry cycle (minutes) — a replication follower or shell must fail fast
+/// instead. Returns 0 on success, an errno value on failure.
+int ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t len, int ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int rc = ::connect(fd, addr, len);
+  if (rc < 0 && errno != EINPROGRESS) return errno;
+  if (rc < 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    for (;;) {
+      rc = ::poll(&pfd, 1, ms);
+      if (rc >= 0 || errno != EINTR) break;
+    }
+    if (rc < 0) return errno;
+    if (rc == 0) return ETIMEDOUT;
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return errno;
+    }
+    if (err != 0) return err;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return errno;
+  return 0;
 }
 
 bool SendAll(int fd, std::string_view data) {
@@ -49,13 +85,16 @@ Result<std::unique_ptr<HttpConnection>> HttpConnection::Connect(
     ::close(fd);
     return Status::InvalidArgument("bad host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
+  const int rc = ConnectWithTimeout(
+      fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr), timeout_ms);
+  if (rc != 0) {
+    const std::string err =
+        rc == ETIMEDOUT ? "timed out" : std::strerror(rc);
     ::close(fd);
     return Status::IoError("connect(" + host + ":" + std::to_string(port) +
                            "): " + err);
   }
-  SetRecvTimeout(fd, timeout_ms);
+  SetIoTimeouts(fd, timeout_ms);
   const int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
   return std::unique_ptr<HttpConnection>(new HttpConnection(fd));

@@ -400,6 +400,10 @@ void HttpFrontEnd::ServeConnection(int fd) {
 
 std::string HttpFrontEnd::Handle(const HttpRequest& req,
                                  server::Session& session, bool keep_alive) {
+  if (options_.aux_handler) {
+    std::string out;
+    if (options_.aux_handler(req, keep_alive, &out)) return out;
+  }
   const std::string& path = req.target;
 
   // Telemetry routes are answered directly on the handler thread — they

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -68,6 +69,12 @@ class HttpFrontEnd {
     bool keep_alive = true;
     /// Request size caps.
     HttpLimits limits;
+    /// Auxiliary route hook, consulted before the built-in routes: return
+    /// true with `*out` holding a fully serialized response to claim the
+    /// request, false to fall through. Runs on a handler thread and must be
+    /// thread-safe. The replication endpoint mounts `/repl/*` here.
+    std::function<bool(const HttpRequest&, bool keep_alive, std::string* out)>
+        aux_handler;
   };
 
   /// `server` must outlive the front-end. Does not listen yet.

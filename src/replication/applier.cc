@@ -1,0 +1,195 @@
+#include "replication/applier.h"
+
+#include "storage/journal.h"
+#include "storage/snapshot.h"
+
+namespace prometheus::replication {
+
+namespace {
+
+using storage::Journal;
+
+bool IsSchemaRecord(const std::string& payload) {
+  return payload.rfind("CLASS ", 0) == 0 || payload.rfind("TMPL ", 0) == 0 ||
+         payload.rfind("REL ", 0) == 0;
+}
+
+/// Restores the follower database's normal checking even on early returns.
+class ReplayMode {
+ public:
+  explicit ReplayMode(Database* db) : db_(db) {
+    db_->set_events_enabled(false);
+    db_->set_semantics_enabled(false);
+  }
+  ~ReplayMode() {
+    db_->set_semantics_enabled(true);
+    db_->set_events_enabled(true);
+  }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace
+
+JournalStreamApplier::JournalStreamApplier(Database* db, MirrorFn mirror)
+    : db_(db), mirror_(std::move(mirror)) {}
+
+void JournalStreamApplier::StartJournal(bool expect_full) {
+  state_ = State::kHeader;
+  expect_full_ = expect_full;
+  in_prologue_ = false;
+  in_txn_ = false;
+  boundary_ = 0;
+  records_applied_ = 0;
+  buffer_.clear();
+  scan_ = 0;
+  pending_.clear();
+}
+
+void JournalStreamApplier::ResumeJournal(std::uint64_t offset,
+                                         std::uint64_t records_applied) {
+  state_ = State::kStreaming;
+  expect_full_ = false;
+  in_prologue_ = false;
+  in_txn_ = false;
+  boundary_ = offset;
+  records_applied_ = records_applied;
+  buffer_.clear();
+  scan_ = 0;
+  pending_.clear();
+}
+
+void JournalStreamApplier::Rewind() {
+  buffer_.clear();
+  scan_ = 0;
+  pending_.clear();
+  in_txn_ = false;
+  in_prologue_ = false;
+  state_ = boundary_ == 0 ? State::kHeader : State::kStreaming;
+}
+
+Status JournalStreamApplier::CompleteUnit(std::size_t unit_end,
+                                          bool count_records) {
+  PROMETHEUS_RETURN_IF_ERROR(
+      mirror_(std::string_view(buffer_.data(), unit_end)));
+  if (!pending_.empty()) {
+    Database::WriteGuard guard(*db_);
+    ReplayMode mode(db_);
+    for (const std::string& record : pending_) {
+      bool end = false;
+      Status st = storage::ApplyRecord(db_, record, &end);
+      if (!st.ok()) {
+        return Status::IoError("replicated record failed to apply: " +
+                               st.ToString());
+      }
+      if (count_records && !IsSchemaRecord(record)) ++records_applied_;
+    }
+  }
+  pending_.clear();
+  boundary_ += unit_end;
+  buffer_.erase(0, unit_end);
+  scan_ = 0;
+  return Status::Ok();
+}
+
+Status JournalStreamApplier::Feed(std::string_view bytes) {
+  if (state_ == State::kEnd || state_ == State::kCorrupt) {
+    return Status::FailedPrecondition(
+        "applier is parked (END or corrupt); Rewind() or StartJournal()");
+  }
+  buffer_.append(bytes.data(), bytes.size());
+
+  if (state_ == State::kHeader) {
+    std::size_t consumed = 0;
+    const Journal::HeaderParse hp = Journal::ParseHeader(buffer_, &consumed);
+    switch (hp) {
+      case Journal::HeaderParse::kNeedMore:
+        return Status::Ok();
+      case Journal::HeaderParse::kBad:
+        state_ = State::kCorrupt;
+        return Status::Ok();
+      case Journal::HeaderParse::kFull:
+        if (!expect_full_) {
+          state_ = State::kCorrupt;  // expected a continuation journal
+          return Status::Ok();
+        }
+        // The header + schema prologue + EOS form one atomic unit: a
+        // half-shipped prologue must not leave a half-defined schema.
+        in_prologue_ = true;
+        scan_ = consumed;
+        state_ = State::kStreaming;
+        break;
+      case Journal::HeaderParse::kCont: {
+        if (expect_full_) {
+          state_ = State::kCorrupt;
+          return Status::Ok();
+        }
+        // A continuation header is a complete (record-free) unit.
+        state_ = State::kStreaming;
+        PROMETHEUS_RETURN_IF_ERROR(CompleteUnit(consumed, false));
+        break;
+      }
+    }
+  }
+
+  while (state_ == State::kStreaming) {
+    std::string payload;
+    std::size_t consumed = 0;
+    const Journal::FrameParse fp = Journal::ParseFrame(
+        std::string_view(buffer_).substr(scan_), &payload, &consumed);
+    if (fp == Journal::FrameParse::kNeedMore) break;
+    if (fp == Journal::FrameParse::kCorrupt) {
+      state_ = State::kCorrupt;
+      break;
+    }
+    if (payload == Journal::kMarkerEnd) {
+      // Never mirrored, never consumed: the leader truncates END on
+      // restart and appends over it; a follower that kept it would
+      // diverge. The caller rotates to the successor journal (or polls).
+      if (in_txn_ || in_prologue_) {
+        state_ = State::kCorrupt;  // END inside a unit: torn leader write
+      } else {
+        state_ = State::kEnd;
+      }
+      break;
+    }
+    if (payload == Journal::kMarkerEndOfSchema) {
+      if (!in_prologue_) {
+        state_ = State::kCorrupt;
+        break;
+      }
+      in_prologue_ = false;
+      PROMETHEUS_RETURN_IF_ERROR(CompleteUnit(scan_ + consumed, false));
+      continue;
+    }
+    if (payload == Journal::kMarkerTxnBegin) {
+      if (in_txn_ || in_prologue_) {
+        state_ = State::kCorrupt;
+        break;
+      }
+      in_txn_ = true;
+      scan_ += consumed;
+      continue;
+    }
+    if (payload == Journal::kMarkerTxnCommit) {
+      if (!in_txn_) {
+        state_ = State::kCorrupt;
+        break;
+      }
+      in_txn_ = false;
+      PROMETHEUS_RETURN_IF_ERROR(CompleteUnit(scan_ + consumed, true));
+      continue;
+    }
+    if (in_txn_ || in_prologue_) {
+      pending_.push_back(std::move(payload));
+      scan_ += consumed;
+      continue;
+    }
+    pending_.push_back(std::move(payload));
+    PROMETHEUS_RETURN_IF_ERROR(CompleteUnit(scan_ + consumed, true));
+  }
+  return Status::Ok();
+}
+
+}  // namespace prometheus::replication

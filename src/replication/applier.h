@@ -1,0 +1,110 @@
+#ifndef PROMETHEUS_REPLICATION_APPLIER_H_
+#define PROMETHEUS_REPLICATION_APPLIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace prometheus::replication {
+
+/// Incremental consumer of a journal byte stream shipped from a leader.
+///
+/// The stream is the leader's journal file verbatim — header line plus CRC
+/// frames — fetched in arbitrary chunks. The applier re-verifies every
+/// frame's CRC on receipt and advances in *durable units*:
+///
+///   - a `cont` header alone;
+///   - a `full` header + schema prologue + EOS, as one unit;
+///   - one standalone mutation record;
+///   - a whole TXB..records..TXC transaction, applied atomically under a
+///     single write guard (TXB/TXC atomicity is preserved on the follower:
+///     a connection cut mid-transaction leaves no partial state).
+///
+/// Each completed unit is first *mirrored* (the caller appends the raw
+/// bytes to its local copy of the journal) and then *applied* to the
+/// database. `boundary()` — the end offset of the last completed unit —
+/// only ever advances over mirrored-and-applied units, so the local file is
+/// always a byte-identical prefix of the leader's journal truncated at a
+/// committed boundary: exactly what `DurableStore::Open` recovers from on a
+/// follower restart or promotion.
+///
+/// Torn input is never applied: a partial frame reports no progress (the
+/// caller re-fetches from `fetch_offset()`), a CRC mismatch or framing
+/// contradiction parks the applier in `kCorrupt` until `Rewind()` drops the
+/// suspect buffer and the caller re-fetches from the boundary. The END
+/// marker is never consumed or mirrored — a restarted leader truncates END
+/// and appends over it, so a follower that mirrored it would diverge.
+class JournalStreamApplier {
+ public:
+  enum class State {
+    kHeader,     ///< expecting the journal header line
+    kStreaming,  ///< consuming frames
+    kEnd,        ///< saw END: journal closed cleanly; await the successor
+    kCorrupt,    ///< current buffer cannot be trusted; Rewind() to retry
+  };
+
+  /// `db` must outlive the applier. `mirror` receives each completed
+  /// unit's raw bytes before the unit is applied; a failed mirror aborts
+  /// the feed with that status and the unit is not applied.
+  using MirrorFn = std::function<Status(std::string_view bytes)>;
+  JournalStreamApplier(Database* db, MirrorFn mirror);
+
+  /// Positions at offset 0 of a fresh journal. A `full` journal (the
+  /// leader's first, schema prologue included) may only be streamed into an
+  /// empty database.
+  void StartJournal(bool expect_full);
+
+  /// Resumes mid-journal: the local mirror already holds `offset` bytes
+  /// (header and, for full journals, the whole prologue included) whose
+  /// records are already applied. `records_applied` is how many mutation
+  /// records that prefix held (for lag accounting).
+  void ResumeJournal(std::uint64_t offset, std::uint64_t records_applied);
+
+  /// Drops buffered unverified bytes after a disconnect or a corrupt
+  /// frame; the caller re-fetches from `fetch_offset()` (== `boundary()`
+  /// again after the rewind). Clears kEnd/kCorrupt.
+  void Rewind();
+
+  /// Parses, mirrors and applies every completed unit in `bytes` (appended
+  /// to the internal buffer). Returns non-OK only for local failures
+  /// (mirror write, apply) — those are fatal for this journal copy; wire
+  /// damage is reported through `state() == kCorrupt` instead.
+  Status Feed(std::string_view bytes);
+
+  State state() const { return state_; }
+
+  /// End offset of the last mirrored-and-applied unit.
+  std::uint64_t boundary() const { return boundary_; }
+
+  /// Offset the next fetch should start at (boundary + buffered bytes).
+  std::uint64_t fetch_offset() const { return boundary_ + buffer_.size(); }
+
+  /// Mutation records applied in this journal (prologue/markers excluded;
+  /// matches the leader's `Journal::record_count()` for the same prefix).
+  std::uint64_t records_applied() const { return records_applied_; }
+
+ private:
+  /// Mirrors buffer_[0, unit_end) and applies `pending_` atomically.
+  Status CompleteUnit(std::size_t unit_end, bool count_records);
+
+  Database* db_;
+  MirrorFn mirror_;
+  State state_ = State::kHeader;
+  bool expect_full_ = false;
+  bool in_prologue_ = false;  ///< inside a full journal's schema prologue
+  bool in_txn_ = false;       ///< between TXB and TXC
+  std::uint64_t boundary_ = 0;
+  std::uint64_t records_applied_ = 0;
+  std::string buffer_;   ///< bytes past the boundary, not yet durable
+  std::size_t scan_ = 0; ///< parse position inside the current unit
+  std::vector<std::string> pending_;  ///< records of the open unit
+};
+
+}  // namespace prometheus::replication
+
+#endif  // PROMETHEUS_REPLICATION_APPLIER_H_

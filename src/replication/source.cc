@@ -1,0 +1,300 @@
+#include "replication/source.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace prometheus::replication {
+
+namespace {
+
+struct SourceMetrics {
+  obs::Counter* manifest_requests;
+  obs::Counter* snapshot_requests;
+  obs::Counter* journal_requests;
+  obs::Counter* bytes_shipped;
+  obs::Counter* gone;
+
+  static const SourceMetrics& Get() {
+    static const SourceMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      SourceMetrics sm;
+      sm.manifest_requests =
+          reg.GetCounter("replication_manifest_requests_total",
+                         "Manifest fetches served to followers");
+      sm.snapshot_requests =
+          reg.GetCounter("replication_snapshot_requests_total",
+                         "Snapshot chunk fetches served to followers");
+      sm.journal_requests =
+          reg.GetCounter("replication_journal_requests_total",
+                         "Journal chunk fetches served to followers");
+      sm.bytes_shipped = reg.GetCounter(
+          "replication_bytes_shipped_total",
+          "Snapshot and journal bytes shipped to followers");
+      sm.gone = reg.GetCounter(
+          "replication_gone_total",
+          "Fetches answered 410 because the file was pruned");
+      return sm;
+    }();
+    return m;
+  }
+};
+
+bool ParseU64(const std::string& text, std::uint64_t* value) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+std::string ErrorResponse(int code, const std::string& message,
+                          bool keep_alive) {
+  return net::SerializeHttpResponse(code, "text/plain", message + "\n",
+                                    keep_alive);
+}
+
+/// Reads `[offset, offset+limit)` of `path`. Returns false when the file
+/// cannot be opened; `*total` is its size. An offset at or past the end
+/// yields an empty chunk (total still reported) — the caller distinguishes
+/// caught-up (== size) from divergence (> size).
+bool ReadChunk(const std::string& path, std::uint64_t offset,
+               std::uint64_t limit, std::string* chunk,
+               std::uint64_t* total) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::uint64_t size = static_cast<std::uint64_t>(in.tellg());
+  *total = size;
+  chunk->clear();
+  if (offset >= size || limit == 0) return true;
+  const std::uint64_t want = std::min<std::uint64_t>(limit, size - offset);
+  chunk->resize(static_cast<std::size_t>(want));
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(chunk->data(), static_cast<std::streamsize>(want));
+  chunk->resize(static_cast<std::size_t>(in.gcount()));
+  return true;
+}
+
+}  // namespace
+
+ReplicationSource::ReplicationSource(storage::DurableStore* store,
+                                     Options options)
+    : store_(store), options_(options) {
+  store_->SetPruneFloor([this] { return PruneFloor(); });
+}
+
+ReplicationSource::~ReplicationSource() { store_->SetPruneFloor(nullptr); }
+
+std::function<bool(const net::HttpRequest&, bool, std::string*)>
+ReplicationSource::AuxHandler() {
+  return [this](const net::HttpRequest& req, bool keep_alive,
+                std::string* out) { return Handle(req, keep_alive, out); };
+}
+
+std::uint64_t ReplicationSource::PruneFloor() const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto expiry = std::chrono::milliseconds(options_.follower_expiry_ms);
+  std::uint64_t floor = ~0ull;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, state] : followers_) {
+    if (now - state.last_seen > expiry) continue;
+    floor = std::min(floor, state.pin_seq);
+  }
+  return floor;
+}
+
+std::size_t ReplicationSource::active_followers() const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto expiry = std::chrono::milliseconds(options_.follower_expiry_ms);
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, state] : followers_) {
+    if (now - state.last_seen <= expiry) ++n;
+  }
+  return n;
+}
+
+void ReplicationSource::NoteFollower(const std::string& id,
+                                     std::uint64_t pin_seq,
+                                     std::uint64_t journal_seq,
+                                     std::uint64_t offset) {
+  if (id.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FollowerState& state = followers_[id];
+    state.last_seen = std::chrono::steady_clock::now();
+    state.pin_seq = pin_seq;
+    if (journal_seq != 0) {
+      state.journal_seq = journal_seq;
+      state.offset = offset;
+    }
+  }
+  if (journal_seq != 0) {
+    const std::string label = "{follower=\"" + obs::EscapeLabelValue(id) +
+                              "\"}";
+    obs::MetricsRegistry& reg = obs::Registry();
+    reg.GetGauge("replication_follower_cursor_seq" + label,
+                 "Journal sequence a follower is tailing")
+        ->Set(static_cast<std::int64_t>(journal_seq));
+    reg.GetGauge("replication_follower_cursor_offset" + label,
+                 "Byte offset a follower last fetched from")
+        ->Set(static_cast<std::int64_t>(offset));
+  }
+}
+
+bool ReplicationSource::Handle(const net::HttpRequest& req, bool keep_alive,
+                               std::string* out) {
+  std::string_view path, query;
+  net::SplitTarget(req.target, &path, &query);
+  if (path.rfind("/repl/", 0) != 0) return false;
+  if (req.method != "GET") {
+    *out = ErrorResponse(405, "replication routes are GET-only", keep_alive);
+    return true;
+  }
+  if (path == "/repl/manifest") {
+    *out = HandleManifest(keep_alive);
+  } else if (path == "/repl/snapshot") {
+    *out = HandleSnapshot(query, keep_alive);
+  } else if (path == "/repl/journal") {
+    *out = HandleJournal(query, keep_alive);
+  } else {
+    *out = ErrorResponse(404, "unknown replication route", keep_alive);
+  }
+  return true;
+}
+
+std::string ReplicationSource::HandleManifest(bool keep_alive) {
+  SourceMetrics::Get().manifest_requests->Increment();
+  // Seqs first (one consistent read under the store's lock), then the
+  // directory listing: a checkpoint between the two at worst lists a file
+  // newer than `live_seq`, which the follower ignores until the next
+  // manifest.
+  const storage::DurableStore::Stats stats = store_->stats();
+  storage::Env* env = store_->env();
+  auto entries = env->ListDir(store_->dir());
+  if (!entries.ok()) {
+    return ErrorResponse(500, "cannot list store directory", keep_alive);
+  }
+  std::map<std::uint64_t, std::uint64_t> snapshots;  // seq -> size
+  std::map<std::uint64_t, std::uint64_t> journals;
+  for (const std::string& name : entries.value()) {
+    std::uint64_t seq = 0;
+    const std::string full = store_->dir() + "/" + name;
+    if (storage::ParseSnapshotFileName(name, &seq)) {
+      auto size = env->FileSize(full);
+      if (size.ok()) snapshots[seq] = size.value();
+    } else if (storage::ParseJournalFileName(name, &seq)) {
+      auto size = env->FileSize(full);
+      if (size.ok()) journals[seq] = size.value();
+    }
+  }
+  std::string body;
+  body += "generation " + std::to_string(stats.generation) + "\n";
+  body += "live_seq " + std::to_string(stats.journal_seq) + "\n";
+  body += "live_records " + std::to_string(stats.journal_records) + "\n";
+  for (const auto& [seq, size] : snapshots) {
+    body += "snapshot " + std::to_string(seq) + " " + std::to_string(size) +
+            "\n";
+  }
+  for (const auto& [seq, size] : journals) {
+    body += "journal " + std::to_string(seq) + " " + std::to_string(size) +
+            "\n";
+  }
+  return net::SerializeHttpResponse(200, "text/plain", body, keep_alive);
+}
+
+std::string ReplicationSource::HandleSnapshot(std::string_view query,
+                                              bool keep_alive) {
+  SourceMetrics::Get().snapshot_requests->Increment();
+  std::string gen_text, offset_text, limit_text, follower;
+  std::uint64_t gen = 0, offset = 0;
+  std::uint64_t limit = options_.max_chunk_bytes;
+  if (!net::QueryParam(query, "gen", &gen_text) || !ParseU64(gen_text, &gen)) {
+    return ErrorResponse(400, "missing or bad 'gen'", keep_alive);
+  }
+  if (net::QueryParam(query, "offset", &offset_text) &&
+      !ParseU64(offset_text, &offset)) {
+    return ErrorResponse(400, "bad 'offset'", keep_alive);
+  }
+  if (net::QueryParam(query, "limit", &limit_text)) {
+    std::uint64_t asked = 0;
+    if (!ParseU64(limit_text, &asked)) {
+      return ErrorResponse(400, "bad 'limit'", keep_alive);
+    }
+    limit = std::min<std::uint64_t>(asked, options_.max_chunk_bytes);
+  }
+  (void)net::QueryParam(query, "follower", &follower);
+  // Pin before reading: a checkpoint that fires between the pin and the
+  // read keeps the file alive.
+  NoteFollower(follower, gen, 0, 0);
+
+  const std::string path =
+      store_->dir() + "/" + storage::SnapshotFileName(gen);
+  std::string chunk;
+  std::uint64_t total = 0;
+  if (!store_->env()->FileExists(path) ||
+      !ReadChunk(path, offset, limit, &chunk, &total)) {
+    SourceMetrics::Get().gone->Increment();
+    return ErrorResponse(410, "snapshot generation pruned", keep_alive);
+  }
+  SourceMetrics::Get().bytes_shipped->Increment(chunk.size());
+  return net::SerializeHttpResponse(
+      200, "application/octet-stream", chunk, keep_alive,
+      {{"X-Repl-Total-Size", std::to_string(total)}});
+}
+
+std::string ReplicationSource::HandleJournal(std::string_view query,
+                                             bool keep_alive) {
+  SourceMetrics::Get().journal_requests->Increment();
+  std::string seq_text, offset_text, limit_text, follower;
+  std::uint64_t seq = 0, offset = 0;
+  std::uint64_t limit = options_.max_chunk_bytes;
+  if (!net::QueryParam(query, "seq", &seq_text) || !ParseU64(seq_text, &seq)) {
+    return ErrorResponse(400, "missing or bad 'seq'", keep_alive);
+  }
+  if (net::QueryParam(query, "offset", &offset_text) &&
+      !ParseU64(offset_text, &offset)) {
+    return ErrorResponse(400, "bad 'offset'", keep_alive);
+  }
+  if (net::QueryParam(query, "limit", &limit_text)) {
+    std::uint64_t asked = 0;
+    if (!ParseU64(limit_text, &asked)) {
+      return ErrorResponse(400, "bad 'limit'", keep_alive);
+    }
+    limit = std::min<std::uint64_t>(asked, options_.max_chunk_bytes);
+  }
+  (void)net::QueryParam(query, "follower", &follower);
+  NoteFollower(follower, seq, seq, offset);
+
+  const std::string path = store_->dir() + "/" + storage::JournalFileName(seq);
+  std::string chunk;
+  std::uint64_t total = 0;
+  if (!store_->env()->FileExists(path) ||
+      !ReadChunk(path, offset, limit, &chunk, &total)) {
+    SourceMetrics::Get().gone->Increment();
+    return ErrorResponse(410, "journal pruned", keep_alive);
+  }
+  if (offset > total) {
+    // The follower believes this journal is longer than it is: its mirror
+    // diverged from this leader's history (e.g. it replicated a different
+    // leader). It must rebootstrap.
+    return ErrorResponse(416, "offset past end of journal", keep_alive);
+  }
+  const storage::DurableStore::Stats stats = store_->stats();
+  SourceMetrics::Get().bytes_shipped->Increment(chunk.size());
+  return net::SerializeHttpResponse(
+      200, "application/octet-stream", chunk, keep_alive,
+      {{"X-Repl-Size", std::to_string(total)},
+       {"X-Repl-Generation", std::to_string(stats.generation)},
+       {"X-Repl-Live-Seq", std::to_string(stats.journal_seq)},
+       {"X-Repl-Live-Records", std::to_string(stats.journal_records)}});
+}
+
+}  // namespace prometheus::replication

@@ -1,0 +1,112 @@
+#ifndef PROMETHEUS_REPLICATION_SOURCE_H_
+#define PROMETHEUS_REPLICATION_SOURCE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "storage/recovery.h"
+
+namespace prometheus::replication {
+
+/// Leader-side replication endpoint: serves the store directory's snapshot
+/// and journal bytes over the existing HTTP front end (mounted as the
+/// front end's `aux_handler`), so a follower can bootstrap from the newest
+/// snapshot and then tail the live journal.
+///
+/// Routes (all GET):
+///   /repl/manifest
+///       text/plain inventory — `generation G`, `live_seq N`,
+///       `live_records R`, then one `snapshot SEQ SIZE` / `journal SEQ
+///       SIZE` line per file. Line-oriented so the follower needs no JSON
+///       parser.
+///   /repl/snapshot?gen=G&offset=O&limit=L&follower=ID
+///       raw snapshot bytes [O, O+L); `X-Repl-Total-Size` carries the file
+///       size. 410 when the generation was pruned (the follower
+///       rebootstraps from the manifest's current one).
+///   /repl/journal?seq=N&offset=O&limit=L&follower=ID
+///       raw journal bytes from offset O (empty body = caught up).
+///       `X-Repl-Size` is the file's current size, `X-Repl-Generation` /
+///       `X-Repl-Live-Seq` / `X-Repl-Live-Records` describe the live tail
+///       so the follower can compute its lag. 410 when pruned, 416 when
+///       the offset is past the file (divergence — rebootstrap).
+///
+/// The journal is written unbuffered (`PosixWritableFile::Append` is a
+/// straight write(2)), so the file is byte-current with committed state
+/// and a reader needs no flush handshake; a torn frame at the tail simply
+/// parses as "need more" on the follower.
+///
+/// Followers identify themselves with the `follower` query parameter. The
+/// source remembers each one's newest request (cursor + which file it
+/// needs) and feeds `DurableStore::SetPruneFloor` the minimum sequence any
+/// active follower still depends on, so `Checkpoint()` cannot yank a
+/// generation mid-download. Entries expire after `follower_expiry_ms` of
+/// silence — a dead follower never pins the leader's disk forever (it gets
+/// a 410 and rebootstraps if it comes back too late). Cursors are also
+/// surfaced as labelled gauges (`replication_follower_cursor_seq{...}`),
+/// visible in /metrics and /stats.
+class ReplicationSource {
+ public:
+  struct Options {
+    /// Followers silent this long stop pinning files (and their gauges
+    /// freeze at the last observed cursor).
+    int follower_expiry_ms = 10000;
+    /// Upper bound on one response body; requests asking for more are
+    /// clamped. Keep below the peer's HttpLimits::max_body_bytes.
+    std::size_t max_chunk_bytes = 256 * 1024;
+  };
+
+  /// `store` must outlive the source. Installs the prune-floor hook.
+  ReplicationSource(storage::DurableStore* store, Options options);
+  explicit ReplicationSource(storage::DurableStore* store)
+      : ReplicationSource(store, Options{}) {}
+
+  /// Uninstalls the prune-floor hook.
+  ~ReplicationSource();
+
+  ReplicationSource(const ReplicationSource&) = delete;
+  ReplicationSource& operator=(const ReplicationSource&) = delete;
+
+  /// The hook to mount as `HttpFrontEnd::Options::aux_handler`. Claims
+  /// only `/repl/*` targets. Thread-safe.
+  std::function<bool(const net::HttpRequest&, bool, std::string*)>
+  AuxHandler();
+
+  /// Smallest file sequence an unexpired follower still needs (~0ull when
+  /// none): `Checkpoint()` never prunes at or above this.
+  std::uint64_t PruneFloor() const;
+
+  /// Unexpired followers currently tracked.
+  std::size_t active_followers() const;
+
+ private:
+  struct FollowerState {
+    std::chrono::steady_clock::time_point last_seen;
+    std::uint64_t pin_seq = 0;      ///< file seq the follower is reading
+    std::uint64_t journal_seq = 0;  ///< cursor: journal being tailed
+    std::uint64_t offset = 0;       ///< cursor: byte offset within it
+  };
+
+  bool Handle(const net::HttpRequest& req, bool keep_alive, std::string* out);
+  std::string HandleManifest(bool keep_alive);
+  std::string HandleSnapshot(std::string_view query, bool keep_alive);
+  std::string HandleJournal(std::string_view query, bool keep_alive);
+
+  /// Records a follower sighting and refreshes its cursor gauges.
+  void NoteFollower(const std::string& id, std::uint64_t pin_seq,
+                    std::uint64_t journal_seq, std::uint64_t offset);
+
+  storage::DurableStore* store_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, FollowerState> followers_;
+};
+
+}  // namespace prometheus::replication
+
+#endif  // PROMETHEUS_REPLICATION_SOURCE_H_

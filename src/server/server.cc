@@ -207,6 +207,8 @@ std::string Server::Health::ToJson() const {
   std::string out = "{";
   out += "\"server_epoch\":" + std::to_string(server_epoch);
   out += ",\"degraded\":" + std::string(degraded ? "true" : "false");
+  out += ",\"read_only\":" + std::string(read_only ? "true" : "false");
+  if (!replication.empty()) out += ",\"replication\":" + replication;
   out += ",\"store_status\":\"" + JsonEscape(store_status.ToString()) + "\"";
   out += ",\"queue_depth\":" + std::to_string(queue_depth);
   out += ",\"queue_capacity\":" + std::to_string(queue_capacity);
@@ -234,6 +236,8 @@ Server::Server(Database* db, Options options)
                                             options.admission}),
       sessions_(this),
       store_(options.store),
+      read_only_(options.read_only),
+      replication_probe_(std::move(options.replication_probe)),
       server_epoch_(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::system_clock::now().time_since_epoch())
@@ -279,6 +283,8 @@ Server::Health Server::health() const {
   Health h;
   h.server_epoch = server_epoch_;
   h.degraded = degraded_.load(std::memory_order_acquire);
+  h.read_only = read_only_;
+  if (replication_probe_) h.replication = replication_probe_();
   {
     std::lock_guard<std::mutex> lock(store_status_mu_);
     h.store_status = store_status_;
@@ -331,6 +337,18 @@ std::future<Response> Server::Enqueue(Request req) {
     respond_unrun(
         ResponseCode::kTimedOut,
         Status::DeadlineExceeded("deadline expired before admission"));
+    return future;
+  }
+
+  // Follower role: every mutation is refused — including kCheckpoint,
+  // which on a follower would race the replication applier's own file
+  // management. There is no re-arm path; promotion replaces the server.
+  if (read_only_ && req.kind == RequestKind::kMutation) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().unavailable->Increment();
+    respond_unrun(ResponseCode::kUnavailable,
+                  Status::Unavailable(
+                      "read-only replica: mutations must go to the leader"));
     return future;
   }
 
@@ -610,6 +628,8 @@ Response Server::ExecuteHealth(RequestId id, const Request&) {
   };
   row("server_epoch", std::to_string(h.server_epoch));
   row("degraded", h.degraded ? "true" : "false");
+  row("read_only", h.read_only ? "true" : "false");
+  if (!h.replication.empty()) row("replication", h.replication);
   row("store_status", h.store_status.ToString());
   row("queue_depth", std::to_string(h.queue_depth) + "/" +
                          std::to_string(h.queue_capacity));

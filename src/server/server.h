@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/database.h"
 #include "index/index_manager.h"
@@ -71,6 +73,16 @@ class Server {
     storage::DurableStore* store = nullptr;
     /// Adaptive admission policy (watermarks, wait prediction).
     AdmissionOptions admission;
+    /// Permanent read-only role (a replication follower): every mutation —
+    /// including kCheckpoint — answers `kUnavailable` without reaching the
+    /// write path. Unlike degraded mode there is no re-arm; only
+    /// `Follower::Promote()` (which builds a fresh writable server) exits
+    /// the role.
+    bool read_only = false;
+    /// Optional replication status probe rendered into kHealth/ToJson
+    /// (lag, connection state). Must be lock-light and thread-safe; on a
+    /// follower the `Follower` installs it.
+    std::function<std::string()> replication_probe;
   };
 
   /// `db` must outlive the server. While the server runs, all access to
@@ -121,6 +133,8 @@ class Server {
   struct Health {
     std::uint64_t server_epoch = 0;  ///< see Server::server_epoch()
     bool degraded = false;
+    bool read_only = false;       ///< permanent follower role
+    std::string replication;      ///< probe's JSON object ("" when none)
     Status store_status;          ///< last observed store status
     std::size_t queue_depth = 0;
     std::size_t queue_capacity = 0;
@@ -183,6 +197,8 @@ class Server {
   ThreadPoolExecutor executor_;
   SessionManager sessions_;
   storage::DurableStore* store_;
+  const bool read_only_;
+  const std::function<std::string()> replication_probe_;
   const std::uint64_t server_epoch_;
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<bool> stopped_{false};

@@ -45,20 +45,21 @@ struct JournalMetrics {
 namespace {
 
 constexpr char kJournalMagicV1[] = "PROMETHEUS-JOURNAL-1";
-constexpr char kJournalHeaderFull[] = "PROMETHEUS-JOURNAL-2 full";
-constexpr char kJournalHeaderCont[] = "PROMETHEUS-JOURNAL-2 cont";
-
-/// Marker payloads (never valid record tags).
-constexpr char kEndOfSchema[] = "EOS";
-constexpr char kTxnBegin[] = "TXB";
-constexpr char kTxnCommit[] = "TXC";
-constexpr char kEndRecord[] = "END";
+// v2 header lines and marker payloads live on the class (Journal::kHeader*,
+// Journal::kMarker*) so the replication layer shares one set of literals;
+// short aliases keep this file readable.
+constexpr std::string_view kJournalHeaderFull = Journal::kHeaderFull;
+constexpr std::string_view kJournalHeaderCont = Journal::kHeaderCont;
+constexpr std::string_view kEndOfSchema = Journal::kMarkerEndOfSchema;
+constexpr std::string_view kTxnBegin = Journal::kMarkerTxnBegin;
+constexpr std::string_view kTxnCommit = Journal::kMarkerTxnCommit;
+constexpr std::string_view kEndRecord = Journal::kMarkerEnd;
 
 /// Refuse to believe length fields beyond this; a torn length digit string
 /// must not drive a giant allocation.
 constexpr std::uint64_t kMaxRecordBytes = 1ull << 30;
 
-std::string FrameRecord(const std::string& payload) {
+std::string FrameRecord(std::string_view payload) {
   char crc[16];
   std::snprintf(crc, sizeof(crc), "%08x", Crc32(payload));
   std::string out;
@@ -329,6 +330,33 @@ Result<std::unique_ptr<Journal>> Journal::Open(Database* db,
   for (const std::string& record : SchemaRecords(*db)) {
     PROMETHEUS_RETURN_IF_ERROR(file->Append(FrameRecord(record)));
   }
+  // A `full` journal must replay to the database's state standalone: a
+  // brand-new store can already hold bootstrap data that no snapshot
+  // covers, so the prologue carries that data too, not just the schema.
+  // Same order as SaveSnapshot — objects first (contexts are objects, so
+  // link records resolve), then links, then synonym edges.
+  for (const ClassDef* cls : db->classes()) {
+    for (Oid oid : db->Extent(cls->name(), /*include_subclasses=*/false)) {
+      PROMETHEUS_RETURN_IF_ERROR(
+          file->Append(FrameRecord(ObjectRecord(*db, oid))));
+    }
+  }
+  for (const RelationshipDef* rel : db->relationships()) {
+    for (Oid oid :
+         db->LinkExtent(rel->name(), /*include_subrelationships=*/false)) {
+      PROMETHEUS_RETURN_IF_ERROR(
+          file->Append(FrameRecord(LinkRecord(*db, oid))));
+    }
+  }
+  for (const ClassDef* cls : db->classes()) {
+    for (Oid oid : db->Extent(cls->name(), /*include_subclasses=*/false)) {
+      const Oid root = db->CanonicalOf(oid);
+      if (root != oid) {
+        PROMETHEUS_RETURN_IF_ERROR(file->Append(FrameRecord(
+            "SYN " + std::to_string(oid) + " " + std::to_string(root))));
+      }
+    }
+  }
   PROMETHEUS_RETURN_IF_ERROR(file->Append(FrameRecord(kEndOfSchema)));
   PROMETHEUS_RETURN_IF_ERROR(file->Flush());
   return std::unique_ptr<Journal>(new Journal(db, std::move(file)));
@@ -407,7 +435,7 @@ Status Journal::Sync() {
   return sticky_;
 }
 
-void Journal::AppendLocked(const std::string& payload) {
+void Journal::AppendLocked(std::string_view payload) {
   if (!sticky_.ok() || closed_) return;
   std::string frame = FrameRecord(payload);
   Status st = file_->Append(frame);
@@ -495,6 +523,26 @@ void Journal::OnEventLocked(const Event& event) {
       EmitLocked("SYN " + std::to_string(event.target) + " " +
            std::to_string(event.source));
       break;
+    // Runtime DDL. Appended immediately — never buffered in pending_ —
+    // because definitions are not undone by an abort, and data records
+    // after the transaction may depend on them. Schema records are
+    // excluded from record_count_ on replay and on followers, so they are
+    // excluded here too, or replicas would report phantom lag forever.
+    case EventKind::kAfterDefineClass: {
+      const std::string record = ClassRecord(*db_, event.type_name);
+      if (!record.empty()) AppendLocked(record);
+      break;
+    }
+    case EventKind::kAfterDefineTemplate: {
+      const std::string record = TemplateRecord(*db_, event.type_name);
+      if (!record.empty()) AppendLocked(record);
+      break;
+    }
+    case EventKind::kAfterDefineRelationship: {
+      const std::string record = RelationshipRecord(*db_, event.type_name);
+      if (!record.empty()) AppendLocked(record);
+      break;
+    }
     default:
       break;
   }
@@ -530,6 +578,76 @@ Status Journal::ReplayTail(Database* db, const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
   return ReplayTail(db, in, report);
+}
+
+Journal::HeaderParse Journal::ParseHeader(std::string_view in,
+                                          std::size_t* consumed) {
+  *consumed = 0;
+  const std::size_t line_max = kHeaderFull.size();  // both headers same size
+  const std::size_t nl = in.find('\n');
+  if (nl == std::string_view::npos) {
+    if (in.size() > line_max) return HeaderParse::kBad;
+    // Only a strict prefix of a known header may still grow into one.
+    if (kHeaderFull.substr(0, in.size()) != in &&
+        kHeaderCont.substr(0, in.size()) != in) {
+      return HeaderParse::kBad;
+    }
+    return HeaderParse::kNeedMore;
+  }
+  const std::string_view line = in.substr(0, nl);
+  *consumed = nl + 1;
+  if (line == kHeaderFull) return HeaderParse::kFull;
+  if (line == kHeaderCont) return HeaderParse::kCont;
+  return HeaderParse::kBad;
+}
+
+Journal::FrameParse Journal::ParseFrame(std::string_view in,
+                                        std::string* payload,
+                                        std::size_t* consumed) {
+  *consumed = 0;
+  std::size_t pos = 0;
+  if (in.empty()) return FrameParse::kNeedMore;
+  if (in[pos] != 'R') return FrameParse::kCorrupt;
+  if (++pos >= in.size()) return FrameParse::kNeedMore;
+  if (in[pos] != ' ') return FrameParse::kCorrupt;
+  ++pos;
+  char crc_text[9] = {};
+  for (int i = 0; i < 8; ++i, ++pos) {
+    if (pos >= in.size()) return FrameParse::kNeedMore;
+    if (!std::isxdigit(static_cast<unsigned char>(in[pos]))) {
+      return FrameParse::kCorrupt;
+    }
+    crc_text[i] = in[pos];
+  }
+  if (pos >= in.size()) return FrameParse::kNeedMore;
+  if (in[pos] != ' ') return FrameParse::kCorrupt;
+  ++pos;
+  std::uint64_t len = 0;
+  int digits = 0;
+  for (;;) {
+    if (pos >= in.size()) return FrameParse::kNeedMore;
+    const char d = in[pos];
+    if (d == ':') {
+      ++pos;
+      break;
+    }
+    if (d < '0' || d > '9' || ++digits > 19) return FrameParse::kCorrupt;
+    len = len * 10 + static_cast<std::uint64_t>(d - '0');
+    if (len > kMaxRecordBytes) return FrameParse::kCorrupt;
+    ++pos;
+  }
+  if (digits == 0) return FrameParse::kCorrupt;
+  if (in.size() - pos < len + 1) return FrameParse::kNeedMore;
+  const std::string_view body = in.substr(pos, static_cast<std::size_t>(len));
+  pos += static_cast<std::size_t>(len);
+  if (in[pos] != '\n') return FrameParse::kCorrupt;
+  ++pos;
+  const std::uint32_t expected =
+      static_cast<std::uint32_t>(std::strtoul(crc_text, nullptr, 16));
+  if (Crc32(body) != expected) return FrameParse::kCorrupt;
+  payload->assign(body.data(), body.size());
+  *consumed = pos;
+  return FrameParse::kFrame;
 }
 
 }  // namespace prometheus::storage

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -165,6 +166,43 @@ class Journal {
   static Status ReplayTail(Database* db, std::istream& in,
                            ReplayReport* report = nullptr);
 
+  // ------------------------------------------------------ wire-level access
+  //
+  // The physical v2 format, exposed so the replication layer can consume a
+  // journal as a byte stream shipped over the network and re-verify every
+  // CRC on receipt. These are pure functions over buffers: incremental
+  // (partial input reports kNeedMore, never a false kCorrupt) and
+  // allocation-bounded (a torn length field cannot drive a giant
+  // allocation).
+
+  /// Header lines (without the trailing newline).
+  static constexpr std::string_view kHeaderFull = "PROMETHEUS-JOURNAL-2 full";
+  static constexpr std::string_view kHeaderCont = "PROMETHEUS-JOURNAL-2 cont";
+  /// Marker payloads (never valid record tags).
+  static constexpr std::string_view kMarkerEndOfSchema = "EOS";
+  static constexpr std::string_view kMarkerTxnBegin = "TXB";
+  static constexpr std::string_view kMarkerTxnCommit = "TXC";
+  static constexpr std::string_view kMarkerEnd = "END";
+
+  enum class HeaderParse {
+    kNeedMore,  ///< a prefix of a valid header; feed more bytes
+    kFull,      ///< v2 `full` header; `*consumed` covers it and its newline
+    kCont,      ///< v2 `cont` header, same contract
+    kBad,       ///< cannot be a v2 header
+  };
+  /// Incremental parse of the header line at the start of `in`.
+  static HeaderParse ParseHeader(std::string_view in, std::size_t* consumed);
+
+  enum class FrameParse {
+    kNeedMore,  ///< a prefix of a well-formed frame; feed more bytes
+    kFrame,     ///< one intact frame: `*payload` set, `*consumed` bytes used
+    kCorrupt,   ///< the bytes cannot be (or fail the CRC of) a frame
+  };
+  /// Incremental parse of one `R <crc> <len>:<payload>\n` frame at the
+  /// start of `in`. On kFrame the payload's CRC has been verified.
+  static FrameParse ParseFrame(std::string_view in, std::string* payload,
+                               std::size_t* consumed);
+
  private:
   Journal(Database* db, std::unique_ptr<WritableFile> file);
 
@@ -172,7 +210,7 @@ class Journal {
   void OnEventLocked(const Event& event);
   void EmitLocked(std::string record);
   /// Frames `payload` and appends it; latches the sticky status on failure.
-  void AppendLocked(const std::string& payload);
+  void AppendLocked(std::string_view payload);
 
   Database* db_;
   std::unique_ptr<WritableFile> file_;

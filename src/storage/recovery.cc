@@ -56,14 +56,6 @@ std::string SeqName(const char* prefix, std::uint64_t seq, const char* suffix) {
   return std::string(prefix) + buf + suffix;
 }
 
-std::string SnapshotName(std::uint64_t seq) {
-  return SeqName(kSnapshotPrefix, seq, kSnapshotSuffix);
-}
-
-std::string JournalName(std::uint64_t seq) {
-  return SeqName(kJournalPrefix, seq, kJournalSuffix);
-}
-
 bool ParseSeqName(const std::string& name, const char* prefix,
                   const char* suffix, std::uint64_t* seq) {
   std::string p(prefix), s(suffix);
@@ -88,6 +80,22 @@ bool EndsWith(const std::string& name, const char* suffix) {
 
 }  // namespace
 
+std::string SnapshotFileName(std::uint64_t seq) {
+  return SeqName(kSnapshotPrefix, seq, kSnapshotSuffix);
+}
+
+std::string JournalFileName(std::uint64_t seq) {
+  return SeqName(kJournalPrefix, seq, kJournalSuffix);
+}
+
+bool ParseSnapshotFileName(const std::string& name, std::uint64_t* seq) {
+  return ParseSeqName(name, kSnapshotPrefix, kSnapshotSuffix, seq);
+}
+
+bool ParseJournalFileName(const std::string& name, std::uint64_t* seq) {
+  return ParseSeqName(name, kJournalPrefix, kJournalSuffix, seq);
+}
+
 DurableStore::DurableStore(std::string dir, Env* env)
     : dir_(std::move(dir)), env_(env) {}
 
@@ -96,21 +104,39 @@ DurableStore::~DurableStore() {
 }
 
 Status DurableStore::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok()) return sticky_;
   if (journal_ != nullptr) return journal_->status();
   return Status::Ok();
 }
 
 Status DurableStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok()) return sticky_;
   if (journal_ == nullptr) return Status::FailedPrecondition("no live journal");
   return journal_->Flush();
 }
 
 Status DurableStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok()) return sticky_;
   if (journal_ == nullptr) return Status::FailedPrecondition("no live journal");
   return journal_->Sync();
+}
+
+std::uint64_t DurableStore::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_seq_;
+}
+
+std::uint64_t DurableStore::journal_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_seq_;
+}
+
+void DurableStore::SetPruneFloor(std::function<std::uint64_t()> floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prune_floor_ = std::move(floor);
 }
 
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
@@ -229,6 +255,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 }
 
 DurableStore::Stats DurableStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   if (journal_ != nullptr) {
     s.journal_records = journal_->record_count();
@@ -236,6 +263,7 @@ DurableStore::Stats DurableStore::stats() const {
     s.journal_syncs = journal_->sync_count();
   }
   s.generation = snapshot_seq_;
+  s.journal_seq = journal_seq_;
   s.checkpoints = checkpoints_;
   s.replayed_records = info_.replayed_records;
   s.dropped_records = info_.dropped_records;
@@ -244,7 +272,7 @@ DurableStore::Stats DurableStore::stats() const {
 }
 
 Status DurableStore::OpenJournalFresh() {
-  std::string path = dir_ + "/" + JournalName(journal_seq_);
+  std::string path = dir_ + "/" + JournalFileName(journal_seq_);
   if (snapshot_seq_ == 0 && info_.replayed_records == 0) {
     PROMETHEUS_ASSIGN_OR_RETURN(
         journal_, Journal::Open(db_.get(), path, Journal::OpenMode::kTruncate,
@@ -257,46 +285,65 @@ Status DurableStore::OpenJournalFresh() {
 }
 
 Status DurableStore::Checkpoint() {
-  const std::uint64_t new_seq = journal_seq_ + 1;
-  const std::string snapshot_path = dir_ + "/" + SnapshotName(new_seq);
+  std::uint64_t new_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    new_seq = journal_seq_ + 1;
+  }
+  const std::string snapshot_path = dir_ + "/" + SnapshotFileName(new_seq);
   // Atomic write: temp + fsync + rename + directory fsync. A crash at any
   // point leaves the previous snapshot untouched and the live journal
-  // authoritative — SaveSnapshot's path overload stages in `.tmp`.
+  // authoritative — SaveSnapshot's path overload stages in `.tmp`. The
+  // caller holds exclusive database access, so journal_seq_ cannot move
+  // while the snapshot is written (no other thread checkpoints or appends).
   PROMETHEUS_RETURN_IF_ERROR(SaveSnapshot(*db_, snapshot_path, env_));
 
-  // The snapshot is durable: rotate to a fresh continuation journal.
-  const std::uint64_t old_snapshot_seq = snapshot_seq_;
-  if (journal_ != nullptr) {
-    (void)journal_->Close();  // best effort; the snapshot supersedes it
-    journal_.reset();
+  // The snapshot is durable: rotate to a fresh continuation journal. The
+  // swap happens under mu_ so concurrent observers (stats, the replication
+  // endpoint) never see a half-rotated store.
+  std::uint64_t old_snapshot_seq = 0;
+  std::function<std::uint64_t()> floor_fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_snapshot_seq = snapshot_seq_;
+    if (journal_ != nullptr) {
+      (void)journal_->Close();  // best effort; the snapshot supersedes it
+      journal_.reset();
+    }
+    snapshot_seq_ = new_seq;
+    journal_seq_ = new_seq + 1;
+    Result<std::unique_ptr<Journal>> rotated = Journal::OpenContinuation(
+        db_.get(), dir_ + "/" + JournalFileName(journal_seq_), env_);
+    if (!rotated.ok()) {
+      // State is safe on disk but new mutations would not be journalled:
+      // latch the failure so status() screams until the store is reopened.
+      sticky_ = rotated.status();
+      return sticky_;
+    }
+    journal_ = std::move(rotated).value();
+    // The snapshot persisted the full in-memory state and the rotation gave
+    // mutations a healthy journal to land in — whatever failure was latched
+    // (a dead journal, a failed earlier rotation) is superseded. This is the
+    // operator's re-arm path out of degraded read-only mode.
+    sticky_ = Status::Ok();
+    ++checkpoints_;
+    floor_fn = prune_floor_;
   }
-  snapshot_seq_ = new_seq;
-  journal_seq_ = new_seq + 1;
-  Result<std::unique_ptr<Journal>> rotated = Journal::OpenContinuation(
-      db_.get(), dir_ + "/" + JournalName(journal_seq_), env_);
-  if (!rotated.ok()) {
-    // State is safe on disk but new mutations would not be journalled:
-    // latch the failure so status() screams until the store is reopened.
-    sticky_ = rotated.status();
-    return sticky_;
-  }
-  journal_ = std::move(rotated).value();
-  // The snapshot persisted the full in-memory state and the rotation gave
-  // mutations a healthy journal to land in — whatever failure was latched
-  // (a dead journal, a failed earlier rotation) is superseded. This is the
-  // operator's re-arm path out of degraded read-only mode.
-  sticky_ = Status::Ok();
 
   // Prune generations older than the fallback pair (previous snapshot +
-  // the journal that supersedes it). Crash-tolerant: recovery ignores
-  // leftovers.
+  // the journal that supersedes it), but never at or above the replication
+  // prune floor: a follower mid-download keeps its generation alive. The
+  // hook runs outside mu_ (it takes the replication endpoint's own lock).
+  // Crash-tolerant: recovery ignores leftovers.
+  const std::uint64_t floor = floor_fn ? floor_fn() : ~0ull;
   for (std::uint64_t seq = 1; seq < old_snapshot_seq; ++seq) {
-    (void)env_->RemoveFile(dir_ + "/" + SnapshotName(seq));
+    if (seq >= floor) break;
+    (void)env_->RemoveFile(dir_ + "/" + SnapshotFileName(seq));
   }
   for (std::uint64_t seq = 1; seq <= old_snapshot_seq; ++seq) {
-    (void)env_->RemoveFile(dir_ + "/" + JournalName(seq));
+    if (seq >= floor) break;
+    (void)env_->RemoveFile(dir_ + "/" + JournalFileName(seq));
   }
-  ++checkpoints_;
   StoreMetrics::Get().checkpoints->Increment();
   return Status::Ok();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,14 @@
 #include "storage/journal.h"
 
 namespace prometheus::storage {
+
+/// Store-directory file naming, shared with the replication layer (which
+/// mirrors a leader's directory file-by-file): `snapshot-%06llu.pdb` and
+/// `journal-%06llu.log`.
+std::string SnapshotFileName(std::uint64_t seq);
+std::string JournalFileName(std::uint64_t seq);
+bool ParseSnapshotFileName(const std::string& name, std::uint64_t* seq);
+bool ParseJournalFileName(const std::string& name, std::uint64_t* seq);
 
 /// Crash-safe persistence manager: owns a database directory holding
 /// generation-numbered snapshots and journals,
@@ -36,8 +45,12 @@ namespace prometheus::storage {
 /// thread-safe — mutations serialised by the database's epoch guard
 /// (`Database::WriteGuard`) append safely while any thread calls `Flush`,
 /// `Sync` or `status()` (the journal locks internally, so frames are never
-/// torn). `Open` and `Checkpoint` still require exclusive access: take the
-/// write guard (or quiesce the server) around a checkpoint.
+/// torn). `Checkpoint` still requires exclusive access to the *database*
+/// (take the write guard, or quiesce the server), but the store's own
+/// bookkeeping — the live journal pointer, sequence numbers, the sticky
+/// status — is guarded by an internal mutex, so `Flush`/`Sync`/`status`/
+/// `stats`/`generation`/`journal_seq` from any thread (e.g. a replication
+/// endpoint answering a fetch) never race the checkpoint's journal swap.
 class DurableStore {
  public:
   struct Options {
@@ -87,7 +100,22 @@ class DurableStore {
   const RecoveryInfo& recovery_info() const { return info_; }
 
   /// Current snapshot generation (0 until the first checkpoint).
-  std::uint64_t generation() const { return snapshot_seq_; }
+  std::uint64_t generation() const;
+
+  /// Sequence number of the live journal.
+  std::uint64_t journal_seq() const;
+
+  /// The directory this store owns and the filesystem it writes through —
+  /// the replication endpoint reads journal/snapshot bytes from here.
+  const std::string& dir() const { return dir_; }
+  Env* env() const { return env_; }
+
+  /// Installs a prune-floor hook consulted by `Checkpoint()`: files with
+  /// sequence numbers >= the returned floor are never pruned. The
+  /// replication endpoint returns the smallest generation an active
+  /// follower still needs (or ~0 when none), so a checkpoint cannot yank a
+  /// generation mid-download. Pass nullptr to uninstall.
+  void SetPruneFloor(std::function<std::uint64_t()> floor);
 
   /// Point-in-time durability counters: the live journal's I/O totals plus
   /// this store's checkpoint/recovery history. Safe to call from any thread
@@ -97,6 +125,7 @@ class DurableStore {
     std::uint64_t journal_bytes = 0;    ///< live journal's framed bytes
     std::uint64_t journal_syncs = 0;    ///< live journal's fsync barriers
     std::uint64_t generation = 0;       ///< loaded snapshot generation
+    std::uint64_t journal_seq = 0;      ///< live journal sequence number
     std::uint64_t checkpoints = 0;      ///< successful Checkpoint() calls
     std::uint64_t replayed_records = 0; ///< records replayed by Open()
     std::uint64_t dropped_records = 0;  ///< records lost to torn tails
@@ -128,10 +157,15 @@ class DurableStore {
   std::string dir_;
   Env* env_;
   std::unique_ptr<Database> db_;
+  /// Guards the fields a checkpoint swaps against concurrent observers
+  /// (`journal_`, the sequence numbers, `checkpoints_`, `sticky_`,
+  /// `prune_floor_`).
+  mutable std::mutex mu_;
   std::unique_ptr<Journal> journal_;
   std::uint64_t snapshot_seq_ = 0;  ///< generation of the loaded snapshot
   std::uint64_t journal_seq_ = 0;   ///< generation of the live journal
   std::uint64_t checkpoints_ = 0;   ///< successful Checkpoint() calls
+  std::function<std::uint64_t()> prune_floor_;
   RecoveryInfo info_;
   Status sticky_;  ///< store-level failures (e.g. journal rotation failed)
 };

@@ -284,57 +284,74 @@ void WriteSemantics(std::ostream& out, const RelationshipSemantics& sem) {
 
 }  // namespace
 
+std::string ClassRecord(const Database& db, const std::string& name) {
+  const ClassDef* cls = db.FindClass(name);
+  if (cls == nullptr) return "";
+  std::ostringstream out;
+  out << "CLASS " << EncodeString(cls->name()) << " "
+      << (cls->is_abstract() ? 1 : 0) << " " << cls->supers().size();
+  for (const ClassDef* s : cls->supers()) {
+    out << " " << EncodeString(s->name());
+  }
+  out << " " << cls->attributes().size();
+  for (const AttributeDef& a : cls->attributes()) {
+    WriteAttributeDef(out, a);
+  }
+  out << " " << cls->methods().size();
+  for (const MethodDef& m : cls->methods()) {
+    out << " " << EncodeString(m.name) << " "
+        << EncodeString(m.return_type) << " " << m.parameters.size();
+    for (const auto& [type, pname] : m.parameters) {
+      out << " " << EncodeString(type) << " " << EncodeString(pname);
+    }
+  }
+  return out.str();
+}
+
+std::string TemplateRecord(const Database& db, const std::string& name) {
+  const RelationshipSemantics* sem = db.FindTemplateSemantics(name);
+  const std::vector<AttributeDef>* attrs = db.FindTemplateAttributes(name);
+  if (sem == nullptr || attrs == nullptr) return "";
+  std::ostringstream out;
+  out << "TMPL " << EncodeString(name) << " ";
+  WriteSemantics(out, *sem);
+  out << " " << attrs->size();
+  for (const AttributeDef& a : *attrs) {
+    WriteAttributeDef(out, a);
+  }
+  return out.str();
+}
+
+std::string RelationshipRecord(const Database& db, const std::string& name) {
+  const RelationshipDef* rel = db.FindRelationship(name);
+  if (rel == nullptr) return "";
+  std::ostringstream out;
+  out << "REL " << EncodeString(rel->name()) << " "
+      << EncodeString(rel->source_class()->name()) << " "
+      << EncodeString(rel->target_class()->name()) << " ";
+  WriteSemantics(out, rel->semantics());
+  out << " " << rel->supers().size();
+  for (const RelationshipDef* s : rel->supers()) {
+    out << " " << EncodeString(s->name());
+  }
+  out << " " << rel->attributes().size();
+  for (const AttributeDef& a : rel->attributes()) {
+    WriteAttributeDef(out, a);
+  }
+  return out.str();
+}
+
 std::vector<std::string> SchemaRecords(const Database& db) {
   std::vector<std::string> records;
   for (const ClassDef* cls : db.classes()) {
-    std::ostringstream out;
-    out << "CLASS " << EncodeString(cls->name()) << " "
-        << (cls->is_abstract() ? 1 : 0) << " " << cls->supers().size();
-    for (const ClassDef* s : cls->supers()) {
-      out << " " << EncodeString(s->name());
-    }
-    out << " " << cls->attributes().size();
-    for (const AttributeDef& a : cls->attributes()) {
-      WriteAttributeDef(out, a);
-    }
-    out << " " << cls->methods().size();
-    for (const MethodDef& m : cls->methods()) {
-      out << " " << EncodeString(m.name) << " "
-          << EncodeString(m.return_type) << " " << m.parameters.size();
-      for (const auto& [type, pname] : m.parameters) {
-        out << " " << EncodeString(type) << " " << EncodeString(pname);
-      }
-    }
-    records.push_back(out.str());
+    records.push_back(ClassRecord(db, cls->name()));
   }
   for (const std::string& name : db.relationship_templates()) {
-    const RelationshipSemantics* sem = db.FindTemplateSemantics(name);
-    const std::vector<AttributeDef>* attrs = db.FindTemplateAttributes(name);
-    if (sem == nullptr || attrs == nullptr) continue;
-    std::ostringstream out;
-    out << "TMPL " << EncodeString(name) << " ";
-    WriteSemantics(out, *sem);
-    out << " " << attrs->size();
-    for (const AttributeDef& a : *attrs) {
-      WriteAttributeDef(out, a);
-    }
-    records.push_back(out.str());
+    std::string record = TemplateRecord(db, name);
+    if (!record.empty()) records.push_back(std::move(record));
   }
   for (const RelationshipDef* rel : db.relationships()) {
-    std::ostringstream out;
-    out << "REL " << EncodeString(rel->name()) << " "
-        << EncodeString(rel->source_class()->name()) << " "
-        << EncodeString(rel->target_class()->name()) << " ";
-    WriteSemantics(out, rel->semantics());
-    out << " " << rel->supers().size();
-    for (const RelationshipDef* s : rel->supers()) {
-      out << " " << EncodeString(s->name());
-    }
-    out << " " << rel->attributes().size();
-    for (const AttributeDef& a : rel->attributes()) {
-      WriteAttributeDef(out, a);
-    }
-    records.push_back(out.str());
+    records.push_back(RelationshipRecord(db, rel->name()));
   }
   return records;
 }

@@ -37,6 +37,11 @@ std::vector<std::string> SchemaRecords(const Database& db);
 Status WriteSchemaRecords(const Database& db, std::ostream& out);
 std::string ObjectRecord(const Database& db, Oid oid);
 std::string LinkRecord(const Database& db, Oid oid);
+/// Render one schema entity by name (empty string when absent) — the
+/// journal uses these to make runtime DDL durable as it happens.
+std::string ClassRecord(const Database& db, const std::string& name);
+std::string TemplateRecord(const Database& db, const std::string& name);
+std::string RelationshipRecord(const Database& db, const std::string& name);
 
 /// Applies one record line. Returns true in `*end` for the END record.
 /// DELO/DELL of already-absent targets are ignored (cascades may have

@@ -308,6 +308,91 @@ TEST(DurableStoreTest, FreshStoreBootstrapsAndSurvivesReopen) {
   EXPECT_FALSE(reopened.value()->recovery_info().torn_tail);
 }
 
+// A bootstrap that seeds *data* (not just schema) must survive a reopen
+// even when no checkpoint ever ran: the full journal's prologue has to
+// carry the bootstrapped objects, links, and synonyms, or replay starts
+// from an empty database and every record referencing them fails.
+TEST(DurableStoreTest, BootstrapDataSurvivesReopenWithoutCheckpoint) {
+  auto seeded = [](Database* db) -> Status {
+    PROMETHEUS_RETURN_IF_ERROR(Bootstrap(db));
+    auto a = db->CreateObject("Taxon", {{"name", Value::String("seed-a")},
+                                        {"year", Value::Int(1753)}});
+    if (!a.ok()) return a.status();
+    auto b = db->CreateObject("Taxon", {{"name", Value::String("seed-b")}});
+    if (!b.ok()) return b.status();
+    auto c = db->CreateObject("Taxon", {{"name", Value::String("seed-c")}});
+    if (!c.ok()) return c.status();
+    PROMETHEUS_RETURN_IF_ERROR(
+        db->CreateLink("owns", a.value(), b.value(), kNullOid,
+                       {{"note", Value::String("from bootstrap")}})
+            .status());
+    return db->DeclareSynonym(b.value(), c.value());
+  };
+  DurableStore::Options options;
+  options.bootstrap = seeded;
+
+  std::string dir = FreshDir("bootstrap_data");
+  std::string fp;
+  {
+    auto store = DurableStore::Open(dir, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    Database& db = store.value()->db();
+    EXPECT_EQ(db.object_count(), 3u);
+    // Mutate a bootstrapped object so replay must resolve it by oid.
+    std::vector<Oid> extent = db.Extent("Taxon", false);
+    ASSERT_FALSE(extent.empty());
+    ASSERT_TRUE(db.SetAttribute(extent.front(), "year",
+                                Value::Int(1859)).ok());
+    fp = Fingerprint(db);
+  }  // no Checkpoint: everything must come back from the journal alone
+  auto reopened = DurableStore::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Database& db = reopened.value()->db();
+  EXPECT_EQ(Fingerprint(db), fp);
+  EXPECT_EQ(db.object_count(), 3u);
+  EXPECT_TRUE(reopened.value()->recovery_info().snapshot_file.empty());
+  EXPECT_FALSE(reopened.value()->recovery_info().torn_tail);
+}
+
+// Schema defined at *runtime* — through the live store, not a bootstrap —
+// must be journaled like any mutation: a class defined after open, with
+// objects created in it, has to survive a reopen with no checkpoint.
+TEST(DurableStoreTest, RuntimeDdlSurvivesReopenWithoutCheckpoint) {
+  std::string dir = FreshDir("runtime_ddl");
+  std::string fp;
+  {
+    auto store = DurableStore::Open(dir, DurableStore::Options{});
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    Database& db = store.value()->db();
+    ASSERT_TRUE(Bootstrap(&db).ok());  // DDL on the live, journaled db
+    RelationshipSemantics plain;
+    ASSERT_TRUE(db.DefineRelationshipTemplate("annotates", plain,
+                                              {Attr("text",
+                                                    ValueType::kString)})
+                    .ok());
+    ASSERT_TRUE(
+        db.InstantiateRelationship("annotates", "remarks", "Taxon", "Taxon")
+            .ok());
+    auto a = db.CreateObject("Taxon", {{"name", Value::String("live-a")}});
+    ASSERT_TRUE(a.ok());
+    auto b = db.CreateObject("Taxon", {{"name", Value::String("live-b")}});
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(db.CreateLink("remarks", a.value(), b.value(), kNullOid,
+                              {{"text", Value::String("runtime")}})
+                    .ok());
+    fp = Fingerprint(db);
+  }  // no Checkpoint: schema + data must both come back from the journal
+  auto reopened = DurableStore::Open(dir, DurableStore::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Database& db = reopened.value()->db();
+  EXPECT_EQ(Fingerprint(db), fp);
+  ASSERT_NE(db.FindClass("Taxon"), nullptr);
+  ASSERT_NE(db.FindRelationship("remarks"), nullptr);
+  EXPECT_NE(db.FindTemplateSemantics("annotates"), nullptr);
+  EXPECT_EQ(db.object_count(), 2u);
+  EXPECT_FALSE(reopened.value()->recovery_info().torn_tail);
+}
+
 TEST(DurableStoreTest, ReopenAppendsToTheLiveJournal) {
   std::string dir = FreshDir("reopen_append");
   for (int round = 0; round < 3; ++round) {
