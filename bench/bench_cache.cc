@@ -1,0 +1,242 @@
+// E19 (micro) — query-cache mechanics in isolation. bench_server's E19
+// measures the cache end-to-end through the server; this bench pins down
+// the per-operation costs that make that win possible, plus the one
+// design decision worth defending with numbers: sharding the result tier.
+//
+//   result hit      Lookup() that serves (hash + shard lock + LRU touch)
+//   result miss     Lookup() of an absent key
+//   result insert   Insert() under steady LRU eviction pressure
+//   plan hit        PlanCache::Lookup() that serves
+//   stale sweep     Lookup() after OnSchemaChange (erase + miss)
+//   contention      T threads hammering hits, 1 shard vs 8 shards
+//
+// Writes BENCH_cache.json. Usage: bench_cache [ops]   (default 200000)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
+#include "cache/result_size.h"
+#include "query/query_engine.h"
+
+namespace {
+
+using prometheus::Value;
+using prometheus::bench::JsonWriter;
+using prometheus::cache::ApproxResultBytes;
+using prometheus::cache::PlanCache;
+using prometheus::cache::PlanEntry;
+using prometheus::cache::ResultCache;
+using prometheus::pool::ResultSet;
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A result shaped like the OO7 range scans the server caches: one id
+/// column, ~100 matching rows.
+std::shared_ptr<const ResultSet> MakeRows(int rows) {
+  auto rs = std::make_shared<ResultSet>();
+  rs->columns = {"a.id"};
+  rs->rows.reserve(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    rs->rows.push_back({Value::Int(i)});
+  }
+  return rs;
+}
+
+std::string KeyFor(int i) {
+  return "select a.id from AtomicPart a where a.build_date >= " +
+         std::to_string(i) + " and a.build_date <= " + std::to_string(i + 200);
+}
+
+double NsPerOp(double wall_ms, long long ops) {
+  return ops > 0 ? wall_ms * 1e6 / static_cast<double>(ops) : 0;
+}
+
+void PrintRow(const char* label, double ns_per_op, const char* note) {
+  std::printf("  %-14s %10.1f ns/op  %s\n", label, ns_per_op, note);
+}
+
+/// Aggregate hit throughput with `threads` readers over `shards` shards,
+/// each thread looping over its own slice of a shared hot set.
+double ContendedMops(std::size_t shards, int threads, int ops_per_thread,
+                     const std::shared_ptr<const ResultSet>& rows,
+                     std::size_t bytes) {
+  ResultCache::Config config;
+  config.shards = shards;
+  ResultCache cache(config);
+  constexpr int kHotKeys = 64;
+  std::vector<std::string> keys;
+  keys.reserve(kHotKeys);
+  for (int i = 0; i < kHotKeys; ++i) {
+    keys.push_back(KeyFor(i * 37));
+    cache.Insert(keys.back(), /*epoch=*/7, rows, bytes);
+  }
+
+  std::atomic<long long> served{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const Clock::time_point start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      long long mine = 0;
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::string& key =
+            keys[static_cast<std::size_t>(t * 7 + i) % kHotKeys];
+        if (cache.Lookup(key, /*epoch=*/7) != nullptr) ++mine;
+      }
+      served.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_ms = MillisSince(start);
+  if (served.load() !=
+      static_cast<long long>(threads) * ops_per_thread) {
+    std::fprintf(stderr, "contention phase dropped hits — bench invalid\n");
+    std::exit(1);
+  }
+  const double total = static_cast<double>(threads) * ops_per_thread;
+  return wall_ms > 0 ? total / (wall_ms * 1000.0) : 0;  // Mops/s
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ops = argc > 1 ? std::atoi(argv[1]) : 200000;
+  const auto rows = MakeRows(100);
+  const std::size_t bytes = ApproxResultBytes(*rows);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("cache");
+  json.Key("ops").Int(ops);
+  json.Key("result_bytes").Int(static_cast<long long>(bytes));
+
+  prometheus::bench::PrintTableHeader(
+      "E19 micro: query-cache operation costs",
+      "  operation           cost         note");
+
+  // --- result hit --------------------------------------------------------
+  {
+    ResultCache cache(ResultCache::Config{});
+    constexpr int kHot = 256;
+    std::vector<std::string> keys;
+    for (int i = 0; i < kHot; ++i) {
+      keys.push_back(KeyFor(i * 7));
+      cache.Insert(keys.back(), 7, rows, bytes);
+    }
+    const Clock::time_point t0 = Clock::now();
+    long long served = 0;
+    for (int i = 0; i < ops; ++i) {
+      if (cache.Lookup(keys[static_cast<std::size_t>(i) % kHot], 7)) ++served;
+    }
+    const double ns = NsPerOp(MillisSince(t0), served);
+    PrintRow("result hit", ns, "hash + shard lock + LRU touch");
+    json.Key("result_hit_ns").Number(ns);
+  }
+
+  // --- result miss -------------------------------------------------------
+  {
+    ResultCache cache(ResultCache::Config{});
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < ops; ++i) {
+      (void)cache.Lookup(KeyFor(1000000 + i), 7);
+    }
+    const double ns = NsPerOp(MillisSince(t0), ops);
+    PrintRow("result miss", ns, "includes key construction");
+    json.Key("result_miss_ns").Number(ns);
+  }
+
+  // --- result insert under LRU pressure ----------------------------------
+  {
+    ResultCache::Config config;
+    config.max_bytes = 64 * bytes;  // ~64 entries fit: every insert evicts
+    ResultCache cache(config);
+    std::vector<std::string> keys;
+    const int distinct = 4096;
+    for (int i = 0; i < distinct; ++i) keys.push_back(KeyFor(i));
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < ops; ++i) {
+      cache.Insert(keys[static_cast<std::size_t>(i) % distinct], 7, rows,
+                   bytes);
+    }
+    const double ns = NsPerOp(MillisSince(t0), ops);
+    const auto stats = cache.stats();
+    PrintRow("result insert", ns, "byte budget full, LRU evicting");
+    json.Key("result_insert_ns").Number(ns);
+    json.Key("result_insert_evictions")
+        .Int(static_cast<long long>(stats.evictions));
+  }
+
+  // --- plan hit / stale sweep --------------------------------------------
+  {
+    PlanCache cache(PlanCache::Config{});
+    constexpr int kHot = 256;
+    std::vector<std::string> keys;
+    for (int i = 0; i < kHot; ++i) {
+      keys.push_back(KeyFor(i * 7));
+      cache.Insert(keys.back(), std::make_shared<const PlanEntry>());
+    }
+    const Clock::time_point t0 = Clock::now();
+    long long served = 0;
+    for (int i = 0; i < ops; ++i) {
+      if (cache.Lookup(keys[static_cast<std::size_t>(i) % kHot]) != nullptr) {
+        ++served;
+      }
+    }
+    const double hit_ns = NsPerOp(MillisSince(t0), served);
+    PrintRow("plan hit", hit_ns, "single mutex, parse + plan skipped");
+    json.Key("plan_hit_ns").Number(hit_ns);
+
+    cache.OnSchemaChange();
+    const Clock::time_point t1 = Clock::now();
+    for (int i = 0; i < kHot; ++i) {
+      (void)cache.Lookup(keys[static_cast<std::size_t>(i)]);
+    }
+    const double stale_ns = NsPerOp(MillisSince(t1), kHot);
+    PrintRow("stale sweep", stale_ns, "per-entry lazy erase after DDL");
+    json.Key("plan_stale_sweep_ns").Number(stale_ns);
+  }
+
+  // --- shard contention --------------------------------------------------
+  prometheus::bench::PrintTableHeader(
+      "E19 micro: hit throughput vs shard count (Mops/s aggregate)",
+      "  threads     1 shard    8 shards   speedup");
+  json.Key("contention").BeginArray();
+  const int per_thread = std::max(ops / 4, 10000);
+  for (int threads : {1, 2, 4, 8}) {
+    const double one = ContendedMops(1, threads, per_thread, rows, bytes);
+    const double eight = ContendedMops(8, threads, per_thread, rows, bytes);
+    std::printf("  %7d  %9.2f  %10.2f  %8.2fx\n", threads, one, eight,
+                one > 0 ? eight / one : 0);
+    json.BeginObject();
+    json.Key("threads").Int(threads);
+    json.Key("mops_1_shard").Number(one);
+    json.Key("mops_8_shards").Number(eight);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string out = "BENCH_cache.json";
+  if (!prometheus::bench::WriteTextFile(out, json.str() + "\n")) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -353,6 +353,7 @@ DegradedResult RunDegraded(const std::string& dir, int clients,
   options.worker_threads = 4;
   options.queue_capacity = 4096;
   options.store = store.value().get();
+  options.cache.enabled = false;  // comparable with pre-cache E16b numbers
   Server server(&store.value()->db(), options);
   Client client(&server);
 
@@ -568,6 +569,7 @@ ReplicationBench RunReplication(const std::string& base, int clients,
   options.worker_threads = 4;
   options.queue_capacity = 4096;
   options.store = store.value().get();
+  options.cache.enabled = false;  // comparable with pre-cache E18 numbers
   auto server = std::make_unique<Server>(&store.value()->db(), options);
   auto source = std::make_unique<ReplicationSource>(store.value().get());
   HttpFrontEnd::Options net_options;
@@ -684,6 +686,111 @@ ReplicationBench RunReplication(const std::string& base, int clients,
 
 }  // namespace
 
+// ------------------------------------------------------------------- E19
+
+/// A fixed hot set of Q2-style range scans. The fleet draws from it with a
+/// Zipf-like skew (weight 1/rank), the shape of a production dashboard
+/// workload: a few queries dominate, a long tail keeps the cache churning.
+std::vector<std::string> HotQuerySet(int n) {
+  std::vector<std::string> queries;
+  queries.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int lo = (i * 37) % 1800;
+    const int hi = lo + 200;
+    queries.push_back(
+        "select a.id from AtomicPart a where a.build_date >= " +
+        std::to_string(lo) + " and a.build_date <= " + std::to_string(hi));
+  }
+  return queries;
+}
+
+struct CacheFleetResult {
+  SweepResult sweep;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_rate_percent = 0;
+};
+
+/// Zipf-skewed readers (plus optional writers churning the epoch) against
+/// one server; reports the load-side numbers and the cache's own counters.
+CacheFleetResult RunCachedFleet(Server& server,
+                                const std::vector<std::string>& queries,
+                                const std::vector<Oid>& parts, int readers,
+                                int writers, int requests_per_client) {
+  CacheFleetResult result;
+  result.sweep.workers = server.worker_threads();
+  result.sweep.reader_clients = readers;
+  result.sweep.writer_clients = writers;
+
+  std::vector<double> weights;
+  weights.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    weights.push_back(1.0 / static_cast<double>(i + 1));
+  }
+
+  std::vector<std::vector<double>> read_lats(
+      static_cast<std::size_t>(readers));
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers + writers));
+
+  const Clock::time_point wall_start = Clock::now();
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(&server);
+      std::mt19937 rng(4000u + static_cast<unsigned>(c));
+      std::discrete_distribution<std::size_t> pick(weights.begin(),
+                                                   weights.end());
+      auto& lats = read_lats[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const std::string& q = queries[pick(rng)];
+        const Clock::time_point t0 = Clock::now();
+        auto r = client.Query(q);
+        lats.push_back(MillisSince(t0));
+        if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      Client client(&server);
+      std::mt19937 rng(8000u + static_cast<unsigned>(w));
+      std::uniform_int_distribution<std::size_t> pick(0, parts.size() - 1);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Oid oid = parts[pick(rng)];
+        if (!client.SetAttribute(oid, "x", Value::Int(i)).ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.sweep.wall_ms = MillisSince(wall_start);
+
+  std::vector<double> all_reads;
+  for (auto& v : read_lats) {
+    all_reads.insert(all_reads.end(), v.begin(), v.end());
+  }
+  result.sweep.requests =
+      all_reads.size() +
+      static_cast<std::size_t>(writers) *
+          static_cast<std::size_t>(requests_per_client);
+  result.sweep.failed = failed.load();
+  result.sweep.throughput_rps =
+      result.sweep.wall_ms > 0
+          ? static_cast<double>(result.sweep.requests) /
+                (result.sweep.wall_ms / 1000.0)
+          : 0;
+  result.sweep.read_lat = SummarizeLatencies(all_reads);
+
+  const auto cache_stats = server.query_cache().results().stats();
+  result.hits = cache_stats.hits;
+  result.misses = cache_stats.misses;
+  result.hit_rate_percent = cache_stats.hit_rate_percent;
+  return result;
+}
+
 int main(int argc, char** argv) {
   const int requests_per_client = argc > 1 ? std::atoi(argv[1]) : 150;
   const unsigned cores = std::thread::hardware_concurrency();
@@ -713,6 +820,7 @@ int main(int argc, char** argv) {
     Server::Options options;
     options.worker_threads = workers;
     options.queue_capacity = 4096;
+    options.cache.enabled = false;  // E19 measures the cache; E14 never did
     Server server(&oo7.db(), options);
     SweepResult r = RunLoad(server, {}, workers, kClientThreads,
                             /*writers=*/0, requests_per_client);
@@ -744,6 +852,7 @@ int main(int argc, char** argv) {
     Server::Options options;
     options.worker_threads = 4;
     options.queue_capacity = 4096;
+    options.cache.enabled = false;
     Server server(&oo7.db(), options);
     SweepResult r = RunLoad(server, parts, 4, kClientThreads - 1,
                             /*writers=*/1, requests_per_client);
@@ -767,6 +876,7 @@ int main(int argc, char** argv) {
     Server::Options options;
     options.worker_threads = 1;
     options.queue_capacity = 16;
+    options.cache.enabled = false;
     Server server(&oo7.db(), options);
     OverloadResult r =
         RunOverload(server, kClientThreads, requests_per_client);
@@ -834,6 +944,7 @@ int main(int argc, char** argv) {
     Server::Options options;
     options.worker_threads = 4;
     options.queue_capacity = 4096;
+    options.cache.enabled = false;
     Server server(&oo7.db(), options);
     const int scrapes = std::max(50, requests_per_client);
     const int queries = std::max(50, requests_per_client);
@@ -907,6 +1018,95 @@ int main(int argc, char** argv) {
         .Int(static_cast<long long>(r.residual_lag_records));
     json.Key("failover_ms").Number(r.failover_ms);
     json.Key("failover_ok").Int(r.failover_ok ? 1 : 0);
+  }
+  json.EndObject();
+
+  // ---- E19: query cache under a Zipf hot-query fleet -------------------
+  prometheus::bench::PrintTableHeader(
+      "E19: result cache, Zipf-skewed hot set (8 readers, 4 workers)",
+      "  phase        workers  requests  throughput   latency");
+  json.Key("e19").BeginObject();
+  {
+    const std::vector<std::string> hot = HotQuerySet(64);
+    json.Key("hot_set_size").Int(static_cast<int>(hot.size()));
+    // Dashboards re-issue the same few queries; double the per-client count
+    // so the steady state (not the warm-up misses) dominates the numbers.
+    const int fleet_requests = 2 * requests_per_client;
+    json.Key("requests_per_client").Int(fleet_requests);
+
+    double rps_off = 0;
+    {
+      PrometheusOo7 oo7(config);
+      Server::Options options;
+      options.worker_threads = 4;
+      options.queue_capacity = 4096;
+      options.cache.enabled = false;
+      Server server(&oo7.db(), options);
+      CacheFleetResult r = RunCachedFleet(server, hot, {}, kClientThreads,
+                                          /*writers=*/0, fleet_requests);
+      server.Shutdown();
+      PrintRow(r.sweep, "cache off");
+      json.Key("cache_off");
+      EmitSweepJson(json, r.sweep);
+      rps_off = r.sweep.throughput_rps;
+    }
+
+    double rps_on = 0;
+    {
+      PrometheusOo7 oo7(config);
+      Server::Options options;
+      options.worker_threads = 4;
+      options.queue_capacity = 4096;
+      Server server(&oo7.db(), options);  // cache on by default
+      CacheFleetResult r = RunCachedFleet(server, hot, {}, kClientThreads,
+                                          /*writers=*/0, fleet_requests);
+      server.Shutdown();
+      PrintRow(r.sweep, "cache on");
+      std::printf("               result cache: %llu hits / %llu misses "
+                  "(%.1f%% hit rate)\n",
+                  static_cast<unsigned long long>(r.hits),
+                  static_cast<unsigned long long>(r.misses),
+                  r.hit_rate_percent);
+      json.Key("cache_on");
+      EmitSweepJson(json, r.sweep);
+      json.Key("cache_on_hits").Int(static_cast<long long>(r.hits));
+      json.Key("cache_on_misses").Int(static_cast<long long>(r.misses));
+      json.Key("cache_on_hit_rate_percent").Number(r.hit_rate_percent);
+      rps_on = r.sweep.throughput_rps;
+    }
+    const double speedup = rps_off > 0 ? rps_on / rps_off : 0;
+    json.Key("speedup").Number(speedup);
+    std::printf("  cache speedup (on vs off): %.2fx  (target >= 2x)%s\n",
+                speedup, speedup >= 2.0 ? "" : "  [UNDER TARGET]");
+
+    // Writer churn: one mutator bumps the epoch continuously, so every
+    // committed write invalidates the whole result tier. The cache must
+    // still help (hot entries re-warm between writes) and must never serve
+    // stale rows — staleness is asserted by test_cache's stress test; here
+    // we report what churn does to the hit rate.
+    {
+      PrometheusOo7 oo7(config);
+      const std::vector<Oid> parts = oo7.db().Extent("AtomicPart");
+      Server::Options options;
+      options.worker_threads = 4;
+      options.queue_capacity = 4096;
+      Server server(&oo7.db(), options);
+      CacheFleetResult r =
+          RunCachedFleet(server, hot, parts, kClientThreads - 1,
+                         /*writers=*/1, fleet_requests);
+      server.Shutdown();
+      PrintRow(r.sweep, "churn");
+      std::printf("               result cache: %llu hits / %llu misses "
+                  "(%.1f%% hit rate under writer churn)\n",
+                  static_cast<unsigned long long>(r.hits),
+                  static_cast<unsigned long long>(r.misses),
+                  r.hit_rate_percent);
+      json.Key("churn");
+      EmitSweepJson(json, r.sweep);
+      json.Key("churn_hits").Int(static_cast<long long>(r.hits));
+      json.Key("churn_misses").Int(static_cast<long long>(r.misses));
+      json.Key("churn_hit_rate_percent").Number(r.hit_rate_percent);
+    }
   }
   json.EndObject();
   json.EndObject();

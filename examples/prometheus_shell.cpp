@@ -42,6 +42,10 @@
 //   .demo                    load a small demonstration taxonomy
 //   .health                  overload/degradation summary (server-side)
 //   .recent                  flight recorder: last completed requests
+//   .cache [stats|clear|off|on]
+//                            query-cache administration (plan + result
+//                            tiers); works on followers and degraded
+//                            servers alike
 //   .checkpoint              snapshot + journal rotation; re-arms a
 //                            degraded store (durable mode)
 //   .deadline <ms>           deadline applied to subsequent queries
@@ -442,7 +446,8 @@ int main(int argc, char** argv) {
         std::printf(
             ".classes .relationships .extent <name> .explain <query> "
             ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
-            ".recent .checkpoint .deadline <ms> .lag .promote .quit\n"
+            ".recent .cache [stats|clear|off|on] .checkpoint "
+            ".deadline <ms> .lag .promote .quit\n"
             "anything else runs as POOL\n");
       } else if (cmd == ".classes") {
         with_db_read([](Database& db) {
@@ -531,6 +536,26 @@ int main(int argc, char** argv) {
         PrintHealth(client->HealthInfo());
       } else if (cmd == ".recent") {
         PrintRecent(server->flight_recorder());
+      } else if (cmd == ".cache") {
+        std::string sub;
+        in >> sub;
+        server::CacheOp op = server::CacheOp::kStats;
+        if (sub == "clear") {
+          op = server::CacheOp::kClear;
+        } else if (sub == "off") {
+          op = server::CacheOp::kDisable;
+        } else if (sub == "on") {
+          op = server::CacheOp::kEnable;
+        } else if (!sub.empty() && sub != "stats") {
+          std::printf("usage: .cache [stats|clear|off|on]\n");
+          continue;
+        }
+        // Travels as a request like any other — works against the local
+        // server and on a read replica (it is not a mutation).
+        server::Response resp =
+            client->Call(server::Request::CacheControl(op));
+        if (!ExplainTransport(*client, resp)) continue;
+        PrintResultSet(resp.result);
       } else if (cmd == ".checkpoint") {
         if (store == nullptr) {
           std::printf("no durable store attached — start the shell with "

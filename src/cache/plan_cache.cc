@@ -1,0 +1,127 @@
+#include "cache/plan_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace prometheus::cache {
+
+namespace {
+
+/// obs mirrors of the plan tier's counters; registered once, pointers
+/// cached. The cache's own atomics stay authoritative for `.cache` stats
+/// (they ignore the metrics kill switch); these feed /metrics and /stats.
+struct PlanMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* invalidations;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+
+  static const PlanMetrics& Get() {
+    static const PlanMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::Registry();
+      PlanMetrics pm;
+      pm.hits = reg.GetCounter("cache_plan_hits_total",
+                               "Queries served from the plan cache");
+      pm.misses = reg.GetCounter(
+          "cache_plan_misses_total",
+          "Plan-cache lookups that had to parse and plan");
+      pm.invalidations = reg.GetCounter(
+          "cache_plan_invalidations_total",
+          "Cached plans dropped because schema DDL bumped the generation");
+      pm.evictions = reg.GetCounter("cache_plan_evictions_total",
+                                    "Cached plans evicted by LRU capacity");
+      pm.entries =
+          reg.GetGauge("cache_plan_entries", "Plans currently cached");
+      return pm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+PlanCache::PlanCache(const Config& config)
+    : max_entries_(config.max_entries), enabled_(config.enabled) {}
+
+std::shared_ptr<const PlanEntry> PlanCache::Lookup(const std::string& text) {
+  if (!enabled()) return nullptr;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  const PlanMetrics& metrics = PlanMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(text);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.misses->Increment();
+    return nullptr;
+  }
+  if (it->second.generation != gen) {
+    // Planned under an older schema: drop it lazily here rather than
+    // scanning the map on every DDL event.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.invalidations->Increment();
+    metrics.misses->Increment();
+    metrics.entries->Set(static_cast<std::int64_t>(entries_.size()));
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  metrics.hits->Increment();
+  return it->second.entry;
+}
+
+void PlanCache::Insert(const std::string& text,
+                       std::shared_ptr<const PlanEntry> entry) {
+  if (!enabled() || max_entries_ == 0 || entry == nullptr) return;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  const PlanMetrics& metrics = PlanMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(text);
+  if (it != entries_.end()) {
+    // Racing planners of the same text: keep the freshest.
+    it->second.entry = std::move(entry);
+    it->second.generation = gen;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    metrics.evictions->Increment();
+  }
+  lru_.push_front(text);
+  entries_.emplace(text, Slot{std::move(entry), gen, lru_.begin()});
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  metrics.entries->Set(static_cast<std::int64_t>(entries_.size()));
+}
+
+void PlanCache::OnSchemaChange() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  PlanMetrics::Get().entries->Set(0);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.schema_generation = generation_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace prometheus::cache

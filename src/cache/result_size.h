@@ -1,0 +1,44 @@
+#ifndef PROMETHEUS_CACHE_RESULT_SIZE_H_
+#define PROMETHEUS_CACHE_RESULT_SIZE_H_
+
+#include <cstddef>
+
+#include "common/value.h"
+#include "query/query_engine.h"
+
+namespace prometheus::cache {
+
+/// Approximate heap footprint of a Value for the result cache's byte
+/// budget. A fixed per-value overhead (the variant + vector bookkeeping)
+/// plus the variable payloads; deliberately cheap rather than exact — the
+/// budget bounds memory, it does not meter it.
+inline std::size_t ApproxValueBytes(const Value& v) {
+  std::size_t bytes = sizeof(Value);
+  switch (v.type()) {
+    case ValueType::kString:
+      bytes += v.AsString().size();
+      break;
+    case ValueType::kList:
+      for (const Value& item : v.AsList()) bytes += ApproxValueBytes(item);
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+/// Approximate footprint of a materialized ResultSet. Header-only so the
+/// cache library itself stays link-independent of the query layer.
+inline std::size_t ApproxResultBytes(const pool::ResultSet& rs) {
+  std::size_t bytes = sizeof(pool::ResultSet);
+  for (const std::string& c : rs.columns) bytes += sizeof(std::string) + c.size();
+  for (const auto& row : rs.rows) {
+    bytes += sizeof(row);
+    for (const Value& v : row) bytes += ApproxValueBytes(v);
+  }
+  return bytes;
+}
+
+}  // namespace prometheus::cache
+
+#endif  // PROMETHEUS_CACHE_RESULT_SIZE_H_

@@ -97,6 +97,10 @@ std::string RenderQueryJson(const server::Response& resp) {
   w.String(resp.status.ToString());
   w.Key("epoch");
   w.Uint(resp.epoch);
+  if (resp.cache_checked) {
+    w.Key("cache");
+    w.String(resp.cache_hit ? "hit" : "miss");
+  }
   w.Key("columns");
   w.BeginArray();
   for (const auto& c : resp.result.columns) w.String(c);
@@ -466,8 +470,14 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
                                    keep_alive);
     }
     const server::Response resp = session.Call(std::move(query));
+    // X-Cache reports the result-cache disposition when the cache was
+    // consulted; an uncached server (cache.enabled=false) omits it.
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (resp.cache_checked) {
+      extra.emplace_back("X-Cache", resp.cache_hit ? "hit" : "miss");
+    }
     return SerializeHttpResponse(HttpStatusFor(resp), kJsonType,
-                                 RenderQueryJson(resp), keep_alive);
+                                 RenderQueryJson(resp), keep_alive, extra);
   }
 
   // Known telemetry path with the wrong verb?

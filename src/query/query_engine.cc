@@ -134,13 +134,29 @@ Result<ResultSet> QueryEngine::Execute(const std::string& query,
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.queries->Increment();
   obs::ScopedTimer timer(metrics.latency);
-  Result<std::unique_ptr<SelectQuery>> parsed = ParseQuery(query);
-  if (!parsed.ok()) {
-    metrics.errors->Increment();
-    return parsed.status();
+  // Plan tier: a hit executes the cached immutable AST, skipping parse and
+  // the access-path analysis. Failed parses are never cached (the error
+  // path re-parses), and index existence is re-checked per execution.
+  std::shared_ptr<const cache::PlanEntry> plan;
+  if (plan_cache_ != nullptr) plan = plan_cache_->Lookup(query);
+  if (plan == nullptr) {
+    Result<std::unique_ptr<SelectQuery>> parsed = ParseQuery(query);
+    if (!parsed.ok()) {
+      metrics.errors->Increment();
+      return parsed.status();
+    }
+    if (plan_cache_ == nullptr) {
+      Result<ResultSet> result =
+          ExecuteInternal(*parsed.value(), Environment{}, nullptr, ctx);
+      if (!result.ok()) metrics.errors->Increment();
+      return result;
+    }
+    plan = BuildPlanEntry(
+        std::shared_ptr<const SelectQuery>(std::move(parsed).value()));
+    plan_cache_->Insert(query, plan);
   }
   Result<ResultSet> result =
-      ExecuteInternal(*parsed.value(), Environment{}, nullptr, ctx);
+      ExecuteInternal(*plan->ast, Environment{}, nullptr, ctx, plan.get());
   if (!result.ok()) metrics.errors->Increment();
   return result;
 }
@@ -158,19 +174,45 @@ Result<QueryProfile> QueryEngine::ExecuteProfiled(
   out.trace.detail = body;
   obs::SpanTimer total(&out.trace);
 
-  obs::TraceNode parse_node("parse");
-  Result<std::unique_ptr<SelectQuery>> parsed = [&] {
-    obs::SpanTimer span(&parse_node);
-    return ParseQuery(body);
-  }();
-  out.trace.children.push_back(std::move(parse_node));
-  if (!parsed.ok()) {
-    metrics.errors->Increment();
-    return parsed.status();
+  // With a plan cache attached the trace stays self-describing: a `cache`
+  // span reports the plan hit/miss, and the `parse` span appears only when
+  // parsing actually happened.
+  std::shared_ptr<const cache::PlanEntry> plan;
+  if (plan_cache_ != nullptr) {
+    obs::TraceNode cache_node("cache");
+    {
+      obs::SpanTimer span(&cache_node);
+      plan = plan_cache_->Lookup(body);
+    }
+    cache_node.detail = plan != nullptr
+                            ? "plan hit (parse + analysis skipped)"
+                            : "plan miss";
+    out.trace.children.push_back(std::move(cache_node));
+  }
+  std::unique_ptr<SelectQuery> uncached;  ///< owns a cache-less parse
+  if (plan == nullptr) {
+    obs::TraceNode parse_node("parse");
+    Result<std::unique_ptr<SelectQuery>> parsed = [&] {
+      obs::SpanTimer span(&parse_node);
+      return ParseQuery(body);
+    }();
+    out.trace.children.push_back(std::move(parse_node));
+    if (!parsed.ok()) {
+      metrics.errors->Increment();
+      return parsed.status();
+    }
+    if (plan_cache_ != nullptr) {
+      plan = BuildPlanEntry(
+          std::shared_ptr<const SelectQuery>(std::move(parsed).value()));
+      plan_cache_->Insert(body, plan);
+    } else {
+      uncached = std::move(parsed).value();
+    }
   }
 
-  Result<ResultSet> rows =
-      ExecuteInternal(*parsed.value(), Environment{}, &out.trace, ctx);
+  const SelectQuery& ast = plan != nullptr ? *plan->ast : *uncached;
+  Result<ResultSet> rows = ExecuteInternal(ast, Environment{}, &out.trace,
+                                           ctx, plan.get());
   if (!rows.ok()) {
     metrics.errors->Increment();
     return rows.status();
@@ -953,9 +995,56 @@ const Expr* QueryEngine::FindIndexableConjunct(const SelectQuery& query,
   return nullptr;
 }
 
+std::shared_ptr<const cache::PlanEntry> QueryEngine::BuildPlanEntry(
+    std::shared_ptr<const SelectQuery> ast) const {
+  auto entry = std::make_shared<cache::PlanEntry>();
+  entry->ast = std::move(ast);
+  const SelectQuery& query = *entry->ast;
+  if (query.where == nullptr) return entry;
+  // The same conjunct flattening FindIndexableConjunct does, but purely
+  // structural: every `var.attr = literal` is recorded as a candidate
+  // whether or not an index (or even the class) exists right now — those
+  // checks belong to execution time, so the cached plan survives index
+  // DDL and stays correct across it.
+  std::vector<const Expr*> conjuncts;
+  std::function<void(const Expr*)> flatten = [&](const Expr* e) {
+    if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+      flatten(e->children[0].get());
+      flatten(e->children[1].get());
+    } else {
+      conjuncts.push_back(e);
+    }
+  };
+  flatten(query.where.get());
+  for (const FromRange& range : query.from) {
+    if (range.source_expr != nullptr) continue;
+    std::vector<cache::PlanEntry::EqConjunct> found;
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kBinary || c->binary_op != BinaryOp::kEq) {
+        continue;
+      }
+      const Expr* path = c->children[0].get();
+      const Expr* lit = c->children[1].get();
+      if (path->kind != ExprKind::kPath) std::swap(path, lit);
+      if (path->kind != ExprKind::kPath || lit->kind != ExprKind::kLiteral) {
+        continue;
+      }
+      const Expr* base = path->children[0].get();
+      if (base->kind != ExprKind::kVariable || base->name != range.variable) {
+        continue;
+      }
+      found.push_back({path->name, lit});
+    }
+    if (!found.empty()) {
+      entry->eq_conjuncts.emplace(&range, std::move(found));
+    }
+  }
+  return entry;
+}
+
 Result<std::vector<Value>> QueryEngine::RangeCandidates(
     const SelectQuery& query, const FromRange& range, const Environment& env,
-    std::string* strategy) const {
+    std::string* strategy, const cache::PlanEntry* plan) const {
   (void)env;
   auto refs = [](const std::vector<Oid>& oids) {
     std::vector<Value> out;
@@ -971,9 +1060,27 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
   const EngineMetrics& metrics = EngineMetrics::Get();
   // Index optimization (6.1.5.2/3): when the where clause contains a
   // conjunct `var.attr = literal` with an index on (class, attr), replace
-  // the extent scan by an index lookup.
+  // the extent scan by an index lookup. With a cached plan the conjunct
+  // walk is pre-done; only the index-existence probe runs here.
   std::string attr;
-  if (const Expr* literal = FindIndexableConjunct(query, range, &attr)) {
+  const Expr* literal = nullptr;
+  if (plan != nullptr) {
+    if (indexes_ != nullptr && is_class) {
+      auto it = plan->eq_conjuncts.find(&range);
+      if (it != plan->eq_conjuncts.end()) {
+        for (const cache::PlanEntry::EqConjunct& cand : it->second) {
+          if (indexes_->HasIndex(name, cand.attribute)) {
+            attr = cand.attribute;
+            literal = cand.literal;
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    literal = FindIndexableConjunct(query, range, &attr);
+  }
+  if (literal != nullptr) {
     metrics.index_lookups->Increment();
     if (strategy != nullptr) *strategy = "index lookup on " + name + "." + attr;
     PROMETHEUS_ASSIGN_OR_RETURN(std::vector<Oid> oids,
@@ -1026,7 +1133,8 @@ Result<ResultSet> QueryEngine::Execute(const SelectQuery& query,
 Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
                                                const Environment& outer,
                                                obs::TraceNode* trace,
-                                               const ExecutionContext* ctx)
+                                               const ExecutionContext* ctx,
+                                               const cache::PlanEntry* plan)
     const {
   // Const-execution contract: this path never mutates the database, and —
   // when the caller holds the epoch guard as it must under concurrency —
@@ -1052,7 +1160,7 @@ Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
       PROMETHEUS_ASSIGN_OR_RETURN(
           rb.candidates,
           RangeCandidates(query, r, outer,
-                          trace != nullptr ? &rb.strategy : nullptr));
+                          trace != nullptr ? &rb.strategy : nullptr, plan));
     } else {
       rb.strategy = "dependent expression (evaluated per outer binding)";
     }

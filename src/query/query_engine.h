@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/plan_cache.h"
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "core/database.h"
@@ -64,6 +65,17 @@ class QueryEngine {
   explicit QueryEngine(Database* db, IndexManager* indexes = nullptr)
       : db_(db), indexes_(indexes) {}
 
+  /// Attaches a plan cache (nullable; must outlive the engine). With one
+  /// attached, `Execute(text)` / `ExecuteProfiled` consult it before
+  /// parsing: a hit skips parse and the access-path analysis entirely,
+  /// executing the cached immutable AST. The cache is internally
+  /// synchronized, so concurrent const executions may share it. Index
+  /// existence is deliberately NOT baked into cached plans — see
+  /// cache::PlanEntry — so index DDL needs no invalidation.
+  void set_plan_cache(cache::PlanCache* plan_cache) {
+    plan_cache_ = plan_cache;
+  }
+
   /// Parses and runs a query. `ctx` (nullable) is a cooperative deadline /
   /// cancellation token: the join loops call `ctx->Check()` once per
   /// enumerated binding and unwind with `kDeadlineExceeded` / `kAborted`,
@@ -118,19 +130,30 @@ class QueryEngine {
 
   /// Runs a parsed query; `trace` (nullable) receives plan/execute/sort/
   /// project child spans when profiling; `ctx` (nullable) is checked once
-  /// per enumerated binding.
+  /// per enumerated binding; `plan` (nullable) supplies the cached
+  /// access-path analysis so the where-clause need not be re-walked.
   Result<ResultSet> ExecuteInternal(const SelectQuery& query,
                                     const Environment& outer,
                                     obs::TraceNode* trace,
-                                    const ExecutionContext* ctx) const;
+                                    const ExecutionContext* ctx,
+                                    const cache::PlanEntry* plan = nullptr)
+      const;
 
   /// Candidate oids for an extent range, narrowed through an index when the
   /// where-clause pins `var.attr` to a constant. `strategy` (nullable)
-  /// receives the human-readable access path chosen.
+  /// receives the human-readable access path chosen; `plan` (nullable)
+  /// short-circuits the conjunct walk with the cached candidates.
   Result<std::vector<Value>> RangeCandidates(const SelectQuery& query,
                                              const FromRange& range,
                                              const Environment& env,
-                                             std::string* strategy) const;
+                                             std::string* strategy,
+                                             const cache::PlanEntry* plan)
+      const;
+
+  /// Wraps a freshly parsed AST plus its structural access-path analysis
+  /// into a cacheable plan entry.
+  std::shared_ptr<const cache::PlanEntry> BuildPlanEntry(
+      std::shared_ptr<const SelectQuery> ast) const;
 
   /// The where-clause conjunct `range.var.attr = literal` usable through
   /// an existing index, or nullptr. `*attr` receives the attribute name.
@@ -140,6 +163,7 @@ class QueryEngine {
 
   Database* db_;
   IndexManager* indexes_;
+  cache::PlanCache* plan_cache_ = nullptr;
 };
 
 /// True when `text` matches the SQL-style `like` pattern (`%` = any run,

@@ -409,6 +409,10 @@ Status Follower::Bootstrap(net::HttpConnection* conn,
     }
   }
   generation_ = manifest.generation;
+  // The epoch bump from the write guard above already invalidated every
+  // cached result, but a wholesale rebootstrap also obsoletes cached plans
+  // whose schema analysis predates the new snapshot — drop both tiers.
+  if (server_ != nullptr) server_->query_cache().Clear();
 
   // Prune mirror files from the superseded history so a promoted follower
   // never resurrects (or leaks) generations the leader no longer has.

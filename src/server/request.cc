@@ -102,4 +102,14 @@ Request Request::Checkpoint() {
   return r;
 }
 
+Request Request::CacheControl(CacheOp op) {
+  Request r;
+  r.kind = RequestKind::kCacheControl;
+  r.cache_op = op;
+  // Like kHealth: an operator inspecting (or clearing) the cache under
+  // load should not queue behind the load itself.
+  r.priority = Priority::kHigh;
+  return r;
+}
+
 }  // namespace prometheus::server

@@ -30,6 +30,19 @@ enum class RequestKind : std::uint8_t {
   kMutation,  ///< structured mutation, applied under an exclusive lock
   kStats,     ///< metrics snapshot; reads only the registry, takes no lock
   kHealth,    ///< overload/degradation summary; takes no database lock
+  /// Query-cache administration (stats / clear / off / on); touches only
+  /// the server's cache, never the database — serves on followers and in
+  /// degraded mode alike.
+  kCacheControl,
+};
+
+/// What a kCacheControl request does. Every op returns the cache stats
+/// after it applied, so `.cache clear` shows the emptied state it made.
+enum class CacheOp : std::uint8_t {
+  kStats,    ///< report both tiers' counters; changes nothing
+  kClear,    ///< drop every cached plan and result
+  kDisable,  ///< stop lookups and inserts (entries stay resident)
+  kEnable,   ///< re-enable both tiers
 };
 
 /// Rendering of a kStats response.
@@ -78,6 +91,7 @@ struct Request {
   std::string query;    ///< POOL text (kQuery)
   MutationOp mutation;  ///< (kMutation)
   StatsFormat stats_format = StatsFormat::kJson;  ///< (kStats)
+  CacheOp cache_op = CacheOp::kStats;             ///< (kCacheControl)
 
   /// Absolute deadline. Expired requests are refused at admission, shed at
   /// dequeue (`ResponseCode::kTimedOut`), and queries abort cooperatively
@@ -118,6 +132,7 @@ struct Request {
   static Request DeleteLink(Oid oid);
   static Request Custom(std::function<Status(Database&)> fn);
   static Request Checkpoint();
+  static Request CacheControl(CacheOp op = CacheOp::kStats);
 };
 
 /// Transport-level disposition of a request — distinct from the
@@ -151,6 +166,13 @@ struct Response {
   /// keys off this: a request that never executed is always safe to
   /// resubmit; an executed mutation never is.
   bool executed = false;
+  /// kQuery only: true when the server's result cache was consulted for
+  /// this request (the HTTP plane then reports `X-Cache`), and whether it
+  /// hit. A hit resolved on the submitting thread — no queue, no worker,
+  /// no epoch guard — with `epoch` carrying the entry's still-current
+  /// materialization epoch.
+  bool cache_checked = false;
+  bool cache_hit = false;
 
   /// Accepted, executed, and the database reported success.
   bool ok() const { return code == ResponseCode::kOk && status.ok(); }

@@ -1,8 +1,11 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <utility>
 
+#include "cache/result_size.h"
 #include "common/exec_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +27,7 @@ struct ServerMetrics {
   obs::Histogram* mutation_micros;
   obs::Histogram* stats_micros;
   obs::Histogram* health_micros;
+  obs::Histogram* cache_micros;
 
   obs::Histogram* ForKind(RequestKind kind) const {
     switch (kind) {
@@ -37,6 +41,8 @@ struct ServerMetrics {
         return stats_micros;
       case RequestKind::kHealth:
         return health_micros;
+      case RequestKind::kCacheControl:
+        return cache_micros;
     }
     return ping_micros;
   }
@@ -71,6 +77,8 @@ struct ServerMetrics {
           reg.GetHistogram("server_request_micros{type=\"stats\"}", help);
       sm.health_micros =
           reg.GetHistogram("server_request_micros{type=\"health\"}", help);
+      sm.cache_micros =
+          reg.GetHistogram("server_request_micros{type=\"cache\"}", help);
       return sm;
     }();
     return m;
@@ -114,6 +122,22 @@ const char* KindName(RequestKind kind) {
       return "stats";
     case RequestKind::kHealth:
       return "health";
+    case RequestKind::kCacheControl:
+      return "cache";
+  }
+  return "unknown";
+}
+
+const char* CacheOpName(CacheOp op) {
+  switch (op) {
+    case CacheOp::kStats:
+      return "stats";
+    case CacheOp::kClear:
+      return "clear";
+    case CacheOp::kDisable:
+      return "off";
+    case CacheOp::kEnable:
+      return "on";
   }
   return "unknown";
 }
@@ -175,6 +199,8 @@ std::string FlightDetail(const Request& req) {
           return "checkpoint";
       }
       return "mutation";
+    case RequestKind::kCacheControl:
+      return std::string(".cache ") + CacheOpName(req.cache_op);
     default:
       return "";
   }
@@ -228,6 +254,7 @@ std::string Server::Health::ToJson() const {
 
 Server::Server(Database* db, Options options)
     : db_(db),
+      query_cache_(options.cache),
       engine_(db, options.indexes),
       slow_log_(options.slow_query_micros, options.slow_query_capacity),
       flight_recorder_(options.flight_recorder_capacity),
@@ -254,6 +281,24 @@ Server::Server(Database* db, Options options)
     }
   }
   ServerMetrics::Get().degraded->Set(degraded_.load() ? 1 : 0);
+  // Cached plans embed schema analysis; any committed definition makes
+  // them stale. Registration happens here while construction is still
+  // single-threaded (EventBus registration is not thread-safe); the
+  // listener body is one relaxed atomic add, safe to run under the write
+  // guard. Result entries need no listener — epoch validation covers them.
+  engine_.set_plan_cache(&query_cache_.plans());
+  ddl_listener_ = db_->bus().Subscribe([this](const Event& e) {
+    switch (e.kind) {
+      case EventKind::kAfterDefineClass:
+      case EventKind::kAfterDefineTemplate:
+      case EventKind::kAfterDefineRelationship:
+        query_cache_.OnSchemaChange();
+        break;
+      default:
+        break;
+    }
+    return Status::Ok();
+  });
 }
 
 Server::~Server() { Shutdown(/*drain=*/true); }
@@ -264,6 +309,14 @@ void Server::Shutdown(bool drain) {
   stopped_.store(true, std::memory_order_release);
   sessions_.CloseAll();
   executor_.Shutdown(drain);
+  // Workers are joined; bus registration is single-threaded again. This
+  // must happen here, not in the destructor: callers may tear down the
+  // database between an explicit Shutdown() and ~Server, so the first
+  // shutdown is the last point the bus is guaranteed alive.
+  if (ddl_listener_ != 0) {
+    db_->bus().Unsubscribe(ddl_listener_);
+    ddl_listener_ = 0;
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -338,6 +391,19 @@ std::future<Response> Server::Enqueue(Request req) {
         ResponseCode::kTimedOut,
         Status::DeadlineExceeded("deadline expired before admission"));
     return future;
+  }
+
+  // Result-cache fast path: a hit resolves right here on the submitting
+  // thread — no queue, no worker, no epoch guard. Placed after the
+  // deadline check (an expired request stays expired) and before the
+  // read-only / degraded refusals, which only concern mutations: cached
+  // reads keep serving on a follower and in degraded mode.
+  if (req.kind == RequestKind::kQuery) {
+    Response hit;
+    if (TryServeFromCache(id, req, &hit)) {
+      promise->set_value(std::move(hit));
+      return future;
+    }
   }
 
   // Follower role: every mutation is refused — including kCheckpoint,
@@ -483,6 +549,9 @@ Response Server::Execute(RequestId id, const Request& req,
     case RequestKind::kHealth:
       resp = ExecuteHealth(id, req);
       break;
+    case RequestKind::kCacheControl:
+      resp = ExecuteCacheControl(id, req);
+      break;
   }
   resp.executed = true;
   if (!resp.status.ok()) {
@@ -512,13 +581,127 @@ void Server::RecordFlight(RequestId id, const Request& req,
   entry.executed = resp.executed;
   entry.queue_wait_micros = queue_wait_micros;
   entry.total_micros = total_micros;
-  entry.detail = FlightDetail(req);
+  entry.detail = resp.cache_hit ? "[cache hit] " + FlightDetail(req)
+                                : FlightDetail(req);
   // PROFILE queries already rendered their span tree into the response;
   // keep it so `.recent` / /debug/requests shows per-stage structure.
   if (req.kind == RequestKind::kQuery && pool::IsProfileQuery(req.query)) {
     entry.stages = resp.text;
   }
   flight_recorder_.Record(std::move(entry));
+}
+
+bool Server::TryServeFromCache(RequestId id, const Request& req,
+                               Response* out) {
+  if (!query_cache_.results().enabled()) return false;
+  const bool profiled = pool::IsProfileQuery(req.query);
+  // PROFILE and plain runs of the same select share one entry: the rows
+  // are identical, only the rendering differs.
+  const std::string key =
+      profiled ? pool::StripProfileKeyword(req.query) : req.query;
+  const bool timing = obs::MetricsEnabled() || flight_recorder_.enabled();
+  std::chrono::steady_clock::time_point start;
+  if (timing) start = std::chrono::steady_clock::now();
+  // Lock-free validation: the entry serves only if its materialization
+  // epoch is *still* the database's current epoch — every committed write
+  // (local or replicated) bumps it, so a hit is indistinguishable from
+  // re-executing under a fresh read guard.
+  const std::uint64_t epoch = db_->epoch();
+  std::shared_ptr<const pool::ResultSet> rows =
+      query_cache_.results().Lookup(key, epoch);
+  if (rows == nullptr) return false;
+
+  Response resp;
+  resp.id = id;
+  resp.epoch = epoch;
+  resp.executed = true;
+  resp.cache_checked = true;
+  resp.cache_hit = true;
+  double micros = 0;
+  if (timing) {
+    micros = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start)
+                 .count();
+  }
+  if (profiled) {
+    // Synthesize the span tree a cached PROFILE run has: the whole query
+    // collapses into one cache stage.
+    obs::TraceNode trace("query");
+    trace.detail = key;
+    trace.micros = micros;
+    trace.rows = static_cast<std::int64_t>(rows->rows.size());
+    obs::TraceNode* span = trace.AddChild("cache");
+    span->detail = "result hit (epoch " + std::to_string(epoch) +
+                   "; parse, plan and execute skipped)";
+    span->micros = micros;
+    span->rows = trace.rows;
+    resp.result = ProfileTable(trace);
+    resp.text = obs::RenderTree(trace);
+  } else {
+    resp.result = *rows;
+  }
+
+  // A hit is an accepted, executed query — the books must not distinguish
+  // it from one that took the worker path.
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.requests->Increment();
+  if (timing) {
+    metrics.ForKind(RequestKind::kQuery)->Observe(micros);
+    RecordFlight(id, req, resp, /*queue_wait_micros=*/0, micros);
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+Response Server::ExecuteCacheControl(RequestId id, const Request& req) {
+  Response resp;
+  resp.id = id;
+  // Touches only the server-side cache — no database lock, so it stays
+  // answerable on a follower, in degraded mode, and under write pressure.
+  resp.epoch = db_->epoch();
+  switch (req.cache_op) {
+    case CacheOp::kStats:
+      break;
+    case CacheOp::kClear:
+      query_cache_.Clear();
+      break;
+    case CacheOp::kDisable:
+      query_cache_.SetEnabled(false);
+      break;
+    case CacheOp::kEnable:
+      query_cache_.SetEnabled(true);
+      break;
+  }
+  // Every op reports the post-op state, so `.cache clear` shows the
+  // emptied cache it produced.
+  resp.text = query_cache_.StatsJson();
+  const cache::ResultCache::Stats r = query_cache_.results().stats();
+  const cache::PlanCache::Stats p = query_cache_.plans().stats();
+  resp.result.columns = {"field", "value"};
+  auto row = [&resp](const char* k, std::string v) {
+    resp.result.rows.push_back(
+        {Value::String(k), Value::String(std::move(v))});
+  };
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f%%", r.hit_rate_percent);
+  row("enabled", query_cache_.enabled() ? "true" : "false");
+  row("result_hits", std::to_string(r.hits));
+  row("result_misses", std::to_string(r.misses));
+  row("result_hit_rate", rate);
+  row("result_entries", std::to_string(r.entries));
+  row("result_bytes", std::to_string(r.bytes) + "/" +
+                          std::to_string(r.max_bytes));
+  row("result_evictions", std::to_string(r.evictions));
+  row("result_invalidations", std::to_string(r.invalidations));
+  row("result_oversize", std::to_string(r.oversize));
+  row("plan_hits", std::to_string(p.hits));
+  row("plan_misses", std::to_string(p.misses));
+  row("plan_entries", std::to_string(p.entries));
+  row("plan_invalidations", std::to_string(p.invalidations));
+  row("schema_generation", std::to_string(p.schema_generation));
+  return resp;
 }
 
 Response Server::ExecuteQuery(RequestId id, const Request& req) {
@@ -528,6 +711,8 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
   // The guard pins the epoch, so the whole evaluation sees one snapshot.
   Database::ReadGuard guard(*db_);
   resp.epoch = guard.epoch();
+  // The Enqueue-side lookup already missed (or the cache is off).
+  resp.cache_checked = query_cache_.results().enabled();
 
   // Cooperative deadline: the engine checks this context per enumerated
   // binding, so a query that outlives its budget aborts instead of holding
@@ -558,6 +743,16 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
       slow_log_.Record({id, pool::StripProfileKeyword(req.query),
                         profile.trace.micros, resp.text});
     }
+    if (resp.cache_checked) {
+      // Cache under the stripped key so the next plain run of the same
+      // select hits too. The read guard is still held: the pinned epoch is
+      // current at insert time, so the entry is born valid.
+      auto rows = std::make_shared<const pool::ResultSet>(
+          std::move(profile.rows));
+      query_cache_.results().Insert(pool::StripProfileKeyword(req.query),
+                                    guard.epoch(), rows,
+                                    cache::ApproxResultBytes(*rows));
+    }
     return resp;
   }
 
@@ -567,6 +762,13 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
   Result<pool::ResultSet> result = engine_.Execute(req.query, ctx_ptr);
   if (result.ok()) {
     resp.result = std::move(result).value();
+    if (resp.cache_checked) {
+      // Insert while the read guard still pins the epoch: the entry is
+      // born valid. Failed or timed-out queries are never cached.
+      auto rows = std::make_shared<const pool::ResultSet>(resp.result);
+      query_cache_.results().Insert(req.query, guard.epoch(), rows,
+                                    cache::ApproxResultBytes(*rows));
+    }
   } else {
     finish_status(result.status());
   }

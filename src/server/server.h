@@ -9,7 +9,9 @@
 #include <mutex>
 #include <string>
 
+#include "cache/query_cache.h"
 #include "core/database.h"
+#include "event/event_bus.h"
 #include "index/index_manager.h"
 #include "obs/flight_recorder.h"
 #include "obs/slow_query_log.h"
@@ -83,6 +85,14 @@ class Server {
     /// (lag, connection state). Must be lock-light and thread-safe; on a
     /// follower the `Follower` installs it.
     std::function<std::string()> replication_probe;
+    /// Query-cache configuration (plan + result tiers), on by default.
+    /// Result-cache hits resolve at Enqueue on the submitting thread —
+    /// they skip the queue, the workers and the epoch guard entirely, and
+    /// stay correct through lock-free epoch validation (any committed
+    /// write invalidates). Hits keep serving in degraded read-only mode
+    /// and on a read-only follower. Set `cache.enabled = false` for an
+    /// uncached server (benchmark baselines).
+    cache::QueryCacheConfig cache;
   };
 
   /// `db` must outlive the server. While the server runs, all access to
@@ -147,6 +157,10 @@ class Server {
   };
   Health health() const;
 
+  /// The two-tier query cache (see cache/query_cache.h). Thread-safe;
+  /// `query_cache().StatsJson()` / `Clear()` are what kCacheControl runs.
+  cache::QueryCache& query_cache() { return query_cache_; }
+
   /// Queries that exceeded Options::slow_query_micros (empty when disabled).
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
@@ -180,6 +194,11 @@ class Server {
   Response ExecuteMutation(RequestId id, const Request& req);
   Response ExecuteStats(RequestId id, const Request& req);
   Response ExecuteHealth(RequestId id, const Request& req);
+  Response ExecuteCacheControl(RequestId id, const Request& req);
+
+  /// Enqueue-side fast path: answers a kQuery from the result cache when a
+  /// valid entry exists. Returns true with `*out` resolved on a hit.
+  bool TryServeFromCache(RequestId id, const Request& req, Response* out);
 
   /// Re-reads the store's sticky status (caller must hold the write guard)
   /// and enters degraded mode when it went bad. Exit happens only in the
@@ -191,6 +210,7 @@ class Server {
                     double queue_wait_micros, double total_micros);
 
   Database* db_;
+  cache::QueryCache query_cache_;
   pool::QueryEngine engine_;
   obs::SlowQueryLog slow_log_;
   obs::FlightRecorder flight_recorder_;
@@ -200,6 +220,12 @@ class Server {
   const bool read_only_;
   const std::function<std::string()> replication_probe_;
   const std::uint64_t server_epoch_;
+  /// DDL listener bumping the plan cache's schema generation. Subscribed
+  /// during (single-threaded) construction, unsubscribed in the destructor
+  /// after Shutdown joined the workers — the bus itself is not thread-safe
+  /// for registration, but the listener body is one relaxed atomic add, so
+  /// publishing under the write guard is fine.
+  ListenerId ddl_listener_ = 0;
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<bool> stopped_{false};
   std::atomic<bool> degraded_{false};

@@ -333,4 +333,82 @@ TEST(ChaosTest, ServerDegradesGracefullyUnderInjectedDurabilityFaults) {
   fs::remove_all(dir);
 }
 
+// Regression: degraded read-only mode must keep serving result-cache hits.
+// The Enqueue-side hit path sits before the degraded fast-fail (which only
+// concerns mutations), so a degraded server still answers its hot set from
+// cache — and `.cache` administration stays available too.
+TEST(ChaosTest, DegradedModeKeepsServingCacheHits) {
+  const std::string dir = ::testing::TempDir() + "/prometheus_chaos_cache";
+  fs::remove_all(dir);
+  FaultInjectionEnv env;
+
+  DurableStore::Options store_options;
+  store_options.env = &env;
+  store_options.bootstrap = [](Database* db) {
+    PROMETHEUS_RETURN_IF_ERROR(
+        db->DefineClass("Victim", {},
+                        {Attr("name", ValueType::kString),
+                         Attr("a", ValueType::kInt)})
+            .status());
+    return db
+        ->CreateObject("Victim", {{"name", Value::String("v")},
+                                  {"a", Value::Int(42)}})
+        .status();
+  };
+  auto store = DurableStore::Open(dir, store_options);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  const Oid victim = store.value()->db().Extent("Victim")[0];
+
+  Server::Options options;
+  options.store = store.value().get();
+  Server server(&store.value()->db(), options);
+  Client client(&server);
+  const std::string q = "select v.a from Victim v where v.name = 'v'";
+
+  // Healthy: warm, then hit.
+  ASSERT_TRUE(client.Call(Request::Query(q)).ok());
+  ASSERT_TRUE(client.Call(Request::Query(q)).cache_hit);
+
+  // Break the journal; the next mutation fails and flips degraded mode.
+  FaultPolicy broken;
+  broken.fail_after_appends = 0;
+  ASSERT_TRUE(client
+                  .Mutate([&env, broken](Database&) {
+                    env.SetPolicy(broken);
+                    return Status::Ok();
+                  })
+                  .ok());
+  Response failed_write =
+      client.Call(Request::SetAttribute(victim, "a", Value::Int(99)));
+  EXPECT_FALSE(failed_write.ok());
+  ASSERT_TRUE(server.degraded());
+
+  // The failed writer's guard bumped the epoch, so the first degraded
+  // query re-executes (queries still serve) and re-warms the cache...
+  Response rewarm = client.Call(Request::Query(q));
+  ASSERT_TRUE(rewarm.ok());
+  ASSERT_EQ(rewarm.result.rows.size(), 1u);
+  EXPECT_EQ(rewarm.result.rows[0][0].AsInt(), 42);  // rolled back, not 99
+  // ...and the second must hit *while degraded*: the bugfix under test.
+  Response hit = client.Call(Request::Query(q));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result.rows[0][0].AsInt(), 42);
+  EXPECT_TRUE(server.degraded());
+
+  // Cache administration is not a mutation: it serves in degraded mode.
+  Response stats = client.Call(
+      Request::CacheControl(prometheus::server::CacheOp::kStats));
+  EXPECT_TRUE(stats.ok());
+
+  // Heal + checkpoint so the directory is consistent at teardown. While
+  // degraded, mutations are refused at admission and none is in flight,
+  // so the direct SetPolicy cannot race an append.
+  env.SetPolicy(FaultPolicy{});
+  ASSERT_TRUE(client.Checkpoint().ok());
+  EXPECT_FALSE(server.degraded());
+  server.Shutdown();
+  fs::remove_all(dir);
+}
+
 }  // namespace

@@ -51,6 +51,7 @@ using prometheus::replication::Follower;
 using prometheus::replication::JournalStreamApplier;
 using prometheus::replication::ReplicationSource;
 using prometheus::server::Client;
+using prometheus::server::Response;
 using prometheus::server::ResponseCode;
 using prometheus::server::Server;
 using prometheus::storage::DurableStore;
@@ -452,6 +453,77 @@ TEST(ReplicationE2ETest, FollowerConvergesServesReadsRefusesWrites) {
   EXPECT_TRUE(p.connected);
   EXPECT_TRUE(p.caught_up);
   EXPECT_EQ(p.lag_records, 0u);
+}
+
+// The follower's read-only server caches results like any other; journal
+// application under the write guard bumps the replica's epoch, so a
+// replicated write invalidates the follower's cached entries without any
+// explicit wiring. Cached reads must converge to the leader's new value
+// and never serve the old one after it has been observed once.
+TEST(ReplicationE2ETest, FollowerCacheServesHitsAndInvalidatesOnApply) {
+  const std::string leader_dir = FreshDir("repl_cache_leader");
+  const std::string follower_dir = FreshDir("repl_cache_follower");
+  auto leader = Leader::Start(leader_dir);
+  ASSERT_NE(leader, nullptr);
+
+  Client writer(leader->server.get());
+  auto oid = writer.CreateObject(
+      "Sp", {{"name", Value::String("hot")}, {"rank", Value::Int(1)}});
+  ASSERT_TRUE(oid.ok());
+
+  auto follower = Follower::Start(
+      FollowerOptions(follower_dir, leader->port(), "cache"));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  ASSERT_TRUE(follower.value()->WaitCaughtUp(10000));
+
+  Client reader(&follower.value()->server());
+  const std::string q = "select s.rank from Sp s where s.name = 'hot'";
+
+  // The replica's server caches: warm then hit, with the pre-write value.
+  Response warm = reader.Call(prometheus::server::Request::Query(q));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm.result.rows.size(), 1u);
+  EXPECT_EQ(warm.result.rows[0][0].AsInt(), 1);
+  Response hit = reader.Call(prometheus::server::Request::Query(q));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result.rows[0][0].AsInt(), 1);
+
+  // Leader commits a new value; the applier's epoch bump must retire the
+  // follower's cached entry. Poll until the new value shows (propagation
+  // delay is legal; serving 1 again meanwhile is a valid cached read).
+  ASSERT_TRUE(writer.SetAttribute(oid.value(), "rank", Value::Int(2)).ok());
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool converged = false;
+  while (std::chrono::steady_clock::now() < give_up) {
+    Response r = reader.Call(prometheus::server::Request::Query(q));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.result.rows.size(), 1u);
+    if (r.result.rows[0][0].AsInt() == 2) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(converged) << "follower never served the replicated write";
+
+  // Once the new value has been observed, it can never regress: the next
+  // reads — cached or not — must keep answering 2.
+  for (int i = 0; i < 10; ++i) {
+    Response r = reader.Call(prometheus::server::Request::Query(q));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.result.rows[0][0].AsInt(), 2);
+  }
+  // And the hot entry is servable again at the new epoch.
+  EXPECT_TRUE(reader.Call(prometheus::server::Request::Query(q)).cache_hit);
+  EXPECT_GE(follower.value()
+                ->server()
+                .query_cache()
+                .results()
+                .stats()
+                .hits,
+            1u);
 }
 
 // Schema defined on the live leader — not in its bootstrap — must ship to
