@@ -12,27 +12,50 @@
 // pipeline). Reports median wall time per mode and the on-vs-off overhead
 // percentage; writes BENCH_obs.json.
 //
-// Usage: bench_obs [reps]   (default 7)
+// E20 — contention attribution. The same 4-reader/1-writer churn that
+// produced `scaling_4v1` in BENCH_server.json, measured twice: readers
+// alone (baseline), then readers racing a writer that takes chunky
+// exclusive holds. The wall-clock the readers lose to churn should be
+// explained by the `guard_wait_micros{mode="shared"}` histogram delta over
+// the churn phase — if the attribution ratio is near 1.0, the contention
+// profiler accounts for where the lost microseconds went.
+//
+// Usage: bench_obs [reps] [e20_requests_per_reader]   (defaults 7, 200)
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "obs/metrics.h"
+#include "obs/wait_profiler.h"
 #include "oo7/oo7.h"
 #include "query/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace {
 
+using prometheus::Database;
+using prometheus::Oid;
+using prometheus::Status;
+using prometheus::Value;
 using prometheus::bench::JsonWriter;
 using prometheus::bench::MedianMillis;
+using prometheus::obs::GuardInstruments;
 using prometheus::obs::SetMetricsEnabled;
+using prometheus::obs::SnapshotDelta;
 using prometheus::oo7::Config;
 using prometheus::oo7::PrometheusOo7;
 using prometheus::pool::QueryEngine;
+using prometheus::server::Client;
+using prometheus::server::Server;
 
 constexpr char kQuery[] =
     "select a.id from AtomicPart a "
@@ -68,10 +91,91 @@ void EmitWorkload(JsonWriter& json, const char* name, double off_ms,
   json.EndObject();
 }
 
+// ------------------------------------------------------------------- E20
+
+/// Reader-side cost of one churn phase: 4 reader clients each issue
+/// `requests_per_reader` queries and sum their client-observed latency.
+/// With a writer, a churn thread interleaves chunky Custom mutations
+/// (hundreds of attribute writes per exclusive hold) until the readers
+/// finish.
+struct PhaseResult {
+  double reader_busy_ms = 0;       ///< summed client-side reader latency
+  std::size_t reader_requests = 0;
+  std::uint64_t writer_mutations = 0;
+};
+
+constexpr int kE20Readers = 4;
+constexpr int kE20WritesPerHold = 400;  ///< attribute writes per exclusive hold
+
+PhaseResult RunChurnPhase(Server& server, const std::vector<Oid>& parts,
+                          int requests_per_reader, bool with_writer) {
+  using Clock = std::chrono::steady_clock;
+  PhaseResult result;
+  std::atomic<bool> readers_done{false};
+  std::vector<double> reader_micros(kE20Readers, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kE20Readers + 1);
+  for (int r = 0; r < kE20Readers; ++r) {
+    threads.emplace_back([&, r] {
+      Client client(&server);
+      double sum = 0;
+      for (int i = 0; i < requests_per_reader; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        (void)client.Query(kQuery);
+        sum += std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                   .count();
+      }
+      reader_micros[static_cast<std::size_t>(r)] = sum;
+    });
+  }
+
+  std::thread writer;
+  std::uint64_t mutations = 0;
+  if (with_writer) {
+    writer = std::thread([&] {
+      Client client(&server);
+      std::size_t cursor = 0;
+      std::int64_t stamp = 0;
+      while (!readers_done.load(std::memory_order_relaxed)) {
+        // One chunky exclusive hold: several hundred attribute writes, so
+        // the guard stays held for a writer-scale interval (~ms) the way a
+        // bulk import or rule cascade would hold it.
+        const std::int64_t s = ++stamp;
+        (void)client.Mutate([&parts, &cursor, s](Database& db) {
+          for (int i = 0; i < kE20WritesPerHold; ++i) {
+            const Oid oid = parts[cursor++ % parts.size()];
+            PROMETHEUS_RETURN_IF_ERROR(
+                db.SetAttribute(oid, "x", Value::Int(s)));
+          }
+          return Status::Ok();
+        });
+        ++mutations;
+        // Let a convoy of blocked readers drain before the next hold.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  for (int r = 0; r < kE20Readers; ++r) {
+    threads[static_cast<std::size_t>(r)].join();
+  }
+  readers_done.store(true, std::memory_order_relaxed);
+  if (writer.joinable()) writer.join();
+
+  for (double m : reader_micros) result.reader_busy_ms += m / 1000.0;
+  result.reader_requests =
+      static_cast<std::size_t>(kE20Readers) *
+      static_cast<std::size_t>(requests_per_reader);
+  result.writer_mutations = mutations;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int reps = argc > 1 ? std::atoi(argv[1]) : 7;
+  const int e20_requests = argc > 2 ? std::atoi(argv[2]) : 200;
 
   Config config;  // OO7 small
   PrometheusOo7 oo7(config);
@@ -120,6 +224,77 @@ int main(int argc, char** argv) {
   std::printf("  worst metrics-on overhead: %+.2f%% (target <= 5%%)\n",
               worst_overhead);
 
+  // --- E20: guard-wait attribution under 4-reader/1-writer churn --------
+  prometheus::bench::PrintTableHeader(
+      "E20: contention attribution (4 readers, 1 chunky writer)",
+      "  phase        reader_busy(ms)  requests  writer_holds");
+  SetMetricsEnabled(true);
+  PrometheusOo7 churn_oo7(config);
+  const std::vector<Oid> parts = churn_oo7.db().Extent("AtomicPart");
+  Server::Options churn_options;
+  churn_options.worker_threads = 8;   // readers+writer never queue-wait
+  churn_options.queue_capacity = 4096;
+  churn_options.cache.enabled = false;  // every read takes the shared guard
+  Server churn_server(&churn_oo7.db(), churn_options);
+
+  // Warm-up, then alternating baseline/churn rounds. Pairing each churn
+  // phase with an adjacent baseline cancels slow drift (allocator warm-up,
+  // frequency scaling) that a single before/after comparison would absorb
+  // into the "lost" time.
+  RunChurnPhase(churn_server, parts, std::max(8, e20_requests / 4),
+                /*with_writer=*/false);
+  constexpr int kE20Rounds = 3;
+  PhaseResult base{};
+  PhaseResult churn{};
+  double lost_ms_signed = 0;
+  double attributed_ms = 0;
+  std::uint64_t blocked_acquisitions = 0;
+  for (int round = 0; round < kE20Rounds; ++round) {
+    const PhaseResult b =
+        RunChurnPhase(churn_server, parts, e20_requests, /*with_writer=*/false);
+    // Churn phase, bracketed by shared-wait snapshots: the histogram delta
+    // is the profiler's claim about where the lost reader time went.
+    const auto before = GuardInstruments::Get().shared_wait->snapshot();
+    const PhaseResult c =
+        RunChurnPhase(churn_server, parts, e20_requests, /*with_writer=*/true);
+    const auto delta =
+        SnapshotDelta(GuardInstruments::Get().shared_wait->snapshot(), before);
+    base.reader_busy_ms += b.reader_busy_ms;
+    base.reader_requests += b.reader_requests;
+    churn.reader_busy_ms += c.reader_busy_ms;
+    churn.reader_requests += c.reader_requests;
+    churn.writer_mutations += c.writer_mutations;
+    lost_ms_signed += c.reader_busy_ms - b.reader_busy_ms;
+    attributed_ms += delta.sum / 1000.0;
+    blocked_acquisitions += delta.count;
+  }
+  churn_server.Shutdown();
+
+  const double lost_ms = std::max(0.0, lost_ms_signed);
+  const double attribution_ratio = lost_ms > 0 ? attributed_ms / lost_ms : 0;
+  std::printf("  %-12s %15.3f  %8zu  %12s\n", "baseline", base.reader_busy_ms,
+              base.reader_requests, "-");
+  std::printf("  %-12s %15.3f  %8zu  %12llu\n", "churn", churn.reader_busy_ms,
+              churn.reader_requests,
+              static_cast<unsigned long long>(churn.writer_mutations));
+  std::printf(
+      "  lost reader wall-clock: %.3f ms; guard shared-wait delta: %.3f ms "
+      "(%llu shared acquisitions during churn)\n",
+      lost_ms, attributed_ms,
+      static_cast<unsigned long long>(blocked_acquisitions));
+  std::printf("  attribution ratio: %.2f (target within 20%% of 1.0)",
+              attribution_ratio);
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < kE20Readers + 2) {
+    // Blocked readers overlap with each other's execution when timesharing
+    // one core, so client-observed lost time under-counts guard waits —
+    // same host caveat bench_server prints for scaling_4v1.
+    std::printf("  (only %u hardware thread%s — attribution is bounded by "
+                "the host)",
+                cores, cores == 1 ? "" : "s");
+  }
+  std::printf("\n");
+
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").String("obs");
@@ -132,6 +307,26 @@ int main(int argc, char** argv) {
   json.EndArray();
   json.Key("worst_overhead_on_pct").Number(worst_overhead);
   json.Key("target_overhead_pct").Number(5.0);
+  json.Key("e20_contention").BeginObject();
+  json.Key("hardware_concurrency").Int(cores);
+  json.Key("rounds").Int(kE20Rounds);
+  json.Key("readers").Int(kE20Readers);
+  json.Key("requests_per_reader").Int(e20_requests);
+  json.Key("writes_per_hold").Int(kE20WritesPerHold);
+  json.Key("writer_holds").Int(static_cast<int>(churn.writer_mutations));
+  json.Key("baseline_reader_busy_ms").Number(base.reader_busy_ms);
+  json.Key("churn_reader_busy_ms").Number(churn.reader_busy_ms);
+  json.Key("lost_reader_ms").Number(lost_ms);
+  json.Key("guard_shared_wait_ms").Number(attributed_ms);
+  json.Key("blocked_acquisitions").Int(static_cast<int>(blocked_acquisitions));
+  json.Key("attribution_ratio").Number(attribution_ratio);
+  json.Key("target_ratio_band").Number(0.2);
+  // With fewer cores than threads, blocked readers yield the CPU to the
+  // remaining readers, so client-observed lost time collapses toward zero
+  // while guard waits stay real — the ratio is only meaningful when the
+  // reader fleet and the writer can actually run in parallel.
+  json.Key("host_bounded").Bool(cores < kE20Readers + 2);
+  json.EndObject();
   json.EndObject();
 
   const std::string out = "BENCH_obs.json";

@@ -42,6 +42,9 @@
 //   .demo                    load a small demonstration taxonomy
 //   .health                  overload/degradation summary (server-side)
 //   .recent                  flight recorder: last completed requests
+//   .contention [window]     wait-state breakdown: where request time goes
+//                            (queue, guard, execute, journal, ...); with
+//                            `window`, deltas since the last windowed call
 //   .cache [stats|clear|off|on]
 //                            query-cache administration (plan + result
 //                            tiers); works on followers and degraded
@@ -70,6 +73,7 @@
 
 #include "index/index_manager.h"
 #include "net/http_server.h"
+#include "obs/wait_profiler.h"
 #include "query/query_engine.h"
 #include "replication/follower.h"
 #include "replication/source.h"
@@ -446,8 +450,8 @@ int main(int argc, char** argv) {
         std::printf(
             ".classes .relationships .extent <name> .explain <query> "
             ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
-            ".recent .cache [stats|clear|off|on] .checkpoint "
-            ".deadline <ms> .lag .promote .quit\n"
+            ".recent .contention [window] .cache [stats|clear|off|on] "
+            ".checkpoint .deadline <ms> .lag .promote .quit\n"
             "anything else runs as POOL\n");
       } else if (cmd == ".classes") {
         with_db_read([](Database& db) {
@@ -536,6 +540,11 @@ int main(int argc, char** argv) {
         PrintHealth(client->HealthInfo());
       } else if (cmd == ".recent") {
         PrintRecent(server->flight_recorder());
+      } else if (cmd == ".contention") {
+        std::string sub;
+        in >> sub;
+        std::printf("%s",
+                    obs::RenderContentionText(sub == "window").c_str());
       } else if (cmd == ".cache") {
         std::string sub;
         in >> sub;

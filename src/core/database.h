@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include "core/instance.h"
 #include "core/schema.h"
 #include "event/event_bus.h"
+#include "obs/wait_profiler.h"
 
 namespace prometheus {
 
@@ -60,12 +62,47 @@ class Database {
   /// none while a `WriteGuard` is live. While held, every const method is
   /// safe to call from this thread and the observed state cannot change —
   /// the epoch seen at acquisition stays the epoch until release.
+  ///
+  /// With metrics enabled, acquisition is timed into
+  /// `guard_wait_micros{mode="shared"}` (a blocked reader also shows in
+  /// the `guard_blocked_readers` gauge while it waits) and the hold into
+  /// `guard_hold_micros{mode="shared"}` — the attribution that tells a
+  /// stalled read fleet from a slow query. Disabled, the only extra cost
+  /// is one relaxed load and branch.
   class ReadGuard {
    public:
-    explicit ReadGuard(const Database& db) : db_(db), lock_(db.guard_) {
+    explicit ReadGuard(const Database& db)
+        : db_(db), lock_(db.guard_, std::defer_lock) {
+      if (obs::MetricsEnabled()) {
+        const obs::GuardInstruments& g = obs::GuardInstruments::Get();
+        const auto start = std::chrono::steady_clock::now();
+        // Uncontended fast path: one try_lock, no gauge traffic. Only a
+        // reader that actually blocks appears as blocked.
+        if (!lock_.try_lock()) {
+          g.blocked_readers->Add(1);
+          lock_.lock();
+          g.blocked_readers->Sub(1);
+        }
+        acquired_at_ = std::chrono::steady_clock::now();
+        wait_micros_ = std::chrono::duration<double, std::micro>(
+                           acquired_at_ - start)
+                           .count();
+        g.shared_wait->Observe(wait_micros_);
+        timed_ = true;
+      } else {
+        lock_.lock();
+      }
       db_.readers_.fetch_add(1, std::memory_order_acq_rel);
     }
-    ~ReadGuard() { db_.readers_.fetch_sub(1, std::memory_order_acq_rel); }
+    ~ReadGuard() {
+      db_.readers_.fetch_sub(1, std::memory_order_acq_rel);
+      if (timed_) {
+        obs::GuardInstruments::Get().shared_hold->Observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - acquired_at_)
+                .count());
+      }
+    }
 
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
@@ -73,17 +110,51 @@ class Database {
     /// The guarded database's epoch (stable for the guard's lifetime).
     std::uint64_t epoch() const { return db_.epoch(); }
 
+    /// Microseconds this guard spent blocked in acquisition (0 with
+    /// metrics disabled). The server copies it into the request's wait
+    /// breakdown.
+    double wait_micros() const { return wait_micros_; }
+
    private:
     const Database& db_;
     std::shared_lock<std::shared_mutex> lock_;
+    std::chrono::steady_clock::time_point acquired_at_{};
+    double wait_micros_ = 0;
+    bool timed_ = false;
   };
 
   /// RAII exclusive (write) lock. Completing an exclusive section bumps
   /// the epoch, so readers can detect whether any writer ran between two
   /// of their own critical sections.
+  ///
+  /// With metrics enabled, acquisition is timed into
+  /// `guard_wait_micros{mode="exclusive"}`, the hold into
+  /// `guard_hold_micros{mode="exclusive"}` plus the
+  /// `guard_writer_last_hold_micros` gauge, and `guard_writer_held` is 1
+  /// for the duration — the writer-hold telemetry that explains reader
+  /// guard waits.
   class WriteGuard {
    public:
-    explicit WriteGuard(Database& db) : db_(db), lock_(db.guard_) {
+    explicit WriteGuard(Database& db)
+        : db_(db), lock_(db.guard_, std::defer_lock) {
+      if (obs::MetricsEnabled()) {
+        const obs::GuardInstruments& g = obs::GuardInstruments::Get();
+        const auto start = std::chrono::steady_clock::now();
+        if (!lock_.try_lock()) {
+          g.blocked_writers->Add(1);
+          lock_.lock();
+          g.blocked_writers->Sub(1);
+        }
+        acquired_at_ = std::chrono::steady_clock::now();
+        wait_micros_ = std::chrono::duration<double, std::micro>(
+                           acquired_at_ - start)
+                           .count();
+        g.exclusive_wait->Observe(wait_micros_);
+        g.writer_held->Set(1);
+        timed_ = true;
+      } else {
+        lock_.lock();
+      }
       db_.writer_thread_.store(std::this_thread::get_id(),
                                std::memory_order_relaxed);
       db_.writer_active_.store(true, std::memory_order_release);
@@ -91,14 +162,31 @@ class Database {
     ~WriteGuard() {
       db_.writer_active_.store(false, std::memory_order_release);
       db_.epoch_.fetch_add(1, std::memory_order_acq_rel);
+      if (timed_) {
+        const double hold = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() -
+                                acquired_at_)
+                                .count();
+        const obs::GuardInstruments& g = obs::GuardInstruments::Get();
+        g.exclusive_hold->Observe(hold);
+        g.writer_last_hold_micros->Set(static_cast<std::int64_t>(hold));
+        g.writer_held->Set(0);
+      }
     }
 
     WriteGuard(const WriteGuard&) = delete;
     WriteGuard& operator=(const WriteGuard&) = delete;
 
+    /// Microseconds this guard spent blocked in acquisition (0 with
+    /// metrics disabled).
+    double wait_micros() const { return wait_micros_; }
+
    private:
     Database& db_;
     std::unique_lock<std::shared_mutex> lock_;
+    std::chrono::steady_clock::time_point acquired_at_{};
+    double wait_micros_ = 0;
+    bool timed_ = false;
   };
 
   /// Monotonic count of completed exclusive (write) sections. A reader

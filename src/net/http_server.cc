@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/wait_profiler.h"
 #include "query/query_engine.h"
 
 namespace prometheus::net {
@@ -129,16 +130,37 @@ std::string RenderSlowLogJson(
     w.BeginObject();
     w.Key("id");
     w.Uint(e.request_id);
+    w.Key("trace_id");
+    w.String(e.trace_id);
     w.Key("query");
     w.String(e.query);
     w.Key("micros");
     w.Number(e.micros);
+    w.Key("queue_micros");
+    w.Number(e.queue_micros);
+    w.Key("guard_wait_micros");
+    w.Number(e.guard_wait_micros);
+    w.Key("execute_micros");
+    w.Number(e.execute_micros);
     w.Key("profile");
     w.String(e.profile);
     w.EndObject();
   }
   w.EndArray();
   return w.str();
+}
+
+/// Trace ids travel in headers, URLs and log lines, so the accepted
+/// alphabet is deliberately narrow: 1-128 chars of [A-Za-z0-9._:-].
+bool ValidTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 /// Parses the X-Deadline-Micros / X-Priority request headers into the
@@ -180,6 +202,13 @@ bool ApplyRequestHeaders(const HttpRequest& http, server::Request* req,
       *error = "malformed X-Priority (want low|normal|high)";
       return false;
     }
+  }
+  if (const std::string* v = http.Header("x-trace-id")) {
+    if (!ValidTraceId(*v)) {
+      *error = "malformed X-Trace-Id (want 1-128 chars of [A-Za-z0-9._:-])";
+      return false;
+    }
+    req->WithTraceId(*v);
   }
   return true;
 }
@@ -404,17 +433,57 @@ void HttpFrontEnd::ServeConnection(int fd) {
 
 std::string HttpFrontEnd::Handle(const HttpRequest& req,
                                  server::Session& session, bool keep_alive) {
+  // Trace context first: an id on *any* request — including the /repl/*
+  // fetches the aux handler serves — lands in this server's flight
+  // recorder, so one id stitches a request's path across the fleet
+  // (follower fetch -> leader serve). Malformed ids are refused up front.
+  const std::string* trace_hdr = req.Header("x-trace-id");
+  if (trace_hdr != nullptr && !ValidTraceId(*trace_hdr)) {
+    bad_.fetch_add(1, std::memory_order_relaxed);
+    return SerializeHttpResponse(
+        400, kJsonType,
+        ErrorBody("malformed X-Trace-Id (want 1-128 chars of "
+                  "[A-Za-z0-9._:-])"),
+        keep_alive);
+  }
+  // Records a handler-thread-served (non-worker) request under its trace
+  // id: /repl/* fetches and traced telemetry GETs never reach the server
+  // core, so the transport writes the recorder entry itself.
+  auto record_traced = [this, trace_hdr, &req](const char* type,
+                                               double micros) {
+    if (trace_hdr == nullptr || !server_->flight_recorder().enabled()) return;
+    obs::FlightRecorder::Entry entry;
+    entry.trace_id = *trace_hdr;
+    entry.type = type;
+    entry.code = "ok";
+    entry.ok = true;
+    entry.executed = true;
+    entry.total_micros = micros;
+    entry.detail = req.method + " " + req.target;
+    server_->flight_recorder().Record(std::move(entry));
+  };
+
   if (options_.aux_handler) {
     std::string out;
-    if (options_.aux_handler(req, keep_alive, &out)) return out;
+    const auto aux_start = std::chrono::steady_clock::now();
+    if (options_.aux_handler(req, keep_alive, &out)) {
+      record_traced("aux", std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - aux_start)
+                               .count());
+      return out;
+    }
   }
-  const std::string& path = req.target;
+  std::string_view path_view;
+  std::string_view query_view;
+  SplitTarget(req.target, &path_view, &query_view);
+  const std::string path(path_view);
 
   // Telemetry routes are answered directly on the handler thread — they
   // read only the metrics registry, the health snapshot and the bounded
   // rings, never the database guard, so a scrape succeeds while a writer
   // holds the exclusive lock or the work queue is saturated.
   if (req.method == "GET" || req.method == "HEAD") {
+    const auto get_start = std::chrono::steady_clock::now();
     std::string body;
     std::string content_type = kJsonType;
     int status = 200;
@@ -439,8 +508,25 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
     } else if (path == "/slowlog") {
       body = RenderSlowLogJson(server_->slow_query_log().entries());
     } else if (path == "/debug/requests") {
-      body = obs::RenderFlightRecorderJson(
-          server_->flight_recorder().Snapshot());
+      std::vector<obs::FlightRecorder::Entry> entries =
+          server_->flight_recorder().Snapshot();
+      std::string want_id;
+      if (QueryParam(query_view, "id", &want_id)) {
+        // Exact-match trace filter: the lookup a distributed trace needs
+        // ("show me what request t-123 did on this node").
+        std::vector<obs::FlightRecorder::Entry> matched;
+        for (auto& e : entries) {
+          if (e.trace_id == want_id) matched.push_back(std::move(e));
+        }
+        entries = std::move(matched);
+      }
+      body = obs::RenderFlightRecorderJson(entries);
+    } else if (path == "/debug/contention") {
+      // ?window=1 returns only what accumulated since the previous
+      // windowed call — the "what is blocking right now" view.
+      std::string window;
+      body = obs::RenderContentionJson(
+          /*windowed=*/QueryParam(query_view, "window", &window));
     } else if (path == "/query" || path == "/profile") {
       return SerializeHttpResponse(
           405, kJsonType, ErrorBody("use POST with a POOL query body"),
@@ -451,7 +537,13 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
                                    keep_alive);
     }
     if (req.method == "HEAD") body.clear();
-    return SerializeHttpResponse(status, content_type, body, keep_alive);
+    record_traced("http_get", std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - get_start)
+                                  .count());
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (trace_hdr != nullptr) extra.emplace_back("X-Trace-Id", *trace_hdr);
+    return SerializeHttpResponse(status, content_type, body, keep_alive,
+                                 extra);
   }
 
   if (req.method == "POST" && (path == "/query" || path == "/profile")) {
@@ -476,13 +568,32 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
     if (resp.cache_checked) {
       extra.emplace_back("X-Cache", resp.cache_hit ? "hit" : "miss");
     }
-    return SerializeHttpResponse(HttpStatusFor(resp), kJsonType,
-                                 RenderQueryJson(resp), keep_alive, extra);
+    // Echo the trace id (caller-supplied or server-assigned) so a client
+    // can follow up with /debug/requests?id=<it> on any node it touched.
+    if (!resp.trace_id.empty()) {
+      extra.emplace_back("X-Trace-Id", resp.trace_id);
+    }
+    // Serialization is the last wait state a request passes through; time
+    // it like the others so a response-rendering regression shows up in
+    // the same breakdown.
+    const bool time_serialize = obs::MetricsEnabled();
+    const auto ser_start = time_serialize ? std::chrono::steady_clock::now()
+                                          : std::chrono::steady_clock::time_point{};
+    std::string body = RenderQueryJson(resp);
+    if (time_serialize) {
+      obs::WaitInstruments::Get().serialize->Observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - ser_start)
+              .count());
+    }
+    return SerializeHttpResponse(HttpStatusFor(resp), kJsonType, body,
+                                 keep_alive, extra);
   }
 
   // Known telemetry path with the wrong verb?
   if (path == "/metrics" || path == "/stats" || path == "/health" ||
-      path == "/slowlog" || path == "/debug/requests") {
+      path == "/slowlog" || path == "/debug/requests" ||
+      path == "/debug/contention") {
     return SerializeHttpResponse(405, kJsonType,
                                  ErrorBody("use GET for " + path), keep_alive,
                                  {{"Allow", "GET"}});

@@ -11,6 +11,7 @@ std::string RenderFlightRecorderJson(
   for (const FlightRecorder::Entry& e : entries) {
     json.BeginObject();
     json.Key("id").Uint(e.request_id);
+    json.Key("trace_id").String(e.trace_id);
     json.Key("type").String(e.type);
     json.Key("priority").String(e.priority);
     json.Key("code").String(e.code);
@@ -18,6 +19,9 @@ std::string RenderFlightRecorderJson(
     json.Key("executed").Bool(e.executed);
     json.Key("queue_wait_micros").Number(e.queue_wait_micros);
     json.Key("total_micros").Number(e.total_micros);
+    json.Key("guard_wait_micros").Number(e.guard_wait_micros);
+    json.Key("execute_micros").Number(e.execute_micros);
+    json.Key("journal_micros").Number(e.journal_micros);
     json.Key("detail").String(e.detail);
     if (!e.stages.empty()) json.Key("stages").String(e.stages);
     json.EndObject();

@@ -31,6 +31,7 @@ class FlightRecorder {
  public:
   struct Entry {
     std::uint64_t request_id = 0;
+    std::string trace_id;   ///< trace-context id (`/debug/requests?id=`)
     std::string type;       ///< "ping", "query", "mutation", "stats", ...
     std::string priority;   ///< "low", "normal", "high"
     std::string code;       ///< transport outcome ("ok", "timed_out", ...)
@@ -38,6 +39,11 @@ class FlightRecorder {
     bool executed = false;  ///< false: shed from the queue, never ran
     double queue_wait_micros = 0;  ///< admission -> worker pickup
     double total_micros = 0;       ///< time on the worker (0 if never ran)
+    /// Wait-state attribution (zeros when timing was off or not a
+    /// guarded/journaled request).
+    double guard_wait_micros = 0;    ///< epoch-guard acquisition
+    double execute_micros = 0;       ///< pure execution (waits subtracted)
+    double journal_micros = 0;       ///< journal appends + fsyncs
     std::string detail;  ///< query text (truncated) or mutation kind
     std::string stages;  ///< rendered span tree (profiled queries only)
   };

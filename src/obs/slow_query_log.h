@@ -24,9 +24,17 @@ class SlowQueryLog {
  public:
   struct Entry {
     std::uint64_t request_id = 0;
+    std::string trace_id;  ///< trace-context id (correlates with the
+                           ///< flight recorder and the caller's headers)
     std::string query;
     double micros = 0;
     std::string profile;  ///< plan summary or rendered trace tree
+    /// Wait breakdown at record time, so a slow query is diagnosable from
+    /// /slowlog alone: was it queued, blocked on the guard, or actually
+    /// executing? (Zeros when the server had timing off.)
+    double queue_micros = 0;
+    double guard_wait_micros = 0;
+    double execute_micros = 0;
   };
 
   explicit SlowQueryLog(double threshold_micros = -1,

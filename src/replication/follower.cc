@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/journal.h"
 #include "storage/snapshot.h"
@@ -30,6 +31,28 @@ std::uint64_t HeaderU64(const net::HttpResponse& resp, const std::string& name) 
   std::uint64_t v = 0;
   if (value != nullptr) (void)ParseU64(*value, &v);
   return v;
+}
+
+/// Maps a follower id (often a directory path) into the trace-id alphabet
+/// the HTTP plane accepts ([A-Za-z0-9._:-]).
+std::string SanitizeTraceComponent(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.' || c == ':';
+    out.push_back(ok ? c : '-');
+  }
+  if (out.empty()) out = "follower";
+  if (out.size() > 64) out.resize(64);
+  return out;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -305,13 +328,39 @@ Status Follower::LocalRecover() {
   return Status::Ok();
 }
 
+std::string Follower::NextFetchTraceId() {
+  return "repl-" + SanitizeTraceComponent(options_.follower_id) + "-" +
+         std::to_string(++fetch_trace_seq_);
+}
+
+void Follower::RecordFetchTrace(const std::string& trace_id,
+                                const std::string& what, std::size_t bytes,
+                                double micros) {
+  if (server_ == nullptr || !server_->flight_recorder().enabled()) return;
+  obs::FlightRecorder::Entry entry;
+  entry.trace_id = trace_id;
+  entry.type = "repl_fetch";
+  entry.code = "ok";
+  entry.ok = true;
+  entry.executed = true;
+  entry.total_micros = micros;
+  entry.detail = what + " (" + std::to_string(bytes) + " bytes)";
+  server_->flight_recorder().Record(std::move(entry));
+}
+
 Result<Follower::Manifest> Follower::FetchManifest(net::HttpConnection* conn) {
-  PROMETHEUS_ASSIGN_OR_RETURN(net::HttpResponse resp,
-                              conn->RoundTrip("GET", "/repl/manifest", "", {}));
+  const std::string trace_id = NextFetchTraceId();
+  const auto start = std::chrono::steady_clock::now();
+  PROMETHEUS_ASSIGN_OR_RETURN(
+      net::HttpResponse resp,
+      conn->RoundTrip("GET", "/repl/manifest", "",
+                      {{"X-Trace-Id", trace_id}}));
   if (resp.status_code != 200) {
     return Status::IoError("manifest fetch failed: HTTP " +
                            std::to_string(resp.status_code));
   }
+  RecordFetchTrace(trace_id, "GET /repl/manifest", resp.body.size(),
+                   MicrosSince(start));
   Manifest m;
   std::istringstream in(resp.body);
   std::string line;
@@ -364,8 +413,13 @@ Status Follower::Bootstrap(net::HttpConnection* conn,
           "&offset=" + std::to_string(offset) +
           "&limit=" + std::to_string(options_.fetch_limit_bytes) +
           "&follower=" + options_.follower_id;
-      PROMETHEUS_ASSIGN_OR_RETURN(net::HttpResponse resp,
-                                  conn->RoundTrip("GET", target, "", {}));
+      const std::string trace_id = NextFetchTraceId();
+      const auto fetch_start = std::chrono::steady_clock::now();
+      PROMETHEUS_ASSIGN_OR_RETURN(
+          net::HttpResponse resp,
+          conn->RoundTrip("GET", target, "", {{"X-Trace-Id", trace_id}}));
+      RecordFetchTrace(trace_id, "GET /repl/snapshot", resp.body.size(),
+                       MicrosSince(fetch_start));
       if (resp.status_code == 410) {
         // Pruned under us (we were silent past the pin expiry): the next
         // session starts over from a fresh manifest.
@@ -484,8 +538,18 @@ Status Follower::RunSession(bool* made_progress) {
         "&offset=" + std::to_string(applier_->fetch_offset()) +
         "&limit=" + std::to_string(options_.fetch_limit_bytes) +
         "&follower=" + options_.follower_id;
-    PROMETHEUS_ASSIGN_OR_RETURN(net::HttpResponse resp,
-                                conn->RoundTrip("GET", target, "", {}));
+    const std::string trace_id = NextFetchTraceId();
+    const auto fetch_start = std::chrono::steady_clock::now();
+    PROMETHEUS_ASSIGN_OR_RETURN(
+        net::HttpResponse resp,
+        conn->RoundTrip("GET", target, "", {{"X-Trace-Id", trace_id}}));
+    // Only fetches that moved bytes are recorded: a caught-up follower
+    // polls forever, and empty polls would wash every useful trace out of
+    // the bounded ring.
+    if (!resp.body.empty()) {
+      RecordFetchTrace(trace_id, "GET /repl/journal", resp.body.size(),
+                       MicrosSince(fetch_start));
+    }
     if (resp.status_code == 410 || resp.status_code == 416) {
       // Pruned or divergent: rebootstrap from the leader's newest
       // snapshot, on this same connection.

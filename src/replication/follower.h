@@ -164,6 +164,17 @@ class Follower {
   Status Bootstrap(net::HttpConnection* conn, const Manifest& manifest);
   Status OpenMirror(std::uint64_t seq, bool truncate);
 
+  /// Trace id for the next leader fetch: "repl-<follower-id>-<n>". Sent as
+  /// X-Trace-Id so the leader's flight recorder shows who asked for what;
+  /// the follower records its own side via RecordFetchTrace, and the same
+  /// id then surfaces in `/debug/requests?id=` on both nodes. Fetch thread
+  /// only.
+  std::string NextFetchTraceId();
+  /// Records a completed leader fetch in this follower's own flight
+  /// recorder (no-op when recording is off).
+  void RecordFetchTrace(const std::string& trace_id, const std::string& what,
+                        std::size_t bytes, double micros);
+
   /// Sleeps up to `ms`, waking early on Stop(). True when stopping.
   bool StopRequestedWithin(int ms);
 
@@ -183,6 +194,7 @@ class Follower {
   bool need_bootstrap_ = false;
   std::uint64_t corrupt_boundary_ = 0;
   int corrupt_repeats_ = 0;
+  std::uint64_t fetch_trace_seq_ = 0;  ///< fetch thread only
 
   std::thread fetcher_;
   std::mutex stop_mu_;

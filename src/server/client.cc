@@ -114,6 +114,14 @@ bool Client::Retryable(const Response& resp) {
 }
 
 Response Client::CallWithRetry(Request req, const RetryPolicy& policy) {
+  // Pin a trace id before the loop: every attempt then submits under the
+  // same id, so the flight recorder shows one logical request's retries as
+  // one trace instead of N unrelated ones. (The server would otherwise
+  // stamp each resubmission afresh.)
+  if (req.trace_id.empty()) {
+    thread_local std::mt19937_64 trace_rng{std::random_device{}()};
+    req.trace_id = "retry-" + std::to_string(trace_rng());
+  }
   const auto start = DeadlineClock::now();
   for (int attempt = 1;; ++attempt) {
     Response resp = Call(req);  // copy: each attempt submits afresh

@@ -93,6 +93,14 @@ struct Request {
   StatsFormat stats_format = StatsFormat::kJson;  ///< (kStats)
   CacheOp cache_op = CacheOp::kStats;             ///< (kCacheControl)
 
+  /// Trace-context id. Empty means "assign one at admission": the server
+  /// stamps `<server_epoch>-<request id>` so every request is retrievable
+  /// by id from the flight recorder (`/debug/requests?id=...`). Callers —
+  /// the HTTP plane's `X-Trace-Id` header, `Client::CallWithRetry`, a
+  /// follower's fetch loop — set it to stitch one logical operation's
+  /// hops (retries, replica fetches) under a single id.
+  std::string trace_id;
+
   /// Absolute deadline. Expired requests are refused at admission, shed at
   /// dequeue (`ResponseCode::kTimedOut`), and queries abort cooperatively
   /// mid-execution. The default (`kNoDeadline`) costs one branch.
@@ -115,6 +123,10 @@ struct Request {
     priority = p;
     return *this;
   }
+  Request& WithTraceId(std::string id) {
+    trace_id = std::move(id);
+    return *this;
+  }
 
   // Builders — the only intended way to make a Request.
   static Request Ping() { return {}; }
@@ -133,6 +145,21 @@ struct Request {
   static Request Custom(std::function<Status(Database&)> fn);
   static Request Checkpoint();
   static Request CacheControl(CacheOp op = CacheOp::kStats);
+};
+
+/// Per-request wait-state attribution in microseconds (see
+/// obs/wait_profiler.h for the state definitions). Filled by the server
+/// when timing is on (metrics enabled or the flight recorder recording);
+/// all zeros otherwise. `execute_micros` is *pure* execution — guard
+/// acquisition and journal time are subtracted out, so the fields sum to
+/// (roughly) the worker-side total and a slow request's time is
+/// attributable at a glance.
+struct WaitBreakdown {
+  double queue_micros = 0;        ///< admission -> worker pickup
+  double guard_wait_micros = 0;   ///< epoch-guard acquisition (either mode)
+  double execute_micros = 0;      ///< execution with named waits subtracted
+  double journal_append_micros = 0;  ///< journal file appends
+  double journal_sync_micros = 0;    ///< journal fsync barriers
 };
 
 /// Transport-level disposition of a request — distinct from the
@@ -173,6 +200,11 @@ struct Response {
   /// materialization epoch.
   bool cache_checked = false;
   bool cache_hit = false;
+  /// The request's trace id, echoed back (server-assigned when the caller
+  /// left it empty). The HTTP plane returns it as `X-Trace-Id`.
+  std::string trace_id;
+  /// Wait-state attribution for this request (zeros when timing was off).
+  WaitBreakdown waits;
 
   /// Accepted, executed, and the database reported success.
   bool ok() const { return code == ResponseCode::kOk && status.ok(); }

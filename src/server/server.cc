@@ -9,6 +9,7 @@
 #include "common/exec_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wait_profiler.h"
 
 namespace prometheus::server {
 
@@ -366,12 +367,23 @@ void Server::ObserveStoreStatus() {
 
 std::future<Response> Server::Enqueue(Request req) {
   const RequestId id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // Trace context: accept the caller's id or assign one. The epoch prefix
+  // keeps ids unique across restarts (and across the servers of a fleet),
+  // so `/debug/requests?id=` lookups never alias.
+  if (req.trace_id.empty()) {
+    req.trace_id = std::to_string(server_epoch_) + "-" + std::to_string(id);
+  }
+  const bool timing = obs::MetricsEnabled() || flight_recorder_.enabled();
+  std::chrono::steady_clock::time_point admit_start;
+  if (timing) admit_start = std::chrono::steady_clock::now();
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
 
-  auto respond_unrun = [promise, id](ResponseCode code, Status status) {
+  auto respond_unrun = [promise, id, trace_id = req.trace_id](
+                           ResponseCode code, Status status) {
     Response resp;
     resp.id = id;
+    resp.trace_id = trace_id;
     resp.code = code;
     resp.status = std::move(status);
     promise->set_value(std::move(resp));
@@ -447,21 +459,24 @@ std::future<Response> Server::Enqueue(Request req) {
   ThreadPoolExecutor::Job job =
       [this, id, promise, boxed,
        enqueued_at](ThreadPoolExecutor::Disposition d) {
-        // With the recorder disabled the job path pays one branch, not a
+        // With timing fully disabled the job path pays one branch, not a
         // clock read.
+        const bool job_timing =
+            obs::MetricsEnabled() || flight_recorder_.enabled();
         const double queue_wait_micros =
-            flight_recorder_.enabled()
-                ? std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - enqueued_at)
-                      .count()
-                : 0;
+            job_timing ? std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - enqueued_at)
+                             .count()
+                       : 0;
         switch (d) {
           case ThreadPoolExecutor::Disposition::kRun:
+            obs::WaitInstruments::Get().queue->Observe(queue_wait_micros);
             promise->set_value(Execute(id, *boxed, queue_wait_micros));
             return;
           case ThreadPoolExecutor::Disposition::kShutdown: {
             Response resp;
             resp.id = id;
+            resp.trace_id = boxed->trace_id;
             resp.code = ResponseCode::kShutdown;
             resp.status =
                 Status::FailedPrecondition("server shut down before execution");
@@ -474,6 +489,7 @@ std::future<Response> Server::Enqueue(Request req) {
             ServerMetrics::Get().timed_out->Increment();
             Response resp;
             resp.id = id;
+            resp.trace_id = boxed->trace_id;
             resp.code = ResponseCode::kTimedOut;
             resp.status = Status::DeadlineExceeded(
                 "deadline expired while queued (shed at dequeue)");
@@ -484,6 +500,7 @@ std::future<Response> Server::Enqueue(Request req) {
           case ThreadPoolExecutor::Disposition::kShed: {
             Response resp;
             resp.id = id;
+            resp.trace_id = boxed->trace_id;
             resp.code = ResponseCode::kRejected;
             resp.status = Status::FailedPrecondition(
                 "evicted from the work queue by higher-priority work");
@@ -516,6 +533,14 @@ std::future<Response> Server::Enqueue(Request req) {
       return future;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (timing && obs::MetricsEnabled()) {
+    // Admission cost: deadline check, cache probe, mode refusal checks and
+    // the executor's admission decision — everything before the queue.
+    obs::WaitInstruments::Get().admission->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - admit_start)
+            .count());
+  }
   return future;
 }
 
@@ -528,7 +553,15 @@ Response Server::Execute(RequestId id, const Request& req,
   const bool timing =
       obs::MetricsEnabled() || flight_recorder_.enabled();
   std::chrono::steady_clock::time_point start;
-  if (timing) start = std::chrono::steady_clock::now();
+  // Per-request journal attribution: the journal adds its append/fsync
+  // time into this thread-local slot while the request runs (the whole
+  // request executes on this one worker thread), and the breakdown below
+  // reads it back out — no context threading through the event bus.
+  obs::ThreadWaitAccumulator& tw = obs::ThreadWait();
+  if (timing) {
+    start = std::chrono::steady_clock::now();
+    tw.Reset();
+  }
   Response resp;
   switch (req.kind) {
     case RequestKind::kPing:
@@ -536,7 +569,7 @@ Response Server::Execute(RequestId id, const Request& req,
       resp.epoch = db_->epoch();
       break;
     case RequestKind::kQuery:
-      resp = ExecuteQuery(id, req);
+      resp = ExecuteQuery(id, req, queue_wait_micros);
       queries_.fetch_add(1, std::memory_order_relaxed);
       break;
     case RequestKind::kMutation:
@@ -554,6 +587,7 @@ Response Server::Execute(RequestId id, const Request& req,
       break;
   }
   resp.executed = true;
+  resp.trace_id = req.trace_id;
   if (!resp.status.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     metrics.errors->Increment();
@@ -563,6 +597,18 @@ Response Server::Execute(RequestId id, const Request& req,
                               std::chrono::steady_clock::now() - start)
                               .count();
     metrics.ForKind(req.kind)->Observe(micros);
+    resp.waits.queue_micros = queue_wait_micros;
+    resp.waits.journal_append_micros = tw.journal_append_micros;
+    resp.waits.journal_sync_micros = tw.journal_sync_micros;
+    // Pure execution = worker time minus the waits attributed elsewhere;
+    // clamped because the guard/journal clocks are read independently of
+    // the outer pair.
+    double pure = micros - resp.waits.guard_wait_micros -
+                  resp.waits.journal_append_micros -
+                  resp.waits.journal_sync_micros;
+    if (pure < 0) pure = 0;
+    resp.waits.execute_micros = pure;
+    obs::WaitInstruments::Get().execute->Observe(pure);
     RecordFlight(id, req, resp, queue_wait_micros, micros);
   }
   return resp;
@@ -574,6 +620,7 @@ void Server::RecordFlight(RequestId id, const Request& req,
   if (!flight_recorder_.enabled()) return;
   obs::FlightRecorder::Entry entry;
   entry.request_id = id;
+  entry.trace_id = req.trace_id;
   entry.type = KindName(req.kind);
   entry.priority = PriorityName(req.priority);
   entry.code = CodeName(resp.code);
@@ -581,6 +628,10 @@ void Server::RecordFlight(RequestId id, const Request& req,
   entry.executed = resp.executed;
   entry.queue_wait_micros = queue_wait_micros;
   entry.total_micros = total_micros;
+  entry.guard_wait_micros = resp.waits.guard_wait_micros;
+  entry.execute_micros = resp.waits.execute_micros;
+  entry.journal_micros =
+      resp.waits.journal_append_micros + resp.waits.journal_sync_micros;
   entry.detail = resp.cache_hit ? "[cache hit] " + FlightDetail(req)
                                 : FlightDetail(req);
   // PROFILE queries already rendered their span tree into the response;
@@ -613,6 +664,7 @@ bool Server::TryServeFromCache(RequestId id, const Request& req,
 
   Response resp;
   resp.id = id;
+  resp.trace_id = req.trace_id;
   resp.epoch = epoch;
   resp.executed = true;
   resp.cache_checked = true;
@@ -704,13 +756,15 @@ Response Server::ExecuteCacheControl(RequestId id, const Request& req) {
   return resp;
 }
 
-Response Server::ExecuteQuery(RequestId id, const Request& req) {
+Response Server::ExecuteQuery(RequestId id, const Request& req,
+                              double queue_wait_micros) {
   Response resp;
   resp.id = id;
   // Shared lock: concurrent with other queries, excluded from mutations.
   // The guard pins the epoch, so the whole evaluation sees one snapshot.
   Database::ReadGuard guard(*db_);
   resp.epoch = guard.epoch();
+  resp.waits.guard_wait_micros = guard.wait_micros();
   // The Enqueue-side lookup already missed (or the cache is off).
   resp.cache_checked = query_cache_.results().enabled();
 
@@ -740,8 +794,16 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
     resp.result = ProfileTable(profile.trace);
     resp.text = obs::RenderTree(profile.trace);
     if (slow_log_.ShouldRecord(profile.trace.micros)) {
-      slow_log_.Record({id, pool::StripProfileKeyword(req.query),
-                        profile.trace.micros, resp.text});
+      obs::SlowQueryLog::Entry slow;
+      slow.request_id = id;
+      slow.trace_id = req.trace_id;
+      slow.query = pool::StripProfileKeyword(req.query);
+      slow.micros = profile.trace.micros;
+      slow.profile = resp.text;
+      slow.queue_micros = queue_wait_micros;
+      slow.guard_wait_micros = guard.wait_micros();
+      slow.execute_micros = profile.trace.micros;
+      slow_log_.Record(std::move(slow));
     }
     if (resp.cache_checked) {
       // Cache under the stripped key so the next plain run of the same
@@ -781,9 +843,17 @@ Response Server::ExecuteQuery(RequestId id, const Request& req) {
       // Re-plan for the log entry: the slow path has already paid far more
       // than an Explain costs, and the plan is the diagnostic that matters.
       Result<std::string> plan = engine_.Explain(req.query);
-      slow_log_.Record(
-          {id, req.query, micros,
-           plan.ok() ? std::move(plan).value() : plan.status().ToString()});
+      obs::SlowQueryLog::Entry slow;
+      slow.request_id = id;
+      slow.trace_id = req.trace_id;
+      slow.query = req.query;
+      slow.micros = micros;
+      slow.profile =
+          plan.ok() ? std::move(plan).value() : plan.status().ToString();
+      slow.queue_micros = queue_wait_micros;
+      slow.guard_wait_micros = guard.wait_micros();
+      slow.execute_micros = micros;
+      slow_log_.Record(std::move(slow));
     }
   }
   return resp;
@@ -850,6 +920,7 @@ Response Server::ExecuteMutation(RequestId id, const Request& req) {
   Response resp;
   resp.id = id;
   Database::WriteGuard guard(*db_);
+  resp.waits.guard_wait_micros = guard.wait_micros();
   resp.epoch = db_->epoch();
   const MutationOp& op = req.mutation;
   switch (op.kind) {

@@ -168,6 +168,11 @@ class Server {
   const obs::FlightRecorder& flight_recorder() const {
     return flight_recorder_;
   }
+  /// Mutable access for transport layers that record non-worker events —
+  /// the HTTP plane records traced GET/aux requests (e.g. a follower's
+  /// /repl/* fetches) and a follower records its own leader fetches, so
+  /// one trace id stitches a request's path across the fleet.
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
 
   /// Wall-clock microseconds at server construction — a value that is
   /// monotonic *across restarts*, unlike the in-memory counters it
@@ -190,7 +195,10 @@ class Server {
   /// spent queued (admission to worker pickup), recorded in the flight
   /// recorder alongside the execution outcome.
   Response Execute(RequestId id, const Request& req, double queue_wait_micros);
-  Response ExecuteQuery(RequestId id, const Request& req);
+  /// `queue_wait_micros` rides along so slow-query-log entries carry the
+  /// full wait breakdown, not just execution time.
+  Response ExecuteQuery(RequestId id, const Request& req,
+                        double queue_wait_micros);
   Response ExecuteMutation(RequestId id, const Request& req);
   Response ExecuteStats(RequestId id, const Request& req);
   Response ExecuteHealth(RequestId id, const Request& req);

@@ -1,6 +1,7 @@
 #include "storage/journal.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -8,6 +9,7 @@
 
 #include "common/crc32.h"
 #include "obs/metrics.h"
+#include "obs/wait_profiler.h"
 #include "storage/snapshot.h"
 
 namespace prometheus::storage {
@@ -20,6 +22,8 @@ struct JournalMetrics {
   obs::Counter* bytes;
   obs::Counter* syncs;
   obs::Counter* errors;
+  obs::Histogram* append_micros;
+  obs::Histogram* sync_micros;
 
   static const JournalMetrics& Get() {
     static const JournalMetrics m = [] {
@@ -34,10 +38,45 @@ struct JournalMetrics {
       jm.errors = reg.GetCounter(
           "journal_errors_total",
           "Journal write failures that latched the sticky error");
+      // Counts alone cannot show a sync stall; these put a latency
+      // distribution behind every append and fsync barrier.
+      jm.append_micros = reg.GetHistogram(
+          "journal_append_micros", "Latency of framed journal file appends");
+      jm.sync_micros = reg.GetHistogram("journal_sync_micros",
+                                        "Latency of journal fsync barriers");
       return jm;
     }();
     return m;
   }
+};
+
+/// Times one file operation into a journal latency histogram and the
+/// calling thread's wait accumulator (per-request attribution: a mutation
+/// runs wholly on one worker, so the server reads the accumulator after
+/// dispatch). One branch when metrics are off.
+class JournalOpTimer {
+ public:
+  explicit JournalOpTimer(obs::Histogram* hist, double* thread_slot)
+      : hist_(obs::MetricsEnabled() ? hist : nullptr),
+        thread_slot_(thread_slot) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~JournalOpTimer() {
+    if (hist_ == nullptr) return;
+    const double micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count();
+    hist_->Observe(micros);
+    *thread_slot_ += micros;
+  }
+
+  JournalOpTimer(const JournalOpTimer&) = delete;
+  JournalOpTimer& operator=(const JournalOpTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  double* thread_slot_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace
@@ -397,7 +436,12 @@ Status Journal::Close() {
   if (sticky_.ok()) {
     AppendLocked(kEndRecord);
     if (sticky_.ok()) {
-      Status st = file_->Sync();
+      Status st;
+      {
+        JournalOpTimer timer(JournalMetrics::Get().sync_micros,
+                             &obs::ThreadWait().journal_sync_micros);
+        st = file_->Sync();
+      }
       if (!st.ok()) {
         sticky_ = st;
         JournalMetrics::Get().errors->Increment();
@@ -424,7 +468,12 @@ Status Journal::Flush() {
 Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_.ok() || closed_) return sticky_;
-  Status st = file_->Sync();
+  Status st;
+  {
+    JournalOpTimer timer(JournalMetrics::Get().sync_micros,
+                         &obs::ThreadWait().journal_sync_micros);
+    st = file_->Sync();
+  }
   if (!st.ok()) {
     sticky_ = st;
     JournalMetrics::Get().errors->Increment();
@@ -438,7 +487,12 @@ Status Journal::Sync() {
 void Journal::AppendLocked(std::string_view payload) {
   if (!sticky_.ok() || closed_) return;
   std::string frame = FrameRecord(payload);
-  Status st = file_->Append(frame);
+  Status st;
+  {
+    JournalOpTimer timer(JournalMetrics::Get().append_micros,
+                         &obs::ThreadWait().journal_append_micros);
+    st = file_->Append(frame);
+  }
   if (!st.ok()) {
     sticky_ = st;
     JournalMetrics::Get().errors->Increment();

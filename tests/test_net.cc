@@ -41,6 +41,7 @@ using prometheus::net::SerializeHttpResponse;
 using prometheus::server::Server;
 using prometheus::testing::ParsePrometheusText;
 using prometheus::testing::PromExposition;
+using prometheus::testing::PromFamily;
 
 AttributeDef Attr(std::string name, ValueType type) {
   AttributeDef def;
@@ -478,6 +479,124 @@ TEST_F(NetTest, FlightRecorderSurfacesServedRequests) {
   EXPECT_NE(recents.body.find("select p.name"), std::string::npos);
   // The profiled request kept its per-stage span tree.
   EXPECT_NE(recents.body.find("\"stages\""), std::string::npos);
+}
+
+TEST_F(NetTest, TraceIdRoundTripsAndFiltersDebugRequests) {
+  // Caller-supplied id: echoed in the response header and retrievable by
+  // exact match from /debug/requests?id=.
+  const HttpResponse traced =
+      Fetch("POST", "/query", "select p.name from Part p",
+            {{"X-Trace-Id", "t-123"}});
+  EXPECT_EQ(traced.status_code, 200);
+  ASSERT_NE(traced.Header("x-trace-id"), nullptr);
+  EXPECT_EQ(*traced.Header("x-trace-id"), "t-123");
+
+  // A second, untraced request lands in the recorder too — the filter must
+  // exclude it.
+  EXPECT_EQ(Fetch("POST", "/query", "select p from Part p").status_code, 200);
+
+  const HttpResponse filtered = Fetch("GET", "/debug/requests?id=t-123");
+  EXPECT_EQ(filtered.status_code, 200);
+  EXPECT_NE(filtered.body.find("\"trace_id\":\"t-123\""), std::string::npos);
+  EXPECT_EQ(filtered.body.find("select p from Part p"), std::string::npos)
+      << filtered.body;
+  // An id nothing matches yields an empty array, not a 404.
+  const HttpResponse none = Fetch("GET", "/debug/requests?id=absent");
+  EXPECT_EQ(none.status_code, 200);
+  EXPECT_EQ(none.body, "[]");
+}
+
+TEST_F(NetTest, TraceIdAssignedWhenAbsent) {
+  const HttpResponse resp =
+      Fetch("POST", "/query", "select p.name from Part p");
+  EXPECT_EQ(resp.status_code, 200);
+  // The server stamped an epoch-prefixed id and echoed it.
+  ASSERT_NE(resp.Header("x-trace-id"), nullptr);
+  const std::string prefix = std::to_string(server_->server_epoch()) + "-";
+  EXPECT_EQ(resp.Header("x-trace-id")->rfind(prefix, 0), 0u)
+      << *resp.Header("x-trace-id");
+}
+
+TEST_F(NetTest, MalformedTraceIdIsA400) {
+  const HttpResponse bad_post =
+      Fetch("POST", "/query", "select p from Part p",
+            {{"X-Trace-Id", "has spaces"}});
+  EXPECT_EQ(bad_post.status_code, 400);
+  EXPECT_NE(bad_post.body.find("X-Trace-Id"), std::string::npos);
+  const HttpResponse bad_get =
+      Fetch("GET", "/health", {}, {{"X-Trace-Id", std::string(200, 'a')}});
+  EXPECT_EQ(bad_get.status_code, 400);
+  // The server survived both.
+  EXPECT_EQ(Fetch("GET", "/health").status_code, 200);
+}
+
+TEST_F(NetTest, TracedTelemetryGetsAreRecordedAndEchoed) {
+  const HttpResponse resp =
+      Fetch("GET", "/health", {}, {{"X-Trace-Id", "probe-7"}});
+  EXPECT_EQ(resp.status_code, 200);
+  ASSERT_NE(resp.Header("x-trace-id"), nullptr);
+  EXPECT_EQ(*resp.Header("x-trace-id"), "probe-7");
+  const HttpResponse filtered = Fetch("GET", "/debug/requests?id=probe-7");
+  EXPECT_NE(filtered.body.find("\"trace_id\":\"probe-7\""),
+            std::string::npos);
+  EXPECT_NE(filtered.body.find("GET /health"), std::string::npos);
+}
+
+TEST_F(NetTest, DebugContentionServesCumulativeAndWindowedReports) {
+  ASSERT_EQ(Fetch("POST", "/query", "select p.name from Part p").status_code,
+            200);
+  const HttpResponse report = Fetch("GET", "/debug/contention");
+  EXPECT_EQ(report.status_code, 200);
+  EXPECT_NE(report.body.find("\"windowed\":false"), std::string::npos);
+  for (const char* state :
+       {"admission", "queue", "guard_shared", "guard_exclusive", "execute",
+        "journal_append", "journal_sync", "serialize"}) {
+    EXPECT_NE(report.body.find("\"" + std::string(state) + "\""),
+              std::string::npos)
+        << state << " missing from " << report.body;
+  }
+  EXPECT_NE(report.body.find("\"blocked_readers\""), std::string::npos);
+
+  const HttpResponse windowed = Fetch("GET", "/debug/contention?window=1");
+  EXPECT_EQ(windowed.status_code, 200);
+  EXPECT_NE(windowed.body.find("\"windowed\":true"), std::string::npos);
+  // Wrong verb on the new route answers 405 like its siblings.
+  EXPECT_EQ(Fetch("POST", "/debug/contention", "x").status_code, 405);
+}
+
+TEST_F(NetTest, MetricsConformanceCoversWaitStateFamilies) {
+  // Force every contention family to register, then drive traffic through
+  // them, then hold the whole exposition to the strict parser.
+  ASSERT_EQ(Fetch("GET", "/debug/contention").status_code, 200);
+  ASSERT_EQ(Fetch("POST", "/query", "select p.name from Part p").status_code,
+            200);
+  const HttpResponse scrape = Fetch("GET", "/metrics");
+  ASSERT_EQ(scrape.status_code, 200);
+  PromExposition exposition;
+  const std::string error = ParsePrometheusText(scrape.body, &exposition);
+  EXPECT_TRUE(error.empty()) << error << "\n--- payload ---\n" << scrape.body;
+  for (const char* family :
+       {"guard_wait_micros", "guard_hold_micros", "guard_blocked_readers",
+        "guard_blocked_writers", "guard_writer_held",
+        "guard_writer_last_hold_micros", "request_wait_micros",
+        "journal_append_micros", "journal_sync_micros"}) {
+    EXPECT_NE(exposition.Find(family), nullptr) << family << " not exposed";
+  }
+  // The labelled families carry their mode/state labels.
+  const PromFamily* guard_wait = exposition.Find("guard_wait_micros");
+  ASSERT_NE(guard_wait, nullptr);
+  bool saw_shared = false;
+  for (const auto& s : guard_wait->samples) {
+    if (s.Label("mode") == "shared") saw_shared = true;
+  }
+  EXPECT_TRUE(saw_shared);
+  const PromFamily* request_wait = exposition.Find("request_wait_micros");
+  ASSERT_NE(request_wait, nullptr);
+  bool saw_queue = false;
+  for (const auto& s : request_wait->samples) {
+    if (s.Label("state") == "queue") saw_queue = true;
+  }
+  EXPECT_TRUE(saw_queue);
 }
 
 TEST_F(NetTest, MalformedWireBytesGetA400) {

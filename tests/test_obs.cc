@@ -644,9 +644,9 @@ TEST(SlowQueryLogTest, RingEvictsOldestAndCountsTotal) {
   SlowQueryLog log(/*threshold_micros=*/10, /*capacity=*/2);
   EXPECT_FALSE(log.ShouldRecord(5));
   EXPECT_TRUE(log.ShouldRecord(10));
-  log.Record({1, "q1", 20, ""});
-  log.Record({2, "q2", 30, ""});
-  log.Record({3, "q3", 40, ""});
+  log.Record({1, "t-1", "q1", 20, ""});
+  log.Record({2, "t-2", "q2", 30, ""});
+  log.Record({3, "t-3", "q3", 40, ""});
   EXPECT_EQ(log.recorded_total(), 3u);
   std::vector<SlowQueryLog::Entry> entries = log.entries();
   ASSERT_EQ(entries.size(), 2u);

@@ -455,6 +455,58 @@ TEST(ReplicationE2ETest, FollowerConvergesServesReadsRefusesWrites) {
   EXPECT_EQ(p.lag_records, 0u);
 }
 
+// Fleet-wide trace stitching: every leader fetch carries an
+// X-Trace-Id ("repl-<follower-id>-<n>"); the follower records its side in
+// its own flight recorder and the leader's HTTP plane records the served
+// /repl/* request under the same id — so one id resolves on both nodes.
+TEST(ReplicationE2ETest, FetchTraceIdsAppearOnBothLeaderAndFollower) {
+  const std::string leader_dir = FreshDir("repl_trace_leader");
+  const std::string follower_dir = FreshDir("repl_trace_follower");
+  auto leader = Leader::Start(leader_dir);
+  ASSERT_NE(leader, nullptr);
+
+  Client writer(leader->server.get());
+  ASSERT_TRUE(writer
+                  .CreateObject("Sp", {{"name", Value::String("traced")},
+                                       {"rank", Value::Int(1)}})
+                  .ok());
+
+  auto follower = Follower::Start(
+      FollowerOptions(follower_dir, leader->port(), "tracer"));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  ASSERT_TRUE(follower.value()->WaitCaughtUp(10000));
+  // Stop polling before snapshotting: after catch-up the follower's empty
+  // polls keep writing new trace ids into the leader's bounded ring, and
+  // enough of them would evict the fetches the follower recorded.
+  follower.value()->Stop();
+
+  std::vector<std::string> follower_ids;
+  for (const auto& e : follower.value()->server().flight_recorder()
+                           .Snapshot()) {
+    if (e.type != "repl_fetch") continue;
+    EXPECT_EQ(e.trace_id.rfind("repl-tracer-", 0), 0u) << e.trace_id;
+    EXPECT_TRUE(e.executed);
+    follower_ids.push_back(e.trace_id);
+  }
+  ASSERT_FALSE(follower_ids.empty());
+
+  // At least one of those ids resolves on the leader too, recorded by the
+  // HTTP plane as an aux (/repl/*) request.
+  int stitched = 0;
+  for (const auto& e : leader->server->flight_recorder().Snapshot()) {
+    if (e.type != "aux") continue;
+    EXPECT_EQ(e.trace_id.rfind("repl-tracer-", 0), 0u) << e.trace_id;
+    for (const auto& id : follower_ids) {
+      if (e.trace_id == id) {
+        ++stitched;
+        EXPECT_NE(e.detail.find("/repl/"), std::string::npos) << e.detail;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(stitched, 0);
+}
+
 // The follower's read-only server caches results like any other; journal
 // application under the write guard bumps the replica's epoch, so a
 // replicated write invalidates the follower's cached entries without any
