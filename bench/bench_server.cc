@@ -59,6 +59,7 @@
 #include "bench_util.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "obs/wait_profiler.h"
 #include "oo7/oo7.h"
 #include "replication/follower.h"
 #include "replication/source.h"
@@ -221,6 +222,111 @@ void EmitSweepJson(JsonWriter& json, const SweepResult& r) {
   json.Key("write_p95_ms").Number(r.write_lat.p95);
   json.Key("write_p99_ms").Number(r.write_lat.p99);
   json.EndObject();
+}
+
+// ------------------------------------------------------------------- E21
+
+struct MvccChurnResult {
+  SweepResult sweep;
+  std::uint64_t writer_txns = 0;  ///< 400-write transactions committed
+  double writer_txn_p50_ms = 0;
+  /// Delta of guard_wait_micros{mode="shared"} over the phase. MVCC readers
+  /// pin a snapshot at dequeue instead of taking the shared guard, so this
+  /// should stay at (or within noise of) zero even while the writer loops.
+  std::uint64_t guard_shared_waits = 0;
+  double guard_shared_wait_micros = 0;
+};
+
+/// `readers` query clients at full tilt while ONE writer loops 400-write
+/// transactions (Begin, 400x SetAttribute, Commit) back to back — the
+/// stalled-writer scenario MVCC snapshot reads exist for. Pre-MVCC, every
+/// reader queued behind the exclusive guard for the length of each
+/// transaction; now readers execute against their pinned snapshot and the
+/// writer's hold time should not show up in read latency at all.
+MvccChurnResult RunMvccChurn(Server& server, const std::vector<Oid>& parts,
+                             int workers, int readers,
+                             int requests_per_client) {
+  MvccChurnResult out;
+  const auto shared_before =
+      prometheus::obs::GuardInstruments::Get().shared_wait->snapshot();
+
+  std::vector<std::vector<double>> read_lats(
+      static_cast<std::size_t>(readers));
+  std::atomic<std::size_t> failed{0};
+  std::atomic<bool> readers_done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers));
+
+  std::vector<double> txn_lats;
+  std::atomic<std::uint64_t> txns{0};
+  std::thread writer([&] {
+    Client client(&server);
+    std::mt19937 rng(7700u);
+    std::uniform_int_distribution<std::size_t> pick(0, parts.size() - 1);
+    while (!readers_done.load(std::memory_order_acquire)) {
+      const Clock::time_point t0 = Clock::now();
+      const Status st = client.Mutate([&](Database& db) {
+        PROMETHEUS_RETURN_IF_ERROR(db.Begin());
+        for (int i = 0; i < 400; ++i) {
+          Status s = db.SetAttribute(parts[pick(rng)], "x", Value::Int(i));
+          if (!s.ok()) {
+            (void)db.Abort();
+            return s;
+          }
+        }
+        return db.Commit();
+      });
+      txn_lats.push_back(MillisSince(t0));
+      if (st.ok()) txns.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const Clock::time_point wall_start = Clock::now();
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(&server);
+      std::mt19937 rng(2100u + static_cast<unsigned>(c));
+      auto& lats = read_lats[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const std::string q = ReadQuery(rng);
+        const Clock::time_point t0 = Clock::now();
+        auto r = client.Query(q);
+        lats.push_back(MillisSince(t0));
+        if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.sweep.wall_ms = MillisSince(wall_start);
+  readers_done.store(true, std::memory_order_release);
+  writer.join();
+
+  out.sweep.workers = workers;
+  out.sweep.reader_clients = readers;
+  out.sweep.writer_clients = 1;
+  std::vector<double> all_reads;
+  for (auto& v : read_lats) {
+    all_reads.insert(all_reads.end(), v.begin(), v.end());
+  }
+  out.sweep.requests = all_reads.size();
+  out.sweep.failed = failed.load();
+  out.sweep.throughput_rps =
+      out.sweep.wall_ms > 0
+          ? static_cast<double>(out.sweep.requests) /
+                (out.sweep.wall_ms / 1000.0)
+          : 0;
+  out.sweep.read_lat = SummarizeLatencies(all_reads);
+  out.sweep.write_lat = SummarizeLatencies(txn_lats);
+  out.sweep.rejected = server.stats().rejected;
+
+  out.writer_txns = txns.load();
+  out.writer_txn_p50_ms = out.sweep.write_lat.p50;
+  const auto shared_after =
+      prometheus::obs::GuardInstruments::Get().shared_wait->snapshot();
+  out.guard_shared_waits = shared_after.count - shared_before.count;
+  out.guard_shared_wait_micros = shared_after.sum - shared_before.sum;
+  return out;
 }
 
 // ------------------------------------------------------------------- E16
@@ -1106,6 +1212,79 @@ int main(int argc, char** argv) {
       json.Key("churn_hits").Int(static_cast<long long>(r.hits));
       json.Key("churn_misses").Int(static_cast<long long>(r.misses));
       json.Key("churn_hit_rate_percent").Number(r.hit_rate_percent);
+    }
+  }
+  json.EndObject();
+
+  // ---- E21: MVCC snapshot reads under 400-write transaction churn ------
+  // Readers pin an immutable snapshot at dequeue and never touch the
+  // shared guard, so a writer looping long transactions must not move read
+  // latency: target p99 within 20% of the reader-only baseline, and the
+  // guard_wait_micros{mode="shared"} histogram flat across the phase. The
+  // cache is off in both phases so every request actually executes.
+  prometheus::bench::PrintTableHeader(
+      "E21: MVCC snapshot reads (8 readers vs one 400-write txn writer, "
+      "4 workers, cache off)",
+      "  phase        workers  requests  throughput   latency");
+  json.Key("e21").BeginObject();
+  {
+    double baseline_p99 = 0;
+    {
+      PrometheusOo7 oo7(config);
+      Server::Options options;
+      options.worker_threads = 4;
+      options.queue_capacity = 4096;
+      options.cache.enabled = false;
+      Server server(&oo7.db(), options);
+      SweepResult r = RunLoad(server, {}, 4, kClientThreads,
+                              /*writers=*/0, requests_per_client);
+      server.Shutdown();
+      PrintRow(r, "reader-only");
+      json.Key("reader_only");
+      EmitSweepJson(json, r);
+      baseline_p99 = r.read_lat.p99;
+    }
+    {
+      PrometheusOo7 oo7(config);
+      const std::vector<Oid> parts = oo7.db().Extent("AtomicPart");
+      Server::Options options;
+      options.worker_threads = 4;
+      options.queue_capacity = 4096;
+      options.cache.enabled = false;
+      Server server(&oo7.db(), options);
+      MvccChurnResult r =
+          RunMvccChurn(server, parts, 4, kClientThreads, requests_per_client);
+      server.Shutdown();
+      PrintRow(r.sweep, "txn-churn");
+      std::printf("               writer: %llu committed 400-write txns, "
+                  "p50 %.3f ms/txn\n",
+                  static_cast<unsigned long long>(r.writer_txns),
+                  r.writer_txn_p50_ms);
+      std::printf("               guard shared-mode waits during phase: %llu "
+                  "(%.0f us total; MVCC target: 0)\n",
+                  static_cast<unsigned long long>(r.guard_shared_waits),
+                  r.guard_shared_wait_micros);
+      json.Key("churn");
+      EmitSweepJson(json, r.sweep);
+      json.Key("writer_txns").Int(static_cast<long long>(r.writer_txns));
+      json.Key("writer_writes_per_txn").Int(400);
+      json.Key("writer_txn_p50_ms").Number(r.writer_txn_p50_ms);
+      json.Key("guard_shared_waits")
+          .Int(static_cast<long long>(r.guard_shared_waits));
+      json.Key("guard_shared_wait_micros").Number(r.guard_shared_wait_micros);
+      const double ratio =
+          baseline_p99 > 0 ? r.sweep.read_lat.p99 / baseline_p99 : 0;
+      json.Key("read_p99_ratio").Number(ratio);
+      json.Key("scaling_4v1").Number(scaling);  // E14a read sweep, same path
+      json.Key("host_bounded").Bool(cores < 4);
+      std::printf("  reader p99 under txn churn vs reader-only: %.2fx  "
+                  "(target <= 1.2x)%s\n",
+                  ratio, ratio <= 1.2 ? "" : "  [OVER TARGET]");
+      if (cores < 4) {
+        std::printf("  (only %u hardware thread%s — churn and baseline share "
+                    "the core%s; ratio is host-bounded)\n",
+                    cores, cores == 1 ? "" : "s", cores == 1 ? "" : "s");
+      }
     }
   }
   json.EndObject();

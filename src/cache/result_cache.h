@@ -59,9 +59,13 @@ class ResultCache {
   std::shared_ptr<const pool::ResultSet> Lookup(const std::string& text,
                                                 std::uint64_t epoch);
 
-  /// Stores `rows` (`bytes` big) as valid at `epoch`. The caller must hold
-  /// the read guard that pinned `epoch` (so it is still current), and
-  /// `rows` must never be mutated afterwards.
+  /// Stores `rows` (`bytes` big) as computed at `epoch` — the epoch of the
+  /// snapshot the query actually ran against, *not* the database's current
+  /// epoch at insert time. A writer may have committed between execution
+  /// and this call; stamping the current epoch then would launder stale
+  /// rows as fresh. Stamped with the ran-at epoch, such an entry simply
+  /// never serves (lookups compare against the current epoch) — correct,
+  /// if unprofitable. `rows` must never be mutated afterwards.
   void Insert(const std::string& text, std::uint64_t epoch,
               std::shared_ptr<const pool::ResultSet> rows, std::size_t bytes);
 

@@ -4,9 +4,37 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace prometheus {
 
 namespace {
+
+/// Cached gauge pointers mirroring the always-on mvcc counters into the
+/// metrics registry (registration is get-or-create and mutex-protected, so
+/// resolve once).
+struct MvccGauges {
+  obs::Gauge* retained;
+  obs::Gauge* live;
+  obs::Gauge* pinned;
+  obs::Gauge* oldest;
+
+  static const MvccGauges& Get() {
+    static const MvccGauges g{
+        obs::Registry().GetGauge(
+            "mvcc_retained_versions",
+            "Object/link versions retained by live snapshots"),
+        obs::Registry().GetGauge("mvcc_live_snapshots",
+                                 "DbSnapshot instances currently alive"),
+        obs::Registry().GetGauge("mvcc_pinned_snapshots",
+                                 "Snapshot handles currently pinned"),
+        obs::Registry().GetGauge(
+            "mvcc_oldest_snapshot_epoch",
+            "GC watermark: oldest epoch a pinned snapshot still reads"),
+    };
+    return g;
+  }
+};
 
 /// Type-checks `value` against an attribute declaration. Null is always
 /// accepted (absent optional value).
@@ -68,7 +96,7 @@ Result<const ClassDef*> Database::DefineClass(
     }
     super_defs.push_back(sd);
   }
-  auto cls = std::make_unique<ClassDef>(name, is_abstract);
+  auto cls = std::make_shared<ClassDef>(name, is_abstract);
   cls->supers_ = super_defs;
   for (AttributeDef& a : attributes) {
     if (a.name.empty()) {
@@ -96,6 +124,7 @@ Result<const ClassDef*> Database::DefineClass(
   classes_by_name_[name] = raw;
   extents_[raw] = {};
   class_storage_.push_back(std::move(cls));
+  MarkSchemaDirty();
   Event ddl(EventKind::kAfterDefineClass);
   ddl.type_name = name;
   PROMETHEUS_RETURN_IF_ERROR(PublishEvent(ddl));
@@ -164,7 +193,7 @@ Result<const RelationshipDef*> Database::DefineRelationship(
     }
     super_defs.push_back(sd);
   }
-  auto rel = std::make_unique<RelationshipDef>(name, src, dst,
+  auto rel = std::make_shared<RelationshipDef>(name, src, dst,
                                                std::move(semantics));
   rel->supers_ = super_defs;
   for (AttributeDef& a : link_attributes) {
@@ -181,6 +210,7 @@ Result<const RelationshipDef*> Database::DefineRelationship(
   rels_by_name_[name] = raw;
   link_extents_[raw] = {};
   rel_storage_.push_back(std::move(rel));
+  MarkSchemaDirty();
   Event ddl(EventKind::kAfterDefineRelationship);
   ddl.type_name = name;
   PROMETHEUS_RETURN_IF_ERROR(PublishEvent(ddl));
@@ -202,6 +232,7 @@ Status Database::DefineMethod(const std::string& class_name,
                                    "' already declared");
   }
   it->second->methods_.push_back(std::move(method));
+  MarkSchemaDirty();
   return Status::Ok();
 }
 
@@ -282,12 +313,18 @@ std::vector<const RelationshipDef*> Database::relationships() const {
 
 Object* Database::MutableObject(Oid oid) {
   auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : it->second.get();
+  if (it == objects_.end()) return nullptr;
+  // Conservative dirty mark: callers hold this pointer to mutate (or to
+  // probe — the occasional spurious version copy at publish is harmless).
+  MarkObjectDirty(oid);
+  return it->second.get();
 }
 
 Link* Database::MutableLink(Oid oid) {
   auto it = links_.find(oid);
-  return it == links_.end() ? nullptr : it->second.get();
+  if (it == links_.end()) return nullptr;
+  MarkLinkDirty(oid);
+  return it->second.get();
 }
 
 Status Database::PublishEvent(const Event& event) {
@@ -300,6 +337,8 @@ void Database::RecordUndo(UndoRecord record) {
 }
 
 void Database::RemoveFromExtent(Object* obj) {
+  MarkExtentDirty(obj->cls);
+  MarkObjectDirty(obj->oid);
   std::vector<Oid>& extent = extents_[obj->cls];
   std::size_t pos = obj->extent_pos;
   extent[pos] = extent.back();
@@ -308,6 +347,8 @@ void Database::RemoveFromExtent(Object* obj) {
 }
 
 void Database::RestoreToExtent(Object* obj) {
+  MarkExtentDirty(obj->cls);
+  MarkObjectDirty(obj->oid);
   std::vector<Oid>& extent = extents_[obj->cls];
   obj->extent_pos = extent.size();
   extent.push_back(obj->oid);
@@ -335,6 +376,8 @@ void Database::AttachLinkToEndpoints(const Link& link) {
 
 void Database::AddToContextIndex(Link* link) {
   if (link->context == kNullOid) return;
+  MarkContextDirty(link->context);
+  MarkLinkDirty(link->oid);
   std::vector<Oid>& bucket = context_index_[link->context];
   link->ctx_pos = bucket.size();
   bucket.push_back(link->oid);
@@ -342,6 +385,8 @@ void Database::AddToContextIndex(Link* link) {
 
 void Database::RemoveFromContextIndex(Link* link) {
   if (link->context == kNullOid) return;
+  MarkContextDirty(link->context);
+  MarkLinkDirty(link->oid);
   std::vector<Oid>& bucket = context_index_[link->context];
   std::size_t pos = link->ctx_pos;
   bucket[pos] = bucket.back();
@@ -350,6 +395,8 @@ void Database::RemoveFromContextIndex(Link* link) {
 }
 
 void Database::RemoveLinkFromExtent(Link* link) {
+  MarkLinkExtentDirty(link->def);
+  MarkLinkDirty(link->oid);
   std::vector<Oid>& extent = link_extents_[link->def];
   std::size_t pos = link->extent_pos;
   extent[pos] = extent.back();
@@ -358,6 +405,8 @@ void Database::RemoveLinkFromExtent(Link* link) {
 }
 
 void Database::RestoreLinkToExtent(Link* link) {
+  MarkLinkExtentDirty(link->def);
+  MarkLinkDirty(link->oid);
   std::vector<Oid>& extent = link_extents_[link->def];
   link->extent_pos = extent.size();
   extent.push_back(link->oid);
@@ -1006,6 +1055,7 @@ Status Database::DeclareSynonym(Oid a, Oid b) {
   // representative is deterministic (the oldest object).
   if (rb < ra) std::swap(ra, rb);
   synonym_parent_[rb] = ra;
+  MarkSynonymsDirty();
   UndoRecord undo{};
   undo.kind = UndoRecord::Kind::kDeclareSynonym;
   undo.oid = rb;
@@ -1115,6 +1165,7 @@ Status Database::RestoreSynonymRaw(Oid child, Oid parent) {
   AssertExclusiveAccess();
   if (child == parent) return Status::Ok();
   synonym_parent_[child] = parent;
+  MarkSynonymsDirty();
   return Status::Ok();
 }
 
@@ -1143,6 +1194,15 @@ Status Database::Clear() {
   live_objects_ = 0;
   live_links_ = 0;
   next_oid_ = 1;
+  // Everything changed at once (and the dirty sets may hold pointers into
+  // the schema storage just dropped): force a from-scratch rebuild at the
+  // next publish. Snapshots taken before the clear stay fully readable —
+  // their SchemaTables keep-alives own the old definitions.
+  if (TrackDirty()) {
+    dirty_ = DirtyState{};
+    dirty_.full = true;
+    dirty_.any = true;
+  }
   return Status::Ok();
 }
 
@@ -1295,10 +1355,237 @@ void Database::UndoAll() {
       }
       case UndoRecord::Kind::kDeclareSynonym: {
         synonym_parent_.erase(rec.oid);
+        MarkSynonymsDirty();
         break;
       }
     }
   }
+}
+
+// ------------------------------------------------------ MVCC publication
+
+std::shared_ptr<const SchemaTables> Database::BuildSchemaTables() const {
+  auto t = std::make_shared<SchemaTables>();
+  t->class_keep_alive.reserve(class_storage_.size());
+  t->classes_in_order.reserve(class_storage_.size());
+  for (const auto& c : class_storage_) {
+    t->class_keep_alive.push_back(c);
+    t->classes_in_order.push_back(c.get());
+    t->classes_by_name[c->name()] = c.get();
+    if (!c->subclasses().empty()) t->subclasses[c.get()] = c->subclasses();
+  }
+  t->rel_keep_alive.reserve(rel_storage_.size());
+  t->rels_in_order.reserve(rel_storage_.size());
+  for (const auto& r : rel_storage_) {
+    t->rel_keep_alive.push_back(r);
+    t->rels_in_order.push_back(r.get());
+    t->rels_by_name[r->name()] = r.get();
+    if (!r->subrelationships().empty()) {
+      t->subrels[r.get()] = r->subrelationships();
+    }
+  }
+  return t;
+}
+
+std::shared_ptr<DbSnapshot> Database::BuildFullSnapshot(
+    std::uint64_t epoch) const {
+  std::shared_ptr<DbSnapshot> snap(new DbSnapshot());
+  snap->epoch_ = epoch;
+  snap->schema_ = BuildSchemaTables();
+  for (const auto& [oid, obj] : objects_) {
+    snap->objects_.Set(oid, mvcc::MakeVersion(*obj));
+  }
+  for (const auto& [oid, link] : links_) {
+    snap->links_.Set(oid, mvcc::MakeVersion(*link));
+  }
+  for (const auto& [cls, extent] : extents_) {
+    if (!extent.empty()) {
+      snap->extents_[cls] = std::make_shared<const std::vector<Oid>>(extent);
+    }
+  }
+  for (const auto& [def, extent] : link_extents_) {
+    if (!extent.empty()) {
+      snap->link_extents_[def] =
+          std::make_shared<const std::vector<Oid>>(extent);
+    }
+  }
+  for (const auto& [ctx, bucket] : context_index_) {
+    if (!bucket.empty()) {
+      snap->context_index_[ctx] =
+          std::make_shared<const std::vector<Oid>>(bucket);
+    }
+  }
+  snap->synonym_parent_ =
+      std::make_shared<const std::unordered_map<Oid, Oid>>(synonym_parent_);
+  snap->live_objects_ = live_objects_;
+  snap->live_links_ = live_links_;
+  return snap;
+}
+
+std::shared_ptr<DbSnapshot> Database::BuildNextSnapshot(
+    const DbSnapshot& prev, std::uint64_t epoch) const {
+  // Structural share of the previous cut, then replace exactly what the
+  // dirty set names. Cost: O(changed records × trie depth) version copies
+  // plus a wholesale copy of each *dirty* extent/context bucket — fine for
+  // transaction-sized commits; a known cost for single-record commits
+  // against a huge extent (future work: persistent extent trees).
+  std::shared_ptr<DbSnapshot> snap(new DbSnapshot(prev));
+  snap->epoch_ = epoch;
+  if (dirty_.schema) snap->schema_ = BuildSchemaTables();
+  for (Oid oid : dirty_.objects) {
+    auto it = objects_.find(oid);
+    if (it == objects_.end()) {
+      snap->objects_.Erase(oid);
+    } else {
+      snap->objects_.Set(oid, mvcc::MakeVersion(*it->second));
+    }
+  }
+  for (Oid oid : dirty_.links) {
+    auto it = links_.find(oid);
+    if (it == links_.end()) {
+      snap->links_.Erase(oid);
+    } else {
+      snap->links_.Set(oid, mvcc::MakeVersion(*it->second));
+    }
+  }
+  for (const ClassDef* cls : dirty_.extents) {
+    auto it = extents_.find(cls);
+    if (it == extents_.end() || it->second.empty()) {
+      snap->extents_.erase(cls);
+    } else {
+      snap->extents_[cls] =
+          std::make_shared<const std::vector<Oid>>(it->second);
+    }
+  }
+  for (const RelationshipDef* def : dirty_.link_extents) {
+    auto it = link_extents_.find(def);
+    if (it == link_extents_.end() || it->second.empty()) {
+      snap->link_extents_.erase(def);
+    } else {
+      snap->link_extents_[def] =
+          std::make_shared<const std::vector<Oid>>(it->second);
+    }
+  }
+  for (Oid ctx : dirty_.contexts) {
+    auto it = context_index_.find(ctx);
+    if (it == context_index_.end() || it->second.empty()) {
+      snap->context_index_.erase(ctx);
+    } else {
+      snap->context_index_[ctx] =
+          std::make_shared<const std::vector<Oid>>(it->second);
+    }
+  }
+  if (dirty_.synonyms) {
+    snap->synonym_parent_ =
+        std::make_shared<const std::unordered_map<Oid, Oid>>(synonym_parent_);
+  }
+  snap->live_objects_ = live_objects_;
+  snap->live_links_ = live_links_;
+  return snap;
+}
+
+void Database::PublishSnapshot() {
+  if (!mvcc_engaged_.load(std::memory_order_relaxed)) {
+    dirty_ = DirtyState{};
+    return;
+  }
+  std::shared_ptr<const DbSnapshot> prev;
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    prev = current_snapshot_;
+  }
+  // Stamped with the epoch the closing write section commits as. Even a
+  // no-op section republishes (an O(1) restamped share) so the snapshot
+  // epoch tracks the database epoch exactly — the result cache's
+  // epoch-equality check depends on that.
+  const std::uint64_t next_epoch =
+      epoch_.load(std::memory_order_relaxed) + 1;
+  std::shared_ptr<DbSnapshot> snap;
+  if (snapshot_stale_.load(std::memory_order_acquire) || dirty_.full ||
+      prev == nullptr) {
+    snap = BuildFullSnapshot(next_epoch);
+    snapshot_stale_.store(false, std::memory_order_release);
+  } else {
+    snap = BuildNextSnapshot(*prev, next_epoch);
+  }
+  dirty_ = DirtyState{};
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    current_snapshot_ = std::move(snap);
+  }
+  prev.reset();  // drop the superseded cut before reporting retention
+  UpdateMvccGauges();
+}
+
+void Database::RebuildSnapshotSlow() {
+  std::lock_guard<std::mutex> rebuild_lk(snap_rebuild_mu_);
+  if (mvcc_engaged_.load(std::memory_order_acquire) &&
+      !snapshot_stale_.load(std::memory_order_acquire)) {
+    return;  // another acquirer already rebuilt
+  }
+  // The shared guard excludes writers, so the live state is a consistent
+  // cut at the *current* epoch (no bump happens without a write section).
+  ReadGuard guard(*this);
+  auto snap = BuildFullSnapshot(epoch());
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    current_snapshot_ = std::move(snap);
+  }
+  snapshot_stale_.store(false, std::memory_order_release);
+  mvcc_engaged_.store(true, std::memory_order_release);
+  UpdateMvccGauges();
+}
+
+SnapshotHandle Database::AcquireSnapshot() {
+  if (!mvcc_engaged_.load(std::memory_order_acquire) ||
+      snapshot_stale_.load(std::memory_order_acquire)) {
+    RebuildSnapshotSlow();
+  }
+  std::shared_ptr<const DbSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    snap = current_snapshot_;
+  }
+  RegisterPin(snap->epoch());
+  return SnapshotHandle(std::move(snap), this);
+}
+
+void Database::RegisterPin(std::uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lk(snap_reg_mu_);
+    pinned_epochs_.insert(epoch);
+  }
+  UpdateMvccGauges();
+}
+
+void Database::ReleasePin(std::uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lk(snap_reg_mu_);
+    auto it = pinned_epochs_.find(epoch);
+    if (it != pinned_epochs_.end()) pinned_epochs_.erase(it);
+  }
+  UpdateMvccGauges();
+}
+
+std::size_t Database::pinned_snapshots() const {
+  std::lock_guard<std::mutex> lk(snap_reg_mu_);
+  return pinned_epochs_.size();
+}
+
+std::uint64_t Database::oldest_pinned_epoch() const {
+  std::lock_guard<std::mutex> lk(snap_reg_mu_);
+  return pinned_epochs_.empty() ? epoch() : *pinned_epochs_.begin();
+}
+
+void Database::UpdateMvccGauges() const {
+  if (!obs::MetricsEnabled()) return;
+  const MvccGauges& g = MvccGauges::Get();
+  g.retained->Set(static_cast<std::int64_t>(mvcc::RetainedVersions()));
+  g.live->Set(static_cast<std::int64_t>(mvcc::LiveSnapshots()));
+  std::lock_guard<std::mutex> lk(snap_reg_mu_);
+  g.pinned->Set(static_cast<std::int64_t>(pinned_epochs_.size()));
+  g.oldest->Set(static_cast<std::int64_t>(
+      pinned_epochs_.empty() ? epoch() : *pinned_epochs_.begin()));
 }
 
 // ------------------------------------------------------------- validation

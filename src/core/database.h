@@ -5,13 +5,16 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -19,21 +22,13 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "core/instance.h"
+#include "core/read_view.h"
 #include "core/schema.h"
+#include "core/snapshot.h"
 #include "event/event_bus.h"
 #include "obs/wait_profiler.h"
 
 namespace prometheus {
-
-/// Direction selector for link traversal.
-enum class Direction : std::uint8_t {
-  kOut,   ///< follow links from source to target
-  kIn,    ///< follow links from target to source
-  kBoth,  ///< follow links either way (undirected view)
-};
-
-/// Named initial attribute assignment used at object/link creation.
-using AttrInit = std::pair<std::string, Value>;
 
 /// The Prometheus database: schema registry, object store, first-class
 /// relationship store, instance synonyms and transactions, publishing every
@@ -42,13 +37,23 @@ using AttrInit = std::pair<std::string, Value>;
 ///
 /// Thread model: a `Database` used from one thread (the embedded mode, and
 /// the thesis' single-user prototype) needs no locking at all. Concurrent
-/// use goes through the **epoch guard** — `ReadGuard` / `WriteGuard` below:
-/// any number of readers (const methods, `QueryEngine::Execute`) may hold
-/// the guard shared while writers (every mutation, transaction, or
-/// journal-observed change) hold it exclusive. The service layer
-/// (`src/server/`) is the canonical guard user. Debug builds assert the
+/// use is MVCC: writers (every mutation, transaction, or journal-observed
+/// change) serialize through the exclusive `WriteGuard` below, and the end
+/// of each write section **publishes an immutable `DbSnapshot`** of the
+/// whole database. Readers call `AcquireSnapshot()` and execute against
+/// the pinned snapshot with no lock held — a reader can never be blocked,
+/// starved, or torn by a writer, and a writer stalled mid-section (e.g. in
+/// a journal fsync) degrades write latency only. `ReadGuard` remains for
+/// callers that genuinely need the *live* state quiesced (snapshot
+/// bootstrap, storage checkpointing, tests). Debug builds assert the
 /// protocol on every extent/instance access.
-class Database {
+///
+/// Version retention is reference-counted, not scheduled: superseded
+/// versions are freed the moment the last snapshot reaching them is
+/// released (watermark = oldest pinned epoch, visible as
+/// `mvcc_oldest_snapshot_epoch`; retention volume as
+/// `mvcc_retained_versions`).
+class Database : public ReadView {
  public:
   Database();
   ~Database();
@@ -150,6 +155,14 @@ class Database {
                            acquired_at_ - start)
                            .count();
         g.exclusive_wait->Observe(wait_micros_);
+        // High-water mark of writer wait: single-writer MVCC makes writer
+        // admission the choke point, so starvation must be visible.
+        // Writers are serialized here (the lock is already held), so the
+        // read-compare-set cannot lose an update.
+        if (wait_micros_ >
+            static_cast<double>(g.writer_longest_wait->value())) {
+          g.writer_longest_wait->Set(static_cast<std::int64_t>(wait_micros_));
+        }
         g.writer_held->Set(1);
         timed_ = true;
       } else {
@@ -160,6 +173,12 @@ class Database {
       db_.writer_active_.store(true, std::memory_order_release);
     }
     ~WriteGuard() {
+      // Publish the post-section snapshot while still exclusive, *before*
+      // the epoch bump becomes observable: a reader that sees epoch E+1
+      // must be able to acquire a snapshot stamped E+1 (a reader seeing
+      // the new snapshot before the bump is harmless — snapshots only ever
+      // run ahead of the observable epoch, never behind).
+      db_.PublishSnapshot();
       db_.writer_active_.store(false, std::memory_order_release);
       db_.epoch_.fetch_add(1, std::memory_order_acq_rel);
       if (timed_) {
@@ -192,9 +211,47 @@ class Database {
   /// Monotonic count of completed exclusive (write) sections. A reader
   /// observing the same epoch before and after a computation is guaranteed
   /// that no guarded mutation interleaved.
-  std::uint64_t epoch() const {
+  std::uint64_t epoch() const override {
     return epoch_.load(std::memory_order_acquire);
   }
+
+  /// The live view accepts any index state (index mutations track the live
+  /// database by construction).
+  std::uint64_t index_epoch_ceiling() const override {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// The epoch the in-progress write section will commit as (epoch()+1
+  /// under a live WriteGuard, epoch() otherwise). Derived-state maintainers
+  /// (indexes) stamp their mutations with this so snapshot readers can tell
+  /// "index state as of my epoch" from "index already running ahead".
+  std::uint64_t pending_epoch() const {
+    return epoch() +
+           (writer_active_.load(std::memory_order_acquire) ? 1 : 0);
+  }
+
+  // ------------------------------------------------- MVCC snapshot reads
+
+  /// Pins the current published snapshot and returns a handle to it. The
+  /// first call engages MVCC publication (until then, single-threaded
+  /// embedded use pays nothing for versioning); afterwards every write
+  /// section refreshes the published snapshot incrementally.
+  ///
+  /// Never blocks on a writer once engaged — the fast path is one brief
+  /// mutex-protected shared_ptr copy plus the pin-registry insert, neither
+  /// held across a write section. Must not be called by a thread that
+  /// holds this database's guard (the engagement slow path takes the guard
+  /// shared).
+  SnapshotHandle AcquireSnapshot();
+
+  /// Number of currently pinned snapshot handles (test/ops visibility;
+  /// also exported as `mvcc_pinned_snapshots`).
+  std::size_t pinned_snapshots() const;
+
+  /// The GC watermark: the oldest epoch a pinned handle still reads, or
+  /// the current epoch when nothing is pinned. Versions older than this
+  /// are unreachable and already freed (refcount reclamation).
+  std::uint64_t oldest_pinned_epoch() const;
 
   /// Debug checks of the locking protocol; no-ops in NDEBUG builds.
   /// Shared access is legal unless a *foreign* thread holds the write
@@ -267,16 +324,17 @@ class Database {
       const std::string& name) const;
 
   /// Looks up a class by name; nullptr when absent.
-  const ClassDef* FindClass(std::string_view name) const;
+  const ClassDef* FindClass(std::string_view name) const override;
 
   /// Looks up a relationship class by name; nullptr when absent.
-  const RelationshipDef* FindRelationship(std::string_view name) const;
+  const RelationshipDef* FindRelationship(
+      std::string_view name) const override;
 
   /// All defined classes, in definition order.
-  std::vector<const ClassDef*> classes() const;
+  std::vector<const ClassDef*> classes() const override;
 
   /// All defined relationship classes, in definition order.
-  std::vector<const RelationshipDef*> relationships() const;
+  std::vector<const RelationshipDef*> relationships() const override;
 
   // --------------------------------------------------------------- objects
 
@@ -295,22 +353,22 @@ class Database {
   /// Reads an attribute. Falls back to attributes inherited from incoming
   /// links whose relationship class enables `inherit_attributes`
   /// (thesis 4.4.5, figures 17–18).
-  Result<Value> GetAttribute(Oid oid, const std::string& name) const;
+  Result<Value> GetAttribute(Oid oid, const std::string& name) const override;
 
   /// Non-owning instance lookup; nullptr when the oid is dead or unknown.
-  const Object* GetObject(Oid oid) const;
+  const Object* GetObject(Oid oid) const override;
 
   /// True when `oid` designates a live object of `class_name` (or one of
   /// its subclasses).
-  bool IsInstanceOf(Oid oid, std::string_view class_name) const;
+  bool IsInstanceOf(Oid oid, std::string_view class_name) const override;
 
   /// The extent of a class; with `include_subclasses` (the default) this is
   /// the deep extent.
   std::vector<Oid> Extent(const std::string& class_name,
-                          bool include_subclasses = true) const;
+                          bool include_subclasses = true) const override;
 
   /// Number of live objects.
-  std::size_t object_count() const { return live_objects_; }
+  std::size_t object_count() const override { return live_objects_; }
 
   // ----------------------------------------------------------------- links
 
@@ -328,23 +386,25 @@ class Database {
   Status SetLinkAttribute(Oid oid, const std::string& name, Value value);
 
   /// Reads a link attribute.
-  Result<Value> GetLinkAttribute(Oid oid, const std::string& name) const;
+  Result<Value> GetLinkAttribute(Oid oid,
+                                 const std::string& name) const override;
 
   /// Non-owning link lookup; nullptr when dead or unknown.
-  const Link* GetLink(Oid oid) const;
+  const Link* GetLink(Oid oid) const override;
 
   /// All live links of a relationship class (its extent); with
   /// `include_subrelationships`, links of sub-relationship classes too.
   std::vector<Oid> LinkExtent(const std::string& rel_name,
-                              bool include_subrelationships = true) const;
+                              bool include_subrelationships = true)
+      const override;
 
   /// All live links whose classification context is `context` (thesis
   /// 4.6.2: a classification *is* the set of links created in its context).
   /// Maintained incrementally; O(result).
-  const std::vector<Oid>& LinksInContext(Oid context) const;
+  const std::vector<Oid>& LinksInContext(Oid context) const override;
 
   /// Number of live links.
-  std::size_t link_count() const { return live_links_; }
+  std::size_t link_count() const override { return live_links_; }
 
   // ------------------------------------------------------------- traversal
 
@@ -352,13 +412,13 @@ class Database {
   /// relationship class (and its subs) and/or a classification context.
   std::vector<Oid> IncidentLinks(Oid oid, Direction dir,
                                  const RelationshipDef* def = nullptr,
-                                 Oid context = kNullOid) const;
+                                 Oid context = kNullOid) const override;
 
   /// Objects one hop away from `oid` over `rel_name` links.
   /// `context == kNullOid` means "any context".
   std::vector<Oid> Neighbors(Oid oid, const std::string& rel_name,
                              Direction dir = Direction::kOut,
-                             Oid context = kNullOid) const;
+                             Oid context = kNullOid) const override;
 
   /// Recursive closure (requirement 9): every object reachable from `start`
   /// over `rel_name` links within `[min_depth, max_depth]` hops
@@ -369,7 +429,7 @@ class Database {
                                     std::uint32_t min_depth,
                                     std::uint32_t max_depth,
                                     Direction dir = Direction::kOut,
-                                    Oid context = kNullOid) const;
+                                    Oid context = kNullOid) const override;
 
   // ----------------------------------------------- instance synonyms (4.5)
 
@@ -379,15 +439,15 @@ class Database {
   Status DeclareSynonym(Oid a, Oid b);
 
   /// True when the two oids are in the same synonym set (reflexive).
-  bool AreSynonyms(Oid a, Oid b) const;
+  bool AreSynonyms(Oid a, Oid b) const override;
 
   /// Canonical representative of `oid`'s synonym set (itself if alone).
-  Oid CanonicalOf(Oid oid) const;
+  Oid CanonicalOf(Oid oid) const override;
 
   /// All *live* members of `oid`'s synonym set, including `oid` when it is
   /// alive. Synonym chains survive member deletion (the remaining
   /// duplicates stay unified), but deleted members are not reported.
-  std::vector<Oid> SynonymSet(Oid oid) const;
+  std::vector<Oid> SynonymSet(Oid oid) const override;
 
   // ---------------------------------------------------------- transactions
 
@@ -454,11 +514,104 @@ class Database {
   bool semantics_enabled() const { return semantics_enabled_; }
 
  private:
+  friend class SnapshotHandle;
+
   // Undo machinery (transactions).
   struct UndoRecord;
 
   Object* MutableObject(Oid oid);
   Link* MutableLink(Oid oid);
+
+  // ------------------------------------------------------ MVCC internals
+
+  /// What the current write section touched, consumed by the incremental
+  /// snapshot build at publish. Plain members: only the single writer
+  /// reads or writes them, always under the exclusive guard.
+  struct DirtyState {
+    bool any = false;       ///< anything at all changed
+    bool full = false;      ///< rebuild from scratch (Clear, engagement)
+    bool schema = false;    ///< class/relationship/method definitions
+    bool synonyms = false;  ///< the union-find parent map
+    std::unordered_set<Oid> objects;
+    std::unordered_set<Oid> links;
+    std::unordered_set<Oid> contexts;
+    std::unordered_set<const ClassDef*> extents;
+    std::unordered_set<const RelationshipDef*> link_extents;
+  };
+
+  /// Gate for dirty tracking. False before the first AcquireSnapshot
+  /// (embedded single-threaded use pays one relaxed load per mutation and
+  /// nothing else). Once engaged, a mutation outside a WriteGuard (legal
+  /// in single-threaded mode) cannot be published incrementally — it marks
+  /// the published snapshot stale instead, forcing a full rebuild at the
+  /// next acquire/publish.
+  bool TrackDirty() {
+    if (!mvcc_engaged_.load(std::memory_order_relaxed)) return false;
+    if (!writer_active_.load(std::memory_order_relaxed)) {
+      snapshot_stale_.store(true, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+  void MarkObjectDirty(Oid oid) {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.objects.insert(oid);
+    }
+  }
+  void MarkLinkDirty(Oid oid) {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.links.insert(oid);
+    }
+  }
+  void MarkExtentDirty(const ClassDef* cls) {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.extents.insert(cls);
+    }
+  }
+  void MarkLinkExtentDirty(const RelationshipDef* def) {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.link_extents.insert(def);
+    }
+  }
+  void MarkContextDirty(Oid context) {
+    if (context != kNullOid && TrackDirty()) {
+      dirty_.any = true;
+      dirty_.contexts.insert(context);
+    }
+  }
+  void MarkSynonymsDirty() {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.synonyms = true;
+    }
+  }
+  void MarkSchemaDirty() {
+    if (TrackDirty()) {
+      dirty_.any = true;
+      dirty_.schema = true;
+    }
+  }
+
+  /// End-of-write-section hook (WriteGuard destructor, pre-epoch-bump):
+  /// derives the next snapshot from the published one and the dirty set,
+  /// stamps it epoch()+1 and publishes it.
+  void PublishSnapshot();
+  std::shared_ptr<DbSnapshot> BuildFullSnapshot(std::uint64_t epoch) const;
+  std::shared_ptr<DbSnapshot> BuildNextSnapshot(const DbSnapshot& prev,
+                                                std::uint64_t epoch) const;
+  std::shared_ptr<const SchemaTables> BuildSchemaTables() const;
+
+  /// Engagement / staleness slow path: quiesces writers with a ReadGuard,
+  /// builds a full snapshot of the current state and publishes it.
+  void RebuildSnapshotSlow();
+
+  void RegisterPin(std::uint64_t epoch);
+  void ReleasePin(std::uint64_t epoch);
+  void UpdateMvccGauges() const;
 
   Status CheckLinkSemantics(const RelationshipDef* def, const Object& source,
                             const Object& target) const;
@@ -491,10 +644,27 @@ class Database {
   bool events_enabled_ = true;
   bool semantics_enabled_ = true;
 
-  // Schema.
-  std::vector<std::unique_ptr<ClassDef>> class_storage_;
+  // MVCC publication state. `current_snapshot_` is swapped under the tiny
+  // `snap_mu_` (held only for a shared_ptr copy — a stalled writer never
+  // holds it, so snapshot acquisition cannot block on a write section).
+  std::atomic<bool> mvcc_engaged_{false};
+  std::atomic<bool> snapshot_stale_{false};
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const DbSnapshot> current_snapshot_;
+  std::mutex snap_rebuild_mu_;
+  DirtyState dirty_;
+
+  // Pin registry feeding the GC watermark gauges. A multiset because many
+  // handles may pin the same epoch.
+  mutable std::mutex snap_reg_mu_;
+  std::multiset<std::uint64_t> pinned_epochs_;
+
+  // Schema. Definitions are shared_ptr-owned so a snapshot's SchemaTables
+  // can keep them (and the `cls`/`def` pointers inside retained object
+  // versions) alive across Clear().
+  std::vector<std::shared_ptr<ClassDef>> class_storage_;
   std::unordered_map<std::string, ClassDef*> classes_by_name_;
-  std::vector<std::unique_ptr<RelationshipDef>> rel_storage_;
+  std::vector<std::shared_ptr<RelationshipDef>> rel_storage_;
   std::unordered_map<std::string, RelationshipDef*> rels_by_name_;
   struct RelationshipTemplate {
     RelationshipSemantics semantics;

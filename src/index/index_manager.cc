@@ -84,11 +84,14 @@ Status IndexManager::CreateIndex(const std::string& class_name,
   index->cls = cls;
   index->attr = attr;
   index->ordered = ordered;
-  // Backfill from the deep extent.
+  // Backfill from the deep extent. The new index only reflects the state
+  // at the pending epoch; older snapshots must not consult it.
+  index->dirty_epoch = db_->pending_epoch();
   for (Oid oid : db_->Extent(class_name)) {
     auto v = db_->GetAttribute(oid, attr);
     if (v.ok()) InsertEntry(index.get(), oid, v.value());
   }
+  std::unique_lock lock(mu_);
   indexes_.push_back(std::move(index));
   return Status::Ok();
 }
@@ -96,6 +99,7 @@ Status IndexManager::CreateIndex(const std::string& class_name,
 Status IndexManager::DropIndex(const std::string& class_name,
                                const std::string& attr) {
   const ClassDef* cls = db_->FindClass(class_name);
+  std::unique_lock lock(mu_);
   auto it = std::find_if(indexes_.begin(), indexes_.end(),
                          [&](const std::unique_ptr<Index>& ix) {
                            return ix->cls == cls && ix->attr == attr;
@@ -109,9 +113,11 @@ Status IndexManager::DropIndex(const std::string& class_name,
 
 bool IndexManager::HasIndex(const std::string& class_name,
                             const std::string& attr) const {
+  std::shared_lock lock(mu_);
   return FindIndex(class_name, attr) != nullptr;
 }
 
+/// Caller must hold mu_ (shared suffices).
 const IndexManager::Index* IndexManager::FindIndex(
     const std::string& class_name, const std::string& attr) const {
   const ClassDef* cls = db_->FindClass(class_name);
@@ -124,11 +130,17 @@ const IndexManager::Index* IndexManager::FindIndex(
 
 Result<std::vector<Oid>> IndexManager::Lookup(const std::string& class_name,
                                               const std::string& attr,
-                                              const Value& value) const {
+                                              const Value& value,
+                                              std::uint64_t as_of) const {
+  std::shared_lock lock(mu_);
   const Index* ix = FindIndex(class_name, attr);
   if (ix == nullptr) {
     IndexMetrics::Get().lookup_misses->Increment();
     return Status::NotFound("no index on " + class_name + "." + attr);
+  }
+  if (ix->dirty_epoch > as_of) {
+    return Status::Unavailable("index on " + class_name + "." + attr +
+                               " has run ahead of snapshot epoch");
   }
   IndexMetrics::Get().lookup_hits->Increment();
   std::vector<Oid> out;
@@ -144,11 +156,16 @@ Result<std::vector<Oid>> IndexManager::Lookup(const std::string& class_name,
 
 Result<std::vector<Oid>> IndexManager::RangeLookup(
     const std::string& class_name, const std::string& attr, const Value& lo,
-    const Value& hi) const {
+    const Value& hi, std::uint64_t as_of) const {
+  std::shared_lock lock(mu_);
   const Index* ix = FindIndex(class_name, attr);
   if (ix == nullptr) {
     IndexMetrics::Get().lookup_misses->Increment();
     return Status::NotFound("no index on " + class_name + "." + attr);
+  }
+  if (ix->dirty_epoch > as_of) {
+    return Status::Unavailable("index on " + class_name + "." + attr +
+                               " has run ahead of snapshot epoch");
   }
   IndexMetrics::Get().lookup_hits->Increment();
   if (!ix->ordered) {
@@ -167,6 +184,7 @@ Result<std::vector<Oid>> IndexManager::RangeLookup(
 }
 
 std::size_t IndexManager::total_entries() const {
+  std::shared_lock lock(mu_);
   std::size_t n = 0;
   for (const auto& ix : indexes_) {
     n += ix->ordered ? ix->tree.size() : ix->hash.size();
@@ -207,6 +225,7 @@ void IndexManager::RemoveEntry(Index* index, Oid oid) {
 }
 
 void IndexManager::OnEvent(const Event& event) {
+  std::unique_lock lock(mu_);
   switch (event.kind) {
     case EventKind::kAfterCreateObject: {
       for (auto& ix : indexes_) {
@@ -214,6 +233,7 @@ void IndexManager::OnEvent(const Event& event) {
         auto v = db_->GetAttribute(event.subject, ix->attr);
         if (v.ok()) {
           InsertEntry(ix.get(), event.subject, v.value());
+          ix->dirty_epoch = db_->pending_epoch();
           IndexMetrics::Get().maintenance->Increment();
         }
       }
@@ -222,6 +242,7 @@ void IndexManager::OnEvent(const Event& event) {
     case EventKind::kAfterDeleteObject: {
       for (auto& ix : indexes_) {
         if (ix->current.count(event.subject) != 0) {
+          ix->dirty_epoch = db_->pending_epoch();
           IndexMetrics::Get().maintenance->Increment();
         }
         RemoveEntry(ix.get(), event.subject);
@@ -234,6 +255,7 @@ void IndexManager::OnEvent(const Event& event) {
         if (!ix->current.count(event.subject)) continue;
         RemoveEntry(ix.get(), event.subject);
         InsertEntry(ix.get(), event.subject, event.new_value);
+        ix->dirty_epoch = db_->pending_epoch();
         IndexMetrics::Get().maintenance->Increment();
       }
       break;

@@ -1,8 +1,11 @@
 #ifndef PROMETHEUS_INDEX_INDEX_MANAGER_H_
 #define PROMETHEUS_INDEX_INDEX_MANAGER_H_
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +25,17 @@ namespace prometheus {
 ///
 /// Indexes follow transactions: rollback publishes compensating events,
 /// which the manager applies like ordinary mutations.
+///
+/// Snapshot consistency: indexes are maintained against the live database,
+/// not against MVCC snapshots. Each index carries a `dirty_epoch` — the
+/// epoch its contents will be visible under (stamped from
+/// `Database::pending_epoch()` at every mutation). A snapshot reader
+/// passes its epoch as `as_of`; if the index has been touched past that
+/// epoch the lookup reports kUnavailable and the caller falls back to an
+/// extent scan over the snapshot. Structures are guarded by a shared
+/// mutex: lookups take it shared (they run off snapshot threads with no
+/// database guard held), maintenance takes it exclusive (it runs on the
+/// writer thread via the event bus).
 class IndexManager {
  public:
   /// Subscribes to `db`'s event bus. `db` must outlive the manager.
@@ -43,16 +57,21 @@ class IndexManager {
   /// True when `class_name.attr` is indexed.
   bool HasIndex(const std::string& class_name, const std::string& attr) const;
 
-  /// Exact-match lookup. Returns kNotFound when no such index exists.
-  Result<std::vector<Oid>> Lookup(const std::string& class_name,
-                                  const std::string& attr,
-                                  const Value& value) const;
+  /// Exact-match lookup. Returns kNotFound when no such index exists;
+  /// kUnavailable when the index has been mutated past `as_of` (the
+  /// caller's snapshot epoch) — fall back to an extent scan.
+  Result<std::vector<Oid>> Lookup(
+      const std::string& class_name, const std::string& attr,
+      const Value& value,
+      std::uint64_t as_of = std::numeric_limits<std::uint64_t>::max()) const;
 
   /// Range lookup over an ordered index: lo <= value <= hi; a null bound is
-  /// open. Returns kFailedPrecondition on a hash index.
-  Result<std::vector<Oid>> RangeLookup(const std::string& class_name,
-                                       const std::string& attr,
-                                       const Value& lo, const Value& hi) const;
+  /// open. Returns kFailedPrecondition on a hash index; kUnavailable when
+  /// the index has been mutated past `as_of`.
+  Result<std::vector<Oid>> RangeLookup(
+      const std::string& class_name, const std::string& attr, const Value& lo,
+      const Value& hi,
+      std::uint64_t as_of = std::numeric_limits<std::uint64_t>::max()) const;
 
   /// Number of entries across all indexes (diagnostics).
   std::size_t total_entries() const;
@@ -81,6 +100,10 @@ class IndexManager {
     std::multimap<OrderedKey, Oid> tree;
     /// Current indexed key per object, for removal on delete/update.
     std::unordered_map<Oid, Value> current;
+    /// Epoch this index's contents become visible under: the database's
+    /// pending epoch at the last mutation. A snapshot at epoch E may use
+    /// the index only when dirty_epoch <= E.
+    std::uint64_t dirty_epoch = 0;
   };
 
   void OnEvent(const Event& event);
@@ -91,6 +114,9 @@ class IndexManager {
 
   Database* db_;
   ListenerId listener_ = 0;
+  /// Shared for lookups (snapshot readers, no db guard held), exclusive
+  /// for create/drop and event-driven maintenance (writer thread).
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Index>> indexes_;
 };
 

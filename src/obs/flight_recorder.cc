@@ -17,6 +17,7 @@ std::string RenderFlightRecorderJson(
     json.Key("code").String(e.code);
     json.Key("ok").Bool(e.ok);
     json.Key("executed").Bool(e.executed);
+    json.Key("epoch").Uint(e.epoch);
     json.Key("queue_wait_micros").Number(e.queue_wait_micros);
     json.Key("total_micros").Number(e.total_micros);
     json.Key("guard_wait_micros").Number(e.guard_wait_micros);

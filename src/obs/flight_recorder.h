@@ -37,6 +37,10 @@ class FlightRecorder {
     std::string code;       ///< transport outcome ("ok", "timed_out", ...)
     bool ok = false;        ///< executed and the database reported success
     bool executed = false;  ///< false: shed from the queue, never ran
+    /// Database epoch the request observed: for queries, the pinned MVCC
+    /// snapshot's epoch (which snapshot the read fleet was on); for
+    /// mutations, the pre-commit epoch. 0 when the request never ran.
+    std::uint64_t epoch = 0;
     double queue_wait_micros = 0;  ///< admission -> worker pickup
     double total_micros = 0;       ///< time on the worker (0 if never ran)
     /// Wait-state attribution (zeros when timing was off or not a

@@ -57,6 +57,10 @@ const GuardInstruments& GuardInstruments::Get() {
     gi.writer_last_hold_micros = reg.GetGauge(
         "guard_writer_last_hold_micros",
         "Duration of the most recent completed exclusive hold");
+    gi.writer_longest_wait = reg.GetGauge(
+        "guard_writer_longest_wait_micros",
+        "High-water mark of exclusive-guard acquisition wait — the "
+        "writer-starvation watchdog's signal under single-writer MVCC");
     return gi;
   }();
   return g;
@@ -198,7 +202,24 @@ std::string RenderContentionJson(bool windowed) {
   w.Key("blocked_writers").Int(g.blocked_writers->value());
   w.Key("writer_held").Int(g.writer_held->value());
   w.Key("writer_last_hold_micros").Int(g.writer_last_hold_micros->value());
+  w.Key("writer_longest_wait_micros").Int(g.writer_longest_wait->value());
   w.EndObject();
+  // MVCC retention/pinning gauges. Resolved by name: core maintains them
+  // (mirrors of its always-on counters) and obs cannot link against core,
+  // so the registry is the seam.
+  {
+    MetricsRegistry& reg = Registry();
+    w.Key("mvcc");
+    w.BeginObject();
+    w.Key("retained_versions")
+        .Int(reg.GetGauge("mvcc_retained_versions")->value());
+    w.Key("live_snapshots").Int(reg.GetGauge("mvcc_live_snapshots")->value());
+    w.Key("pinned_snapshots")
+        .Int(reg.GetGauge("mvcc_pinned_snapshots")->value());
+    w.Key("oldest_snapshot_epoch")
+        .Int(reg.GetGauge("mvcc_oldest_snapshot_epoch")->value());
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }
@@ -226,11 +247,26 @@ std::string RenderContentionText(bool windowed) {
   }
   std::snprintf(line, sizeof(line),
                 "guard: blocked_readers=%lld blocked_writers=%lld "
-                "writer_held=%lld last_exclusive_hold=%lldus\n",
+                "writer_held=%lld last_exclusive_hold=%lldus "
+                "longest_writer_wait=%lldus\n",
                 static_cast<long long>(g.blocked_readers->value()),
                 static_cast<long long>(g.blocked_writers->value()),
                 static_cast<long long>(g.writer_held->value()),
-                static_cast<long long>(g.writer_last_hold_micros->value()));
+                static_cast<long long>(g.writer_last_hold_micros->value()),
+                static_cast<long long>(g.writer_longest_wait->value()));
+  out += line;
+  MetricsRegistry& reg = Registry();
+  std::snprintf(line, sizeof(line),
+                "mvcc: retained_versions=%lld live_snapshots=%lld "
+                "pinned_snapshots=%lld oldest_snapshot_epoch=%lld\n",
+                static_cast<long long>(
+                    reg.GetGauge("mvcc_retained_versions")->value()),
+                static_cast<long long>(
+                    reg.GetGauge("mvcc_live_snapshots")->value()),
+                static_cast<long long>(
+                    reg.GetGauge("mvcc_pinned_snapshots")->value()),
+                static_cast<long long>(
+                    reg.GetGauge("mvcc_oldest_snapshot_epoch")->value()));
   out += line;
   return out;
 }

@@ -49,6 +49,7 @@ struct GuardInstruments {
   Gauge* blocked_writers;      ///< writers currently blocked in lock
   Gauge* writer_held;          ///< 1 while a writer holds the guard
   Gauge* writer_last_hold_micros;  ///< duration of the last exclusive hold
+  Gauge* writer_longest_wait;  ///< guard_writer_longest_wait_micros
 
   static const GuardInstruments& Get();
 };

@@ -38,6 +38,7 @@ struct EngineMetrics {
   obs::Counter* rows_returned;
   obs::Counter* index_lookups;
   obs::Counter* extent_scans;
+  obs::Counter* index_fallbacks;
   obs::Histogram* latency;
 
   static const EngineMetrics& Get() {
@@ -60,6 +61,10 @@ struct EngineMetrics {
                          "Ranges resolved through an attribute index");
       em.extent_scans = reg.GetCounter("pool_extent_scans_total",
                                        "Ranges resolved by full extent scan");
+      em.index_fallbacks = reg.GetCounter(
+          "pool_index_fallbacks_total",
+          "Index lookups abandoned mid-plan (index ran ahead of the "
+          "snapshot, or was dropped) and resolved by extent scan instead");
       em.latency = reg.GetHistogram("pool_query_micros",
                                     "Top-level query latency (microseconds)");
       return em;
@@ -250,14 +255,14 @@ Result<Value> QueryEngine::Eval(const Expr& expr,
       PROMETHEUS_ASSIGN_OR_RETURN(Value base, Eval(*expr.children[0], env));
       // Selective downcast (5.1.1.2): keep only values of the named class.
       if (base.type() == ValueType::kRef) {
-        return db_->IsInstanceOf(base.AsRef(), expr.name) ? base
+        return view().IsInstanceOf(base.AsRef(), expr.name) ? base
                                                           : Value::Null();
       }
       if (base.type() == ValueType::kList) {
         Value::List filtered;
         for (const Value& v : base.AsList()) {
           if (v.type() == ValueType::kRef &&
-              db_->IsInstanceOf(v.AsRef(), expr.name)) {
+              view().IsInstanceOf(v.AsRef(), expr.name)) {
             filtered.push_back(v);
           }
         }
@@ -301,7 +306,7 @@ Result<Value> QueryEngine::Eval(const Expr& expr,
 }
 
 Result<Value> QueryEngine::MemberOf(Oid oid, const std::string& member) const {
-  if (const Link* link = db_->GetLink(oid)) {
+  if (const Link* link = view().GetLink(oid)) {
     if (member == "source") return Value::Ref(link->source);
     if (member == "target") return Value::Ref(link->target);
     if (member == "context") {
@@ -309,13 +314,13 @@ Result<Value> QueryEngine::MemberOf(Oid oid, const std::string& member) const {
                                        : Value::Ref(link->context);
     }
     if (member == "relationship") return Value::String(link->def->name());
-    return db_->GetLinkAttribute(oid, member);
+    return view().GetLinkAttribute(oid, member);
   }
-  if (db_->GetObject(oid) != nullptr) {
+  if (view().GetObject(oid) != nullptr) {
     if (member == "class") {
-      return Value::String(db_->GetObject(oid)->cls->name());
+      return Value::String(view().GetObject(oid)->cls->name());
     }
-    return db_->GetAttribute(oid, member);
+    return view().GetAttribute(oid, member);
   }
   return Status::NotFound("no object or link @" + std::to_string(oid));
 }
@@ -606,10 +611,10 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
   if (fn == "class_of") {
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, as_ref(0));
-    if (const Object* obj = db_->GetObject(oid)) {
+    if (const Object* obj = view().GetObject(oid)) {
       return Value::String(obj->cls->name());
     }
-    if (const Link* link = db_->GetLink(oid)) {
+    if (const Link* link = view().GetLink(oid)) {
       return Value::String(link->def->name());
     }
     return Value::Null();
@@ -618,7 +623,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_RETURN_IF_ERROR(want(2, 2));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, as_ref(0));
     PROMETHEUS_ASSIGN_OR_RETURN(std::string cls, as_str(1));
-    return Value::Bool(db_->IsInstanceOf(oid, cls));
+    return Value::Bool(view().IsInstanceOf(oid, cls));
   }
   if (fn == "oid") {
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
@@ -628,11 +633,11 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
   if (fn == "extent") {
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
     PROMETHEUS_ASSIGN_OR_RETURN(std::string name, as_str(0));
-    if (db_->FindClass(name) != nullptr) {
-      return refs_to_list(db_->Extent(name));
+    if (view().FindClass(name) != nullptr) {
+      return refs_to_list(view().Extent(name));
     }
-    if (db_->FindRelationship(name) != nullptr) {
-      return refs_to_list(db_->LinkExtent(name));
+    if (view().FindRelationship(name) != nullptr) {
+      return refs_to_list(view().LinkExtent(name));
     }
     return Status::NotFound("no extent named '" + name + "'");
   }
@@ -647,18 +652,18 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
   if (fn == "canonical") {
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, as_ref(0));
-    return Value::Ref(db_->CanonicalOf(oid));
+    return Value::Ref(view().CanonicalOf(oid));
   }
   if (fn == "synonyms") {
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid oid, as_ref(0));
-    return refs_to_list(db_->SynonymSet(oid));
+    return refs_to_list(view().SynonymSet(oid));
   }
   if (fn == "are_synonyms") {
     PROMETHEUS_RETURN_IF_ERROR(want(2, 2));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid a, as_ref(0));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid b, as_ref(1));
-    return Value::Bool(db_->AreSynonyms(a, b));
+    return Value::Bool(view().AreSynonyms(a, b));
   }
 
   // --- graph functions (5.1.1.3) ---
@@ -694,7 +699,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(ctx_arg));
     PROMETHEUS_ASSIGN_OR_RETURN(
         std::vector<Oid> oids,
-        db_->Traverse(start, rel, static_cast<std::uint32_t>(args[2].AsInt()),
+        view().Traverse(start, rel, static_cast<std::uint32_t>(args[2].AsInt()),
                       static_cast<std::uint32_t>(args[3].AsInt()), dir, ctx));
     return refs_to_list(oids);
   }
@@ -705,7 +710,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, as_str(1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(2));
     Direction dir = fn == "children" ? Direction::kOut : Direction::kIn;
-    return refs_to_list(db_->Neighbors(obj, rel, dir, ctx));
+    return refs_to_list(view().Neighbors(obj, rel, dir, ctx));
   }
   if (fn == "leaves") {
     // leaves(obj, 'rel' [, context]): descendants (or obj) with no children.
@@ -714,11 +719,11 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, as_str(1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(2));
     PROMETHEUS_ASSIGN_OR_RETURN(std::vector<Oid> all,
-                                db_->Traverse(obj, rel, 0, 0,
+                                view().Traverse(obj, rel, 0, 0,
                                               Direction::kOut, ctx));
     std::vector<Oid> leaves;
     for (Oid o : all) {
-      if (db_->Neighbors(o, rel, Direction::kOut, ctx).empty()) {
+      if (view().Neighbors(o, rel, Direction::kOut, ctx).empty()) {
         leaves.push_back(o);
       }
     }
@@ -731,20 +736,20 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     const RelationshipDef* def = nullptr;
     if (!args[1].is_null()) {
       PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, as_str(1));
-      def = db_->FindRelationship(rel);
+      def = view().FindRelationship(rel);
       if (def == nullptr) {
         return Status::NotFound("unknown relationship '" + rel + "'");
       }
     }
     PROMETHEUS_ASSIGN_OR_RETURN(Direction dir, parse_dir(2));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(3));
-    return refs_to_list(db_->IncidentLinks(obj, dir, def, ctx));
+    return refs_to_list(view().IncidentLinks(obj, dir, def, ctx));
   }
   if (fn == "in_context") {
     // in_context(classification) -> the classification's links.
     PROMETHEUS_RETURN_IF_ERROR(want(1, 1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, as_ref(0));
-    return refs_to_list(db_->LinksInContext(ctx));
+    return refs_to_list(view().LinksInContext(ctx));
   }
   if (fn == "reachable") {
     // reachable(from, to, 'rel' [, context]) -> bool.
@@ -755,7 +760,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(3));
     PROMETHEUS_ASSIGN_OR_RETURN(
         std::vector<Oid> oids,
-        db_->Traverse(from, rel, 1, 0, Direction::kOut, ctx));
+        view().Traverse(from, rel, 1, 0, Direction::kOut, ctx));
     return Value::Bool(std::find(oids.begin(), oids.end(), to) !=
                        oids.end());
   }
@@ -768,7 +773,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(Oid to, as_ref(1));
     PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, as_str(2));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(3));
-    if (db_->FindRelationship(rel) == nullptr) {
+    if (view().FindRelationship(rel) == nullptr) {
       return Status::NotFound("unknown relationship '" + rel + "'");
     }
     std::unordered_map<Oid, Oid> parent;
@@ -778,7 +783,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     while (!found && !frontier.empty()) {
       std::vector<Oid> next;
       for (Oid cur : frontier) {
-        for (Oid n : db_->Neighbors(cur, rel, Direction::kOut, ctx)) {
+        for (Oid n : view().Neighbors(cur, rel, Direction::kOut, ctx)) {
           if (parent.count(n)) continue;
           parent[n] = cur;
           if (n == to) {
@@ -812,7 +817,7 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     PROMETHEUS_ASSIGN_OR_RETURN(Oid start, as_ref(0));
     PROMETHEUS_ASSIGN_OR_RETURN(std::string rel, as_str(1));
     PROMETHEUS_ASSIGN_OR_RETURN(Oid ctx, opt_context(2));
-    const RelationshipDef* def = db_->FindRelationship(rel);
+    const RelationshipDef* def = view().FindRelationship(rel);
     if (def == nullptr) {
       return Status::NotFound("unknown relationship '" + rel + "'");
     }
@@ -822,8 +827,8 @@ Result<Value> QueryEngine::EvalCall(const Expr& expr,
     while (!frontier.empty()) {
       Oid cur = frontier.back();
       frontier.pop_back();
-      for (Oid lid : db_->IncidentLinks(cur, Direction::kOut, def, ctx)) {
-        const Link* link = db_->GetLink(lid);
+      for (Oid lid : view().IncidentLinks(cur, Direction::kOut, def, ctx)) {
+        const Link* link = view().GetLink(lid);
         out.push_back(Value::Ref(lid));
         if (visited.insert(link->target).second) {
           frontier.push_back(link->target);
@@ -963,7 +968,7 @@ const Expr* QueryEngine::FindIndexableConjunct(const SelectQuery& query,
     return nullptr;
   }
   const std::string& name = range.source_name;
-  if (db_->FindClass(name) == nullptr) return nullptr;
+  if (view().FindClass(name) == nullptr) return nullptr;
   std::vector<const Expr*> conjuncts;
   std::function<void(const Expr*)> flatten = [&](const Expr* e) {
     if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
@@ -1053,8 +1058,8 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
     return out;
   };
   const std::string& name = range.source_name;
-  const bool is_class = db_->FindClass(name) != nullptr;
-  if (!is_class && db_->FindRelationship(name) == nullptr) {
+  const bool is_class = view().FindClass(name) != nullptr;
+  if (!is_class && view().FindRelationship(name) == nullptr) {
     return Status::NotFound("no extent named '" + name + "'");
   }
   const EngineMetrics& metrics = EngineMetrics::Get();
@@ -1081,19 +1086,28 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
     literal = FindIndexableConjunct(query, range, &attr);
   }
   if (literal != nullptr) {
-    metrics.index_lookups->Increment();
-    if (strategy != nullptr) *strategy = "index lookup on " + name + "." + attr;
-    PROMETHEUS_ASSIGN_OR_RETURN(std::vector<Oid> oids,
-                                indexes_->Lookup(name, attr,
-                                                 literal->literal));
-    return refs(oids);
+    // The HasIndex probe above and this lookup are distinct critical
+    // sections, and under MVCC the index may also have run ahead of the
+    // snapshot this query reads through. Either way the lookup itself is
+    // the source of truth: any failure falls through to the extent scan,
+    // which is always correct against the current view.
+    Result<std::vector<Oid>> oids = indexes_->Lookup(
+        name, attr, literal->literal, view().index_epoch_ceiling());
+    if (oids.ok()) {
+      metrics.index_lookups->Increment();
+      if (strategy != nullptr) {
+        *strategy = "index lookup on " + name + "." + attr;
+      }
+      return refs(oids.value());
+    }
+    metrics.index_fallbacks->Increment();
   }
   metrics.extent_scans->Increment();
   if (strategy != nullptr) {
     *strategy = std::string("extent scan of ") +
                 (is_class ? "class " : "relationship ") + name;
   }
-  return refs(is_class ? db_->Extent(name) : db_->LinkExtent(name));
+  return refs(is_class ? view().Extent(name) : view().LinkExtent(name));
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& query) const {
@@ -1105,14 +1119,14 @@ Result<std::string> QueryEngine::Explain(const std::string& query) const {
     out += ": ";
     if (range.source_expr != nullptr) {
       out += "dependent expression (evaluated per outer binding)";
-    } else if (db_->FindClass(range.source_name) != nullptr) {
+    } else if (view().FindClass(range.source_name) != nullptr) {
       std::string attr;
       if (FindIndexableConjunct(*parsed, range, &attr) != nullptr) {
         out += "index lookup on " + range.source_name + "." + attr;
       } else {
         out += "extent scan of class " + range.source_name;
       }
-    } else if (db_->FindRelationship(range.source_name) != nullptr) {
+    } else if (view().FindRelationship(range.source_name) != nullptr) {
       out += "extent scan of relationship " + range.source_name;
     } else {
       return Status::NotFound("no extent named '" + range.source_name + "'");
@@ -1136,12 +1150,14 @@ Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
                                                const ExecutionContext* ctx,
                                                const cache::PlanEntry* plan)
     const {
-  // Const-execution contract: this path never mutates the database, and —
-  // when the caller holds the epoch guard as it must under concurrency —
-  // no writer can interleave, so the epoch is stable across the run. An
-  // epoch change here means a racing writer (a skipped ReadGuard).
+  // Const-execution contract: this path never mutates the database. When
+  // the thread reads through a pinned snapshot the epoch is immutable by
+  // construction; when it reads the live database the caller must hold
+  // the epoch guard, so no writer can interleave and the epoch is stable
+  // across the run. An epoch change here means a racing writer (a skipped
+  // ReadGuard on the live path).
 #ifndef NDEBUG
-  const std::uint64_t epoch_at_entry = db_->epoch();
+  const std::uint64_t epoch_at_entry = view().epoch();
 #endif
   if (query.from.empty()) {
     return Status::ParseError("query requires at least one range");
@@ -1431,7 +1447,7 @@ Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.rows_scanned->Increment(scanned);
   metrics.rows_returned->Increment(result.rows.size());
-  assert(db_->epoch() == epoch_at_entry &&
+  assert(view().epoch() == epoch_at_entry &&
          "database mutated during const query execution — caller must hold "
          "Database::ReadGuard");
   return result;

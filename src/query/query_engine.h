@@ -10,6 +10,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "core/database.h"
+#include "core/read_view.h"
 #include "index/index_manager.h"
 #include "obs/trace.h"
 #include "query/ast.h"
@@ -52,13 +53,14 @@ struct QueryProfile {
 /// Const discipline / concurrency: the const execution paths (`Execute`,
 /// `Eval`, `Explain`) perform **no** `Database` mutation — results copy
 /// attribute values and hold object references as bare Oids, never aliasing
-/// engine-internal state. This is what makes the service layer's
-/// snapshot-per-request reads sound: any number of engines may execute
-/// concurrently while each caller holds a `Database::ReadGuard`. Debug
-/// builds enforce the contract twice over — the database asserts shared
-/// access on every extent/instance touch, and `Execute` verifies the
-/// database epoch is unchanged across the run (a changed epoch means a
-/// writer interleaved, i.e. the caller skipped the guard).
+/// engine-internal state. All reads route through the thread's active
+/// `ReadView` (see `CurrentReadView()`): when the caller installs a pinned
+/// `DbSnapshot` — directly via the `ReadView` overloads below or with a
+/// `ScopedReadView` — execution is wait-free against writers and the
+/// engine never touches the live database. With no view installed, reads
+/// fall back to the live database, where the legacy contract applies: the
+/// caller must hold a `Database::ReadGuard`, enforced in debug builds by
+/// the epoch-stability assert at the end of every execution.
 class QueryEngine {
  public:
   /// `db` (and `indexes`, when given) must outlive the engine.
@@ -85,6 +87,16 @@ class QueryEngine {
   Result<ResultSet> Execute(const std::string& query,
                             const ExecutionContext* ctx = nullptr) const;
 
+  /// Parses and runs a query against an explicit read view (typically a
+  /// pinned `DbSnapshot`): installs it as the thread's view for the
+  /// duration, so every read — including index-fallback extent scans and
+  /// subqueries — observes exactly that snapshot.
+  Result<ResultSet> Execute(const std::string& query, const ReadView& view,
+                            const ExecutionContext* ctx = nullptr) const {
+    ScopedReadView scope(&view);
+    return Execute(query, ctx);
+  }
+
   /// Runs a parsed query; `outer` provides correlated bindings.
   Result<ResultSet> Execute(const SelectQuery& query, const Environment& outer,
                             const ExecutionContext* ctx = nullptr) const;
@@ -95,6 +107,15 @@ class QueryEngine {
   /// the unprofiled `Execute` path pays none of it.
   Result<QueryProfile> ExecuteProfiled(
       const std::string& query, const ExecutionContext* ctx = nullptr) const;
+
+  /// Profiled execution against an explicit read view; see the `Execute`
+  /// overload above.
+  Result<QueryProfile> ExecuteProfiled(
+      const std::string& query, const ReadView& view,
+      const ExecutionContext* ctx = nullptr) const {
+    ScopedReadView scope(&view);
+    return ExecuteProfiled(query, ctx);
+  }
 
   /// Parses and evaluates a standalone expression under `env`.
   Result<Value> Eval(const std::string& expr, const Environment& env) const;
@@ -111,6 +132,13 @@ class QueryEngine {
 
  private:
   struct RangeBinding;
+
+  /// The view reads route through: the thread's installed view when one is
+  /// active, otherwise the live database.
+  const ReadView& view() const {
+    const ReadView* v = CurrentReadView();
+    return v != nullptr ? *v : static_cast<const ReadView&>(*db_);
+  }
 
   Result<Value> EvalPath(const Expr& expr, const Environment& env) const;
   Result<Value> EvalBinary(const Expr& expr, const Environment& env) const;

@@ -265,6 +265,7 @@ Server::Server(Database* db, Options options)
       sessions_(this),
       store_(options.store),
       read_only_(options.read_only),
+      writer_wait_warn_micros_(options.writer_wait_warn_micros),
       replication_probe_(std::move(options.replication_probe)),
       server_epoch_(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -300,6 +301,12 @@ Server::Server(Database* db, Options options)
     }
     return Status::Ok();
   });
+  // Engage MVCC publication now, while construction is still
+  // single-threaded: the first AcquireSnapshot pays the full materialized
+  // build (it quiesces via a ReadGuard), and doing it here keeps that cost
+  // off the first query's latency — and off any code path that might
+  // otherwise first acquire while a writer churns.
+  (void)db_->AcquireSnapshot();
 }
 
 Server::~Server() { Shutdown(/*drain=*/true); }
@@ -626,6 +633,7 @@ void Server::RecordFlight(RequestId id, const Request& req,
   entry.code = CodeName(resp.code);
   entry.ok = resp.code == ResponseCode::kOk && resp.status.ok();
   entry.executed = resp.executed;
+  entry.epoch = resp.epoch;
   entry.queue_wait_micros = queue_wait_micros;
   entry.total_micros = total_micros;
   entry.guard_wait_micros = resp.waits.guard_wait_micros;
@@ -760,11 +768,13 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
                               double queue_wait_micros) {
   Response resp;
   resp.id = id;
-  // Shared lock: concurrent with other queries, excluded from mutations.
-  // The guard pins the epoch, so the whole evaluation sees one snapshot.
-  Database::ReadGuard guard(*db_);
-  resp.epoch = guard.epoch();
-  resp.waits.guard_wait_micros = guard.wait_micros();
+  // MVCC read path: pin the latest published snapshot and execute against
+  // it with no shared lock at all. Writers proceed concurrently; this
+  // query sees one consistent cut for its whole evaluation, and a writer
+  // stalled mid-commit (e.g. in journal_sync) cannot delay it.
+  SnapshotHandle snap = db_->AcquireSnapshot();
+  resp.epoch = snap->epoch();
+  resp.waits.guard_wait_micros = 0;  // readers take no guard under MVCC
   // The Enqueue-side lookup already missed (or the cache is off).
   resp.cache_checked = query_cache_.results().enabled();
 
@@ -785,7 +795,7 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
 
   if (pool::IsProfileQuery(req.query)) {
     Result<pool::QueryProfile> result =
-        engine_.ExecuteProfiled(req.query, ctx_ptr);
+        engine_.ExecuteProfiled(req.query, *snap, ctx_ptr);
     if (!result.ok()) {
       finish_status(result.status());
       return resp;
@@ -801,18 +811,23 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
       slow.micros = profile.trace.micros;
       slow.profile = resp.text;
       slow.queue_micros = queue_wait_micros;
-      slow.guard_wait_micros = guard.wait_micros();
+      slow.guard_wait_micros = 0;
       slow.execute_micros = profile.trace.micros;
       slow_log_.Record(std::move(slow));
     }
     if (resp.cache_checked) {
       // Cache under the stripped key so the next plain run of the same
-      // select hits too. The read guard is still held: the pinned epoch is
-      // current at insert time, so the entry is born valid.
+      // select hits too. The entry carries the epoch the query actually
+      // ran against — the snapshot's, NOT the database's current epoch,
+      // which a concurrent writer may have advanced since this query
+      // pinned its snapshot. Stamping the current epoch here would launder
+      // stale rows as fresh; stamping the snapshot epoch means a
+      // committed-since write makes the entry validate as stale, exactly
+      // as if the query re-ran.
       auto rows = std::make_shared<const pool::ResultSet>(
           std::move(profile.rows));
       query_cache_.results().Insert(pool::StripProfileKeyword(req.query),
-                                    guard.epoch(), rows,
+                                    snap->epoch(), rows,
                                     cache::ApproxResultBytes(*rows));
     }
     return resp;
@@ -821,14 +836,15 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
   // The clock is only read when the slow-query log wants it.
   std::chrono::steady_clock::time_point start;
   if (slow_log_.enabled()) start = std::chrono::steady_clock::now();
-  Result<pool::ResultSet> result = engine_.Execute(req.query, ctx_ptr);
+  Result<pool::ResultSet> result = engine_.Execute(req.query, *snap, ctx_ptr);
   if (result.ok()) {
     resp.result = std::move(result).value();
     if (resp.cache_checked) {
-      // Insert while the read guard still pins the epoch: the entry is
-      // born valid. Failed or timed-out queries are never cached.
+      // Insert stamped with the snapshot epoch the rows were computed at
+      // (see the profiled branch above for why the *current* epoch would
+      // be wrong here). Failed or timed-out queries are never cached.
       auto rows = std::make_shared<const pool::ResultSet>(resp.result);
-      query_cache_.results().Insert(req.query, guard.epoch(), rows,
+      query_cache_.results().Insert(req.query, snap->epoch(), rows,
                                     cache::ApproxResultBytes(*rows));
     }
   } else {
@@ -842,7 +858,12 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
     if (slow_log_.ShouldRecord(micros)) {
       // Re-plan for the log entry: the slow path has already paid far more
       // than an Explain costs, and the plan is the diagnostic that matters.
-      Result<std::string> plan = engine_.Explain(req.query);
+      // Explained against the same pinned snapshot so the logged plan
+      // reflects the schema the query actually saw.
+      Result<std::string> plan = [&] {
+        ScopedReadView scope(snap.get());
+        return engine_.Explain(req.query);
+      }();
       obs::SlowQueryLog::Entry slow;
       slow.request_id = id;
       slow.trace_id = req.trace_id;
@@ -851,7 +872,7 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
       slow.profile =
           plan.ok() ? std::move(plan).value() : plan.status().ToString();
       slow.queue_micros = queue_wait_micros;
-      slow.guard_wait_micros = guard.wait_micros();
+      slow.guard_wait_micros = 0;
       slow.execute_micros = micros;
       slow_log_.Record(std::move(slow));
     }
@@ -922,6 +943,21 @@ Response Server::ExecuteMutation(RequestId id, const Request& req) {
   Database::WriteGuard guard(*db_);
   resp.waits.guard_wait_micros = guard.wait_micros();
   resp.epoch = db_->epoch();
+  // Writer-starvation watchdog: under MVCC readers never hold the guard,
+  // so a long exclusive wait means a *writer* ahead of this one stalled
+  // (journal sync, giant transaction). Surface it in the slow-query log —
+  // where an operator is already looking when latency spikes — alongside
+  // the guard_writer_longest_wait_micros gauge the guard keeps.
+  if (writer_wait_warn_micros_ >= 0 &&
+      guard.wait_micros() >= writer_wait_warn_micros_) {
+    obs::SlowQueryLog::Entry slow;
+    slow.request_id = id;
+    slow.trace_id = req.trace_id;
+    slow.query = "[writer-wait] " + FlightDetail(req);
+    slow.micros = guard.wait_micros();
+    slow.guard_wait_micros = guard.wait_micros();
+    slow_log_.Record(std::move(slow));
+  }
   const MutationOp& op = req.mutation;
   switch (op.kind) {
     case MutationOp::Kind::kCreateObject: {

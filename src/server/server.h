@@ -27,15 +27,18 @@ namespace prometheus::server {
 /// concurrently usable service (the stand-in for the thesis' omitted
 /// Prometheus service layer, §6.1.7).
 ///
-/// Concurrency protocol (see `Database`'s epoch guard):
-///  - **kQuery** requests execute on a worker holding `Database::ReadGuard`
-///    — any number run in parallel, and each sees an unchanging snapshot
-///    for its whole evaluation, preserving the paper's single-user query
-///    semantics per request.
+/// Concurrency protocol (MVCC snapshot reads; see `Database`):
+///  - **kQuery** requests pin an immutable `DbSnapshot` at dequeue
+///    (`Database::AcquireSnapshot`) and execute against it with **no**
+///    shared lock — any number run in parallel, each sees one consistent
+///    cut for its whole evaluation (the paper's single-user query
+///    semantics per request), and none ever blocks behind a writer. A
+///    writer stalled in journal_sync degrades write latency only; the
+///    read fleet keeps serving the last published snapshot.
 ///  - **kMutation** requests execute under `Database::WriteGuard` —
-///    exclusive, so readers never observe a half-applied mutation and the
-///    journal (when a `DurableStore` wraps the database) observes a serial
-///    mutation history.
+///    exclusive among writers, so the journal (when a `DurableStore`
+///    wraps the database) observes a serial mutation history. Commit
+///    publishes the next snapshot before the epoch becomes observable.
 ///
 /// Overload protection: a bounded priority-tiered work queue with adaptive
 /// admission control (see executor.h / admission.h), per-request deadlines
@@ -64,6 +67,13 @@ class Server {
     /// their plan (or full trace when profiled). Negative = disabled (the
     /// default): the fast path then never reads the clock for it.
     double slow_query_micros = -1;
+    /// Writer-starvation watchdog: a mutation whose exclusive-guard
+    /// acquisition wait reaches this many microseconds leaves a
+    /// `[writer-wait]` entry in the slow-query log (readers don't hold the
+    /// guard under MVCC, so a long wait means a stalled *writer* ahead of
+    /// this one). The `guard_writer_longest_wait_micros` gauge tracks the
+    /// high-water mark regardless. Negative = disabled (the default).
+    double writer_wait_warn_micros = -1;
     /// Slow-query log ring capacity.
     std::size_t slow_query_capacity = 128;
     /// Flight-recorder ring capacity: the last N completed request traces
@@ -226,6 +236,7 @@ class Server {
   SessionManager sessions_;
   storage::DurableStore* store_;
   const bool read_only_;
+  const double writer_wait_warn_micros_;
   const std::function<std::string()> replication_probe_;
   const std::uint64_t server_epoch_;
   /// DDL listener bumping the plan cache's schema generation. Subscribed

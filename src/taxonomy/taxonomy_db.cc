@@ -373,17 +373,18 @@ Status TaxonomyDatabase::RecordPlacement(Oid name, Oid genus_name) {
 
 Oid TaxonomyDatabase::PlacementOf(Oid name) const {
   std::vector<Oid> targets =
-      db_->Neighbors(name, kPlacementRel, Direction::kOut);
+      view().Neighbors(name, kPlacementRel, Direction::kOut);
   return targets.empty() ? kNullOid : targets.front();
 }
 
 std::vector<Oid> TaxonomyDatabase::TypesOf(Oid name,
                                            const TypeKind* kind) const {
+  const ReadView& rv = view();
   std::vector<Oid> out;
   for (const char* rel : {kTypifiedBySpecimenRel, kTypifiedByNameRel}) {
-    for (Oid lid : db_->IncidentLinks(name, Direction::kOut,
-                                      db_->FindRelationship(rel))) {
-      const Link* link = db_->GetLink(lid);
+    for (Oid lid : rv.IncidentLinks(name, Direction::kOut,
+                                    rv.FindRelationship(rel))) {
+      const Link* link = rv.GetLink(lid);
       if (kind != nullptr) {
         auto k = link->attrs.find("type_kind");
         if (k == link->attrs.end() ||
@@ -402,7 +403,7 @@ std::vector<Oid> TaxonomyDatabase::PrimaryTypeSpecimensOf(Oid name) const {
   for (TypeKind kind :
        {TypeKind::kHolotype, TypeKind::kLectotype, TypeKind::kNeotype}) {
     for (Oid type : TypesOf(name, &kind)) {
-      if (db_->IsInstanceOf(type, kSpecimenClass)) out.push_back(type);
+      if (view().IsInstanceOf(type, kSpecimenClass)) out.push_back(type);
     }
   }
   return out;
@@ -411,7 +412,7 @@ std::vector<Oid> TaxonomyDatabase::PrimaryTypeSpecimensOf(Oid name) const {
 std::vector<Oid> TaxonomyDatabase::NamesTypifiedBy(Oid type) const {
   std::vector<Oid> out;
   for (const char* rel : {kTypifiedBySpecimenRel, kTypifiedByNameRel}) {
-    for (Oid src : db_->Neighbors(type, rel, Direction::kIn)) {
+    for (Oid src : view().Neighbors(type, rel, Direction::kIn)) {
       out.push_back(src);
     }
   }
@@ -419,19 +420,20 @@ std::vector<Oid> TaxonomyDatabase::NamesTypifiedBy(Oid type) const {
 }
 
 Result<std::string> TaxonomyDatabase::FullName(Oid name) const {
-  if (!db_->IsInstanceOf(name, kNameClass)) {
+  const ReadView& rv = view();
+  if (!rv.IsInstanceOf(name, kNameClass)) {
     return Status::NotFound("@" + std::to_string(name) + " is not a name");
   }
   PROMETHEUS_ASSIGN_OR_RETURN(Value element,
-                              db_->GetAttribute(name, "name_element"));
-  PROMETHEUS_ASSIGN_OR_RETURN(Value author, db_->GetAttribute(name, "author"));
+                              rv.GetAttribute(name, "name_element"));
+  PROMETHEUS_ASSIGN_OR_RETURN(Value author, rv.GetAttribute(name, "author"));
   PROMETHEUS_ASSIGN_OR_RETURN(Rank rank, RankOf(name));
   std::string text;
   if (IsMultinomial(rank)) {
     Oid genus = PlacementOf(name);
     if (genus != kNullOid) {
       PROMETHEUS_ASSIGN_OR_RETURN(Value genus_element,
-                                  db_->GetAttribute(genus, "name_element"));
+                                  rv.GetAttribute(genus, "name_element"));
       if (genus_element.type() == ValueType::kString) {
         text += genus_element.AsString() + " ";
       }
@@ -453,7 +455,8 @@ Status TaxonomyDatabase::SetNameStatus(Oid name, NameStatus status) {
 }
 
 Result<NameStatus> TaxonomyDatabase::NameStatusOf(Oid name) const {
-  PROMETHEUS_ASSIGN_OR_RETURN(Value status, db_->GetAttribute(name, "status"));
+  PROMETHEUS_ASSIGN_OR_RETURN(Value status,
+                              view().GetAttribute(name, "status"));
   if (status.type() != ValueType::kString) {
     return Status::NotFound("no status recorded");
   }
@@ -475,15 +478,17 @@ Result<Oid> TaxonomyDatabase::AddDetermination(Oid specimen, Oid name,
 }
 
 std::vector<Oid> TaxonomyDatabase::DeterminationsOf(Oid specimen) const {
-  return db_->IncidentLinks(specimen, Direction::kOut,
-                            db_->FindRelationship(kDeterminedAsRel));
+  const ReadView& rv = view();
+  return rv.IncidentLinks(specimen, Direction::kOut,
+                          rv.FindRelationship(kDeterminedAsRel));
 }
 
 std::vector<std::vector<Oid>> TaxonomyDatabase::FindHomonyms() const {
+  const ReadView& rv = view();
   std::unordered_map<std::string, std::vector<Oid>> groups;
-  for (Oid name : db_->Extent(kNameClass)) {
-    auto element = db_->GetAttribute(name, "name_element");
-    auto rank = db_->GetAttribute(name, "rank");
+  for (Oid name : rv.Extent(kNameClass)) {
+    auto element = rv.GetAttribute(name, "name_element");
+    auto rank = rv.GetAttribute(name, "rank");
     if (!element.ok() || !rank.ok() ||
         element.value().type() != ValueType::kString ||
         rank.value().type() != ValueType::kString) {
@@ -547,19 +552,19 @@ Status TaxonomyDatabase::AscribeName(Oid taxon, Oid name) {
 
 Oid TaxonomyDatabase::AscribedNameOf(Oid taxon) const {
   std::vector<Oid> names =
-      db_->Neighbors(taxon, kAscribedNameRel, Direction::kOut);
+      view().Neighbors(taxon, kAscribedNameRel, Direction::kOut);
   return names.empty() ? kNullOid : names.front();
 }
 
 Oid TaxonomyDatabase::CalculatedNameOf(Oid taxon) const {
   std::vector<Oid> names =
-      db_->Neighbors(taxon, kCalculatedNameRel, Direction::kOut);
+      view().Neighbors(taxon, kCalculatedNameRel, Direction::kOut);
   return names.empty() ? kNullOid : names.front();
 }
 
 Result<Rank> TaxonomyDatabase::RankOf(Oid taxon_or_name) const {
   PROMETHEUS_ASSIGN_OR_RETURN(Value rank,
-                              db_->GetAttribute(taxon_or_name, "rank"));
+                              view().GetAttribute(taxon_or_name, "rank"));
   if (rank.type() != ValueType::kString) {
     return Status::NotFound("no rank recorded");
   }

@@ -6,6 +6,19 @@
 
 namespace prometheus {
 
+namespace {
+
+/// Read view for evaluation paths: the thread's pinned snapshot when one
+/// is installed (a server worker evaluating a view for a query), else the
+/// live database. Maintenance (OnEvent) runs on the writer thread, which
+/// installs no view, so incremental updates always see live state.
+const ReadView& EvalView(const Database* db) {
+  const ReadView* v = CurrentReadView();
+  return v != nullptr ? *v : static_cast<const ReadView&>(*db);
+}
+
+}  // namespace
+
 ViewManager::ViewManager(Database* db) : db_(db), engine_(db) {
   listener_ = db_->bus().Subscribe(
       [this](const Event& e) {
@@ -104,7 +117,7 @@ ViewManager::CompiledView* ViewManager::FindMutable(const std::string& name) {
 
 Result<bool> ViewManager::Satisfies(const CompiledView& view, Oid oid) const {
   if (!view.def.class_name.empty() &&
-      !db_->IsInstanceOf(oid, view.def.class_name)) {
+      !EvalView(db_).IsInstanceOf(oid, view.def.class_name)) {
     return false;
   }
   if (view.predicate != nullptr) {
@@ -116,11 +129,12 @@ Result<bool> ViewManager::Satisfies(const CompiledView& view, Oid oid) const {
 }
 
 bool ViewManager::IsMember(const CompiledView& view, Oid oid) const {
-  if (db_->GetObject(oid) == nullptr) return false;
+  const ReadView& rv = EvalView(db_);
+  if (rv.GetObject(oid) == nullptr) return false;
   if (view.def.context != kNullOid) {
     // Context views require current participation in the classification.
-    bool participates = !db_->IncidentLinks(oid, Direction::kBoth, nullptr,
-                                            view.def.context)
+    bool participates = !rv.IncidentLinks(oid, Direction::kBoth, nullptr,
+                                          view.def.context)
                              .empty();
     if (!participates) return false;
   }
@@ -176,17 +190,18 @@ void ViewManager::OnEvent(const Event& event) {
 
 Result<std::vector<Oid>> ViewManager::Candidates(
     const CompiledView& view) const {
+  const ReadView& rv = EvalView(db_);
   std::vector<Oid> candidates;
   if (view.def.context != kNullOid) {
     std::unordered_set<Oid> seen;
-    for (Oid lid : db_->LinksInContext(view.def.context)) {
-      const Link* l = db_->GetLink(lid);
+    for (Oid lid : rv.LinksInContext(view.def.context)) {
+      const Link* l = rv.GetLink(lid);
       if (l == nullptr) continue;
       if (seen.insert(l->source).second) candidates.push_back(l->source);
       if (seen.insert(l->target).second) candidates.push_back(l->target);
     }
   } else {
-    candidates = db_->Extent(view.def.class_name);
+    candidates = rv.Extent(view.def.class_name);
   }
   return candidates;
 }
@@ -222,9 +237,10 @@ Result<std::vector<Oid>> ViewManager::EvaluateEdges(
     return Status::FailedPrecondition("view '" + name +
                                       "' has no classification context");
   }
+  const ReadView& rv = EvalView(db_);
   std::vector<Oid> out;
-  for (Oid lid : db_->LinksInContext(view->def.context)) {
-    const Link* l = db_->GetLink(lid);
+  for (Oid lid : rv.LinksInContext(view->def.context)) {
+    const Link* l = rv.GetLink(lid);
     if (l == nullptr) continue;
     PROMETHEUS_ASSIGN_OR_RETURN(bool src_ok, Satisfies(*view, l->source));
     if (!src_ok) continue;

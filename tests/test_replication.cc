@@ -578,6 +578,95 @@ TEST(ReplicationE2ETest, FollowerCacheServesHitsAndInvalidatesOnApply) {
             1u);
 }
 
+// MVCC on the replica: the applier commits each replicated transaction
+// under the follower database's write guard, and replica reads execute
+// against pinned snapshots — so a journal frame landing mid-read must
+// never tear it. The leader updates a pair of rows transactionally in
+// lockstep; follower readers, running flat out while frames stream in,
+// must always see the pair equal (a consistent cut), never one row from
+// before the apply and one from after.
+TEST(ReplicationE2ETest, JournalApplyNeverTearsInFlightReplicaReads) {
+  const std::string leader_dir = FreshDir("repl_mvcc_leader");
+  const std::string follower_dir = FreshDir("repl_mvcc_follower");
+  auto leader = Leader::Start(leader_dir);
+  ASSERT_NE(leader, nullptr);
+
+  Client writer(leader->server.get());
+  auto pa = writer.CreateObject(
+      "Sp", {{"name", Value::String("pa")}, {"rank", Value::Int(0)}});
+  auto pb = writer.CreateObject(
+      "Sp", {{"name", Value::String("pb")}, {"rank", Value::Int(0)}});
+  ASSERT_TRUE(pa.ok() && pb.ok());
+
+  auto follower = Follower::Start(
+      FollowerOptions(follower_dir, leader->port(), "mvcc"));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  ASSERT_TRUE(follower.value()->WaitCaughtUp(10000));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> pair_reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      Client reader(&follower.value()->server());
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rs = reader.Query("select s.name, s.rank from Sp s");
+        if (!rs.ok()) continue;  // overload shedding is legal
+        std::int64_t ra = -1, rb = -1;
+        for (const auto& row : rs.value().rows) {
+          if (row[0].ToString().find("pa") != std::string::npos) {
+            ra = row[1].AsInt();
+          } else if (row[0].ToString().find("pb") != std::string::npos) {
+            rb = row[1].AsInt();
+          }
+        }
+        if (ra >= 0 && rb >= 0) {
+          pair_reads.fetch_add(1);
+          if (ra != rb) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // The leader advances the pair transactionally while frames stream to
+  // the follower (poll interval 5 ms, so applies interleave the reads).
+  constexpr std::int64_t kRounds = 150;
+  for (std::int64_t v = 1; v <= kRounds; ++v) {
+    ASSERT_TRUE(writer
+                    .Mutate([&, v](Database& db) {
+                      PROMETHEUS_RETURN_IF_ERROR(db.Begin());
+                      Status st = db.SetAttribute(pa.value(), "rank",
+                                                  Value::Int(v));
+                      if (st.ok()) {
+                        st = db.SetAttribute(pb.value(), "rank",
+                                             Value::Int(v));
+                      }
+                      if (!st.ok()) {
+                        (void)db.Abort();
+                        return st;
+                      }
+                      return db.Commit();
+                    })
+                    .ok());
+  }
+
+  // Let the follower catch up to the final round before stopping the
+  // readers, so the apply path ran under live read load the whole way.
+  ASSERT_TRUE(follower.value()->WaitCaughtUp(10000));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(pair_reads.load(), 0u);
+  Client reader(&follower.value()->server());
+  auto final_rs =
+      reader.Query("select s.rank from Sp s where s.name = 'pa'");
+  ASSERT_TRUE(final_rs.ok());
+  ASSERT_EQ(final_rs.value().rows.size(), 1u);
+  EXPECT_EQ(final_rs.value().rows[0][0].AsInt(), kRounds);
+}
+
 // Schema defined on the live leader — not in its bootstrap — must ship to
 // followers like any mutation: a follower that joined before the DDL
 // applies the new class and the objects created in it.
