@@ -20,6 +20,13 @@
 // the churn phase — if the attribution ratio is near 1.0, the contention
 // profiler accounts for where the lost microseconds went.
 //
+// E22 — system-catalog overhead. A monitoring poller cycling POOL queries
+// over sys.metrics / sys.storage / sys.requests (the dashboards-over-POOL
+// workload the catalog exists for) races the same 4-reader fleet issuing
+// real queries. Alternating baseline/polled rounds measure what the
+// poller costs the readers in throughput; the catalog materializes
+// per-query snapshots outside every lock, so the tax must stay <= 5%.
+//
 // Usage: bench_obs [reps] [e20_requests_per_reader]   (defaults 7, 200)
 
 #include <algorithm>
@@ -171,6 +178,60 @@ PhaseResult RunChurnPhase(Server& server, const std::vector<Oid>& parts,
   return result;
 }
 
+// ------------------------------------------------------------------- E22
+
+/// Reader throughput for one phase: the 4-reader fleet issues
+/// `requests_per_reader` real queries each; with the poller, a monitoring
+/// thread cycles catalog queries at ~1 kHz until the readers finish.
+/// Returns requests per second over the phase's wall clock.
+double RunCatalogPhase(Server& server, int requests_per_reader,
+                       bool with_poller, std::uint64_t* polls_out) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> readers_done{false};
+  const Clock::time_point t0 = Clock::now();
+
+  std::vector<std::thread> readers;
+  readers.reserve(kE20Readers);
+  for (int r = 0; r < kE20Readers; ++r) {
+    readers.emplace_back([&] {
+      Client client(&server);
+      for (int i = 0; i < requests_per_reader; ++i) {
+        (void)client.Query(kQuery);
+      }
+    });
+  }
+
+  std::thread poller;
+  std::uint64_t polls = 0;
+  if (with_poller) {
+    poller = std::thread([&] {
+      Client client(&server);
+      const char* catalog_queries[] = {
+          "select m.name, m.value from sys.metrics m "
+          "where m.kind = 'counter'",
+          "select s.class, s.rows, s.scans from sys.storage s",
+          "select q.request_id, q.total_micros from sys.requests q",
+      };
+      while (!readers_done.load(std::memory_order_relaxed)) {
+        (void)client.Query(catalog_queries[polls % 3]);
+        ++polls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  for (std::thread& t : readers) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  readers_done.store(true, std::memory_order_relaxed);
+  if (poller.joinable()) poller.join();
+
+  if (polls_out != nullptr) *polls_out += polls;
+  const double requests = static_cast<double>(kE20Readers) *
+                          static_cast<double>(requests_per_reader);
+  return wall_s > 0 ? requests / wall_s : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +329,35 @@ int main(int argc, char** argv) {
     attributed_ms += delta.sum / 1000.0;
     blocked_acquisitions += delta.count;
   }
+  // --- E22: catalog-poller tax on real-query throughput -----------------
+  // Reuses the churn server (quiescent again after E20's writer stopped):
+  // same 4 readers, but the contender is a monitoring poller cycling
+  // sys.metrics / sys.storage / sys.requests queries instead of a writer.
+  prometheus::bench::PrintTableHeader(
+      "E22: system-catalog overhead (4 readers vs 1 catalog poller)",
+      "  phase        reader_qps  catalog_polls");
+  RunCatalogPhase(churn_server, std::max(8, e20_requests / 4),
+                  /*with_poller=*/false, nullptr);  // warm-up
+  constexpr int kE22Rounds = 3;
+  double base_qps_sum = 0;
+  double polled_qps_sum = 0;
+  std::uint64_t catalog_polls = 0;
+  for (int round = 0; round < kE22Rounds; ++round) {
+    base_qps_sum += RunCatalogPhase(churn_server, e20_requests,
+                                    /*with_poller=*/false, nullptr);
+    polled_qps_sum += RunCatalogPhase(churn_server, e20_requests,
+                                      /*with_poller=*/true, &catalog_polls);
+  }
+  const double base_qps = base_qps_sum / kE22Rounds;
+  const double polled_qps = polled_qps_sum / kE22Rounds;
+  const double catalog_tax_pct =
+      base_qps > 0 ? (base_qps - polled_qps) / base_qps * 100.0 : 0;
+  std::printf("  %-12s %10.1f  %13s\n", "baseline", base_qps, "-");
+  std::printf("  %-12s %10.1f  %13llu\n", "polled", polled_qps,
+              static_cast<unsigned long long>(catalog_polls));
+  std::printf("  catalog-poller throughput tax: %+.2f%% (target <= 5%%)\n",
+              catalog_tax_pct);
+
   churn_server.Shutdown();
 
   const double lost_ms = std::max(0.0, lost_ms_signed);
@@ -326,6 +416,16 @@ int main(int argc, char** argv) {
   // while guard waits stay real — the ratio is only meaningful when the
   // reader fleet and the writer can actually run in parallel.
   json.Key("host_bounded").Bool(cores < kE20Readers + 2);
+  json.EndObject();
+  json.Key("e22_catalog").BeginObject();
+  json.Key("rounds").Int(kE22Rounds);
+  json.Key("readers").Int(kE20Readers);
+  json.Key("requests_per_reader").Int(e20_requests);
+  json.Key("baseline_reader_qps").Number(base_qps);
+  json.Key("polled_reader_qps").Number(polled_qps);
+  json.Key("catalog_polls").Int(static_cast<int>(catalog_polls));
+  json.Key("throughput_tax_pct").Number(catalog_tax_pct);
+  json.Key("target_tax_pct").Number(5.0);
   json.EndObject();
   json.EndObject();
 

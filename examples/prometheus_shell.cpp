@@ -451,8 +451,8 @@ int main(int argc, char** argv) {
             ".classes .relationships .extent <name> .explain <query> "
             ".rule <pcl> .warnings .save <f> .load <f> .demo .health "
             ".recent .contention [window] .cache [stats|clear|off|on] "
-            ".checkpoint .deadline <ms> .lag .promote .quit\n"
-            "anything else runs as POOL\n");
+            ".sys .checkpoint .deadline <ms> .lag .promote .quit\n"
+            "anything else runs as POOL (try: select s from sys.storage s)\n");
       } else if (cmd == ".classes") {
         with_db_read([](Database& db) {
           for (const ClassDef* cls : db.classes()) {
@@ -545,6 +545,19 @@ int main(int argc, char** argv) {
         in >> sub;
         std::printf("%s",
                     obs::RenderContentionText(sub == "window").c_str());
+      } else if (cmd == ".sys") {
+        // The system catalog's own listing; every class is queryable as an
+        // ordinary POOL range (`select m from sys.metrics m where ...`).
+        for (const pool::SystemCatalog::ClassInfo& info :
+             server->system_catalog().ListClasses()) {
+          std::string attrs;
+          for (const std::string& a : info.attributes) {
+            if (!attrs.empty()) attrs += ", ";
+            attrs += a;
+          }
+          std::printf("%-16s %s\n                 (%s)\n", info.name.c_str(),
+                      info.help.c_str(), attrs.c_str());
+        }
       } else if (cmd == ".cache") {
         std::string sub;
         in >> sub;

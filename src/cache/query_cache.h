@@ -3,11 +3,30 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/plan_cache.h"
 #include "cache/result_cache.h"
 
 namespace prometheus::cache {
+
+/// A point-in-time snapshot of both cache tiers plus one canonical
+/// field/value rendering. Every stats surface — `.cache stats` rows, the
+/// JSON payload, and the `sys.cache` catalog class — reads from this one
+/// struct, so the surfaces can never drift.
+struct QueryCacheStats {
+  bool enabled = false;
+  ResultCache::Stats result;
+  PlanCache::Stats plan;
+
+  /// The canonical (field, rendered value) rows, in display order:
+  /// enabled, result_hits, result_misses, result_hit_rate, result_entries,
+  /// result_bytes, result_evictions, result_invalidations, result_oversize,
+  /// plan_hits, plan_misses, plan_entries, plan_invalidations,
+  /// schema_generation.
+  std::vector<std::pair<std::string, std::string>> Fields() const;
+};
 
 /// Configuration the server's Options embeds. The defaults keep both
 /// tiers on with a modest footprint; set `enabled = false` to build a
@@ -62,6 +81,16 @@ class QueryCache {
 
   /// Event hook: schema DDL committed; every cached plan is stale.
   void OnSchemaChange() { plans_.OnSchemaChange(); }
+
+  /// Point-in-time snapshot of both tiers (the one source every stats
+  /// surface renders from).
+  QueryCacheStats Stats() const {
+    QueryCacheStats s;
+    s.enabled = enabled();
+    s.result = results_.stats();
+    s.plan = plans_.stats();
+    return s;
+  }
 
   /// Both tiers' stats as one JSON object (the `.cache` / kCacheControl
   /// payload).

@@ -21,6 +21,11 @@ inline std::size_t ApproxValueBytes(const Value& v) {
     case ValueType::kList:
       for (const Value& item : v.AsList()) bytes += ApproxValueBytes(item);
       break;
+    case ValueType::kStruct:
+      for (const auto& [name, field] : v.AsStruct()) {
+        bytes += name.size() + ApproxValueBytes(field);
+      }
+      break;
     default:
       break;
   }

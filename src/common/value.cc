@@ -21,6 +21,8 @@ const char* ValueTypeName(ValueType type) {
       return "ref";
     case ValueType::kList:
       return "list";
+    case ValueType::kStruct:
+      return "struct";
   }
   return "unknown";
 }
@@ -41,8 +43,22 @@ ValueType Value::type() const {
       return ValueType::kRef;
     case 6:
       return ValueType::kList;
+    case 7:
+      return ValueType::kStruct;
   }
   return ValueType::kNull;
+}
+
+const Value* Value::Field(const std::string& name) const {
+  if (type() != ValueType::kStruct) return nullptr;
+  for (const auto& [key, value] : AsStruct()) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool Value::HasField(const std::string& name) const {
+  return Field(name) != nullptr;
 }
 
 Result<double> Value::ToNumeric() const {
@@ -83,6 +99,16 @@ bool Value::Equals(const Value& other) const {
       if (x.size() != y.size()) return false;
       for (std::size_t i = 0; i < x.size(); ++i) {
         if (!x[i].Equals(y[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kStruct: {
+      const Struct& x = AsStruct();
+      const Struct& y = other.AsStruct();
+      if (x.size() != y.size()) return false;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i].first != y[i].first) return false;
+        if (!x[i].second.Equals(y[i].second)) return false;
       }
       return true;
     }
@@ -146,6 +172,18 @@ std::string Value::ToString() const {
       out += "]";
       return out;
     }
+    case ValueType::kStruct: {
+      std::string out = "{";
+      const Struct& fields = AsStruct();
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += fields[i].first;
+        out += ": ";
+        out += fields[i].second.ToString();
+      }
+      out += "}";
+      return out;
+    }
   }
   return "?";
 }
@@ -175,6 +213,19 @@ std::string Value::IndexKey() const {
       std::string out = "l";
       for (const Value& v : AsList()) {
         std::string k = v.IndexKey();
+        out += std::to_string(k.size());
+        out += ":";
+        out += k;
+      }
+      return out;
+    }
+    case ValueType::kStruct: {
+      std::string out = "t";
+      for (const auto& [name, v] : AsStruct()) {
+        std::string k = v.IndexKey();
+        out += std::to_string(name.size());
+        out += ":";
+        out += name;
         out += std::to_string(k.size());
         out += ":";
         out += k;

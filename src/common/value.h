@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -15,8 +16,10 @@ namespace prometheus {
 ///
 /// These are the atomic ODMG literal types the thesis' model builds on
 /// (section 4.2) plus `kRef` (an object reference, used by POOL results and
-/// by attributes that point at other objects) and `kList` (an ordered
-/// collection, the thesis' `Collection` built-in, section 4.4.6).
+/// by attributes that point at other objects), `kList` (an ordered
+/// collection, the thesis' `Collection` built-in, section 4.4.6) and
+/// `kStruct` (an ordered set of named fields — the row shape of the virtual
+/// `sys.*` system catalog, which has no Oids to hand out).
 enum class ValueType : std::uint8_t {
   kNull = 0,
   kBool,
@@ -25,6 +28,7 @@ enum class ValueType : std::uint8_t {
   kString,
   kRef,
   kList,
+  kStruct,
 };
 
 /// Returns the canonical name of a value type ("int", "string", ...).
@@ -41,6 +45,11 @@ class Value {
   /// List payload type.
   using List = std::vector<Value>;
 
+  /// Struct payload type: an ordered sequence of named fields. Field order is
+  /// preserved (it is the declaration order of the producing catalog class),
+  /// and names are unique by construction.
+  using Struct = std::vector<std::pair<std::string, Value>>;
+
   /// Constructs a null value.
   Value() : data_(std::monostate{}) {}
 
@@ -53,6 +62,7 @@ class Value {
   static Value String(std::string v) { return Value(Payload(std::move(v))); }
   static Value Ref(Oid oid) { return Value(Payload(RefTag{oid})); }
   static Value MakeList(List v) { return Value(Payload(std::move(v))); }
+  static Value MakeStruct(Struct v) { return Value(Payload(std::move(v))); }
 
   /// The dynamic type tag.
   ValueType type() const;
@@ -67,6 +77,13 @@ class Value {
   Oid AsRef() const { return std::get<RefTag>(data_).oid; }
   const List& AsList() const { return std::get<List>(data_); }
   List& AsList() { return std::get<List>(data_); }
+  const Struct& AsStruct() const { return std::get<Struct>(data_); }
+  Struct& AsStruct() { return std::get<Struct>(data_); }
+
+  /// Looks up a struct field by name. Returns null if the value is not a
+  /// struct; callers that need typo diagnostics check `HasField` first.
+  const Value* Field(const std::string& name) const;
+  bool HasField(const std::string& name) const;
 
   /// Numeric coercion: int and double convert to double; anything else is an
   /// error. Used by POOL arithmetic and comparisons.
@@ -100,7 +117,7 @@ class Value {
   };
 
   using Payload = std::variant<std::monostate, bool, std::int64_t, double,
-                               std::string, RefTag, List>;
+                               std::string, RefTag, List, Struct>;
 
   explicit Value(Payload p) : data_(std::move(p)) {}
 

@@ -192,6 +192,18 @@ std::size_t IndexManager::total_entries() const {
   return n;
 }
 
+std::vector<std::string> IndexManager::IndexedAttributes(
+    const std::string& class_name) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& ix : indexes_) {
+    if (ix->cls != nullptr && ix->cls->name() == class_name) {
+      out.push_back(ix->attr);
+    }
+  }
+  return out;
+}
+
 void IndexManager::InsertEntry(Index* index, Oid oid, const Value& value) {
   if (index->ordered) {
     index->tree.emplace(OrderedKey::FromValue(value), oid);

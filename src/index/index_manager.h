@@ -76,6 +76,13 @@ class IndexManager {
   /// Number of entries across all indexes (diagnostics).
   std::size_t total_entries() const;
 
+  /// Attributes indexed for `class_name` (diagnostics; feeds the
+  /// `sys.storage` index-coverage column). The class's own indexes only —
+  /// indexes on superclasses cover this extent too but are reported on
+  /// their defining class.
+  std::vector<std::string> IndexedAttributes(const std::string& class_name)
+      const;
+
  private:
   /// Ordering key for ordered indexes: numerics sort before strings;
   /// other types are not range-indexable and use only hash indexes.

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -520,13 +521,56 @@ std::string HttpFrontEnd::Handle(const HttpRequest& req,
         }
         entries = std::move(matched);
       }
+      // ?limit=N keeps only the N most recent entries. Strictly validated:
+      // a malformed or out-of-range value is a client error, not a silent
+      // full dump.
+      std::string limit_str;
+      if (QueryParam(query_view, "limit", &limit_str)) {
+        bool valid = !limit_str.empty() && limit_str.size() <= 7;
+        if (valid) {
+          for (char c : limit_str) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+              valid = false;
+              break;
+            }
+          }
+        }
+        const std::uint64_t limit =
+            valid ? std::strtoull(limit_str.c_str(), nullptr, 10) : 0;
+        if (!valid || limit < 1 || limit > 1000000) {
+          return SerializeHttpResponse(
+              400, kJsonType,
+              ErrorBody("limit must be an integer in [1, 1000000], got '" +
+                        limit_str + "'"),
+              keep_alive);
+        }
+        if (entries.size() > limit) {
+          entries.erase(entries.begin(),
+                        entries.end() - static_cast<std::ptrdiff_t>(limit));
+        }
+      }
       body = obs::RenderFlightRecorderJson(entries);
     } else if (path == "/debug/contention") {
       // ?window=1 returns only what accumulated since the previous
-      // windowed call — the "what is blocking right now" view.
+      // windowed call — the "what is blocking right now" view. The value
+      // is validated: a typo'd ?window=yes must not silently fall back to
+      // the cumulative view an operator wasn't asking for.
       std::string window;
-      body = obs::RenderContentionJson(
-          /*windowed=*/QueryParam(query_view, "window", &window));
+      bool windowed = false;
+      if (QueryParam(query_view, "window", &window)) {
+        if (window.empty() || window == "1" || window == "true") {
+          windowed = true;
+        } else if (window == "0" || window == "false") {
+          windowed = false;
+        } else {
+          return SerializeHttpResponse(
+              400, kJsonType,
+              ErrorBody("window must be one of 1/0/true/false, got '" +
+                        window + "'"),
+              keep_alive);
+        }
+      }
+      body = obs::RenderContentionJson(windowed);
     } else if (path == "/query" || path == "/profile") {
       return SerializeHttpResponse(
           405, kJsonType, ErrorBody("use POST with a POOL query body"),

@@ -224,6 +224,25 @@ std::string RenderContentionJson(bool windowed) {
   return w.str();
 }
 
+std::vector<ContentionStat> SnapshotContention() {
+  const std::array<StateSource, 8> sources = ReportSources();
+  std::vector<ContentionStat> out;
+  out.reserve(sources.size());
+  for (const StateSource& src : sources) {
+    Histogram::Snapshot snap = src.hist->snapshot();
+    ContentionStat stat;
+    stat.state = WaitStateName(src.state);
+    stat.count = snap.count;
+    stat.total_micros = snap.sum;
+    stat.mean_micros = snap.mean();
+    stat.p50_micros = snap.Percentile(50);
+    stat.p95_micros = snap.Percentile(95);
+    stat.p99_micros = snap.Percentile(99);
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
 std::string RenderContentionText(bool windowed) {
   const std::array<StateSource, 8> sources = ReportSources();
   const std::array<Histogram::Snapshot, 8> snaps =

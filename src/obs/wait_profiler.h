@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -100,6 +101,25 @@ std::string RenderContentionJson(bool windowed);
 /// The same report as a fixed-width text table (the shell's `.contention`).
 /// Windowed reads share the JSON renderer's window store.
 std::string RenderContentionText(bool windowed);
+
+/// One wait state's cumulative statistics — the structured face of the
+/// contention report (`sys.contention` rows). Deliberately cumulative-only:
+/// a structured read must never consume the shared windowed delta store the
+/// HTTP route and shell advance.
+struct ContentionStat {
+  std::string state;
+  std::uint64_t count = 0;
+  double total_micros = 0;
+  double mean_micros = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+};
+
+/// Cumulative per-state statistics in report display order. Shares the
+/// histogram sources with the JSON/text renderers, so names and numbers can
+/// never drift between `/debug/contention` and `sys.contention`.
+std::vector<ContentionStat> SnapshotContention();
 
 }  // namespace prometheus::obs
 

@@ -143,6 +143,12 @@ class Parser {
     if (src->kind == ExprKind::kVariable) {
       range.source_name = src->name;
       if (range.variable.empty()) range.variable = src->name;
+    } else if (std::string sys = SysCatalogName(*src); !sys.empty()) {
+      range.source_name = std::move(sys);
+      if (range.variable.empty()) {
+        return Status::ParseError(
+            "catalog range requires a variable name (e.g. 'sys.metrics m')");
+      }
     } else {
       if (range.variable.empty()) {
         return Status::ParseError(
@@ -157,10 +163,23 @@ class Parser {
     PROMETHEUS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> src, ParseExpr());
     if (src->kind == ExprKind::kVariable) {
       range.source_name = src->name;
+    } else if (std::string sys = SysCatalogName(*src); !sys.empty()) {
+      range.source_name = std::move(sys);
     } else {
       range.source_expr = std::move(src);
     }
     return range;
+  }
+
+  // `sys` is a reserved namespace: a range source of exactly
+  // `sys.<member>` names a virtual system-catalog extent, not a path over a
+  // variable. Deeper paths (`sys.a.b`) and every other base stay expression
+  // ranges, so dependent ranges like `from t.children c` are unaffected.
+  static std::string SysCatalogName(const Expr& src) {
+    if (src.kind != ExprKind::kPath || src.children.size() != 1) return "";
+    const Expr& base = *src.children[0];
+    if (base.kind != ExprKind::kVariable || base.name != "sys") return "";
+    return "sys." + src.name;
   }
 
   Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }

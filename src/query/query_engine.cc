@@ -39,6 +39,7 @@ struct EngineMetrics {
   obs::Counter* index_lookups;
   obs::Counter* extent_scans;
   obs::Counter* index_fallbacks;
+  obs::Counter* catalog_materializations;
   obs::Histogram* latency;
 
   static const EngineMetrics& Get() {
@@ -65,12 +66,46 @@ struct EngineMetrics {
           "pool_index_fallbacks_total",
           "Index lookups abandoned mid-plan (index ran ahead of the "
           "snapshot, or was dropped) and resolved by extent scan instead");
+      em.catalog_materializations = reg.GetCounter(
+          "pool_catalog_materializations_total",
+          "sys.* virtual extents materialized from live server state");
       em.latency = reg.GetHistogram("pool_query_micros",
                                     "Top-level query latency (microseconds)");
       return em;
     }();
     return m;
   }
+};
+
+/// Per-execution memo of materialized catalog extents. The outermost
+/// ExecuteInternal on a thread installs one; nested executions (subqueries,
+/// dependent ranges) reuse it, so a self-join of `sys.requests` — or a
+/// correlated subquery re-touching `sys.metrics` — observes one consistent
+/// point-in-time row set per top-level query.
+struct CatalogScope {
+  std::unordered_map<std::string, std::vector<Value>> materialized;
+};
+
+thread_local CatalogScope* g_catalog_scope = nullptr;
+
+/// RAII installer: a no-op when a scope is already active on this thread.
+class ScopedCatalogScope {
+ public:
+  ScopedCatalogScope() {
+    if (g_catalog_scope == nullptr) {
+      g_catalog_scope = &local_;
+      installed_ = true;
+    }
+  }
+  ~ScopedCatalogScope() {
+    if (installed_) g_catalog_scope = nullptr;
+  }
+  ScopedCatalogScope(const ScopedCatalogScope&) = delete;
+  ScopedCatalogScope& operator=(const ScopedCatalogScope&) = delete;
+
+ private:
+  CatalogScope local_;
+  bool installed_ = false;
 };
 
 }  // namespace
@@ -331,6 +366,12 @@ Result<Value> QueryEngine::EvalPath(const Expr& expr,
   if (base.is_null()) return Value::Null();  // null propagation
   if (base.type() == ValueType::kRef) {
     return MemberOf(base.AsRef(), expr.name);
+  }
+  if (base.type() == ValueType::kStruct) {
+    // Catalog rows: field access by name. A missing field is an error, not
+    // null — typos on sys.* attributes should be loud.
+    if (const Value* field = base.Field(expr.name)) return *field;
+    return Status::NotFound("struct has no field '" + expr.name + "'");
   }
   if (base.type() == ValueType::kList) {
     // Path through a collection maps over its elements.
@@ -1058,11 +1099,30 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
     return out;
   };
   const std::string& name = range.source_name;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  // Virtual system-catalog range: materialize a point-in-time row set (at
+  // most once per top-level execution, via the thread's CatalogScope). No
+  // index ever applies; rows are structs, not refs.
+  if (SystemCatalog::IsCatalogName(name)) {
+    if (catalog_ == nullptr || !catalog_->Has(name)) {
+      return Status::NotFound("no system catalog class named '" + name + "'");
+    }
+    if (strategy != nullptr) *strategy = "catalog materialization of " + name;
+    if (g_catalog_scope != nullptr) {
+      auto it = g_catalog_scope->materialized.find(name);
+      if (it != g_catalog_scope->materialized.end()) return it->second;
+    }
+    metrics.catalog_materializations->Increment();
+    std::vector<Value> rows = catalog_->Materialize(name);
+    if (g_catalog_scope != nullptr) {
+      g_catalog_scope->materialized.emplace(name, rows);
+    }
+    return rows;
+  }
   const bool is_class = view().FindClass(name) != nullptr;
   if (!is_class && view().FindRelationship(name) == nullptr) {
     return Status::NotFound("no extent named '" + name + "'");
   }
-  const EngineMetrics& metrics = EngineMetrics::Get();
   // Index optimization (6.1.5.2/3): when the where clause contains a
   // conjunct `var.attr = literal` with an index on (class, attr), replace
   // the extent scan by an index lookup. With a cached plan the conjunct
@@ -1095,6 +1155,7 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
         name, attr, literal->literal, view().index_epoch_ceiling());
     if (oids.ok()) {
       metrics.index_lookups->Increment();
+      ExtentHeat::Instance().RecordIndexHit(name, oids.value().size());
       if (strategy != nullptr) {
         *strategy = "index lookup on " + name + "." + attr;
       }
@@ -1107,7 +1168,9 @@ Result<std::vector<Value>> QueryEngine::RangeCandidates(
     *strategy = std::string("extent scan of ") +
                 (is_class ? "class " : "relationship ") + name;
   }
-  return refs(is_class ? view().Extent(name) : view().LinkExtent(name));
+  std::vector<Oid> oids = is_class ? view().Extent(name) : view().LinkExtent(name);
+  ExtentHeat::Instance().RecordScan(name, oids.size());
+  return refs(oids);
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& query) const {
@@ -1119,6 +1182,12 @@ Result<std::string> QueryEngine::Explain(const std::string& query) const {
     out += ": ";
     if (range.source_expr != nullptr) {
       out += "dependent expression (evaluated per outer binding)";
+    } else if (SystemCatalog::IsCatalogName(range.source_name)) {
+      if (catalog_ == nullptr || !catalog_->Has(range.source_name)) {
+        return Status::NotFound("no system catalog class named '" +
+                                range.source_name + "'");
+      }
+      out += "catalog materialization of " + range.source_name;
     } else if (view().FindClass(range.source_name) != nullptr) {
       std::string attr;
       if (FindIndexableConjunct(*parsed, range, &attr) != nullptr) {
@@ -1162,6 +1231,9 @@ Result<ResultSet> QueryEngine::ExecuteInternal(const SelectQuery& query,
   if (query.from.empty()) {
     return Status::ParseError("query requires at least one range");
   }
+  // One catalog materialization per top-level query (no-op when a scope is
+  // already active, i.e. for subqueries and dependent ranges).
+  ScopedCatalogScope catalog_scope;
   // Plan stage: pre-compute extent candidates (dependent ranges evaluate
   // per binding) and order the join. Built as a local node and attached
   // when complete, so sibling spans never invalidate it.

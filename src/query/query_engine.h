@@ -14,6 +14,7 @@
 #include "index/index_manager.h"
 #include "obs/trace.h"
 #include "query/ast.h"
+#include "query/system_catalog.h"
 
 namespace prometheus::pool {
 
@@ -77,6 +78,17 @@ class QueryEngine {
   void set_plan_cache(cache::PlanCache* plan_cache) {
     plan_cache_ = plan_cache;
   }
+
+  /// Attaches the virtual system catalog (nullable; must outlive the
+  /// engine). With one attached, a range over a registered `sys.*` class
+  /// materializes a point-in-time row set of `Value` structs instead of
+  /// resolving a stored extent. Materialization happens at most once per
+  /// top-level execution: joins and subqueries touching the same catalog
+  /// class within one query observe the same rows.
+  void set_system_catalog(const SystemCatalog* catalog) {
+    catalog_ = catalog;
+  }
+  const SystemCatalog* system_catalog() const { return catalog_; }
 
   /// Parses and runs a query. `ctx` (nullable) is a cooperative deadline /
   /// cancellation token: the join loops call `ctx->Check()` once per
@@ -192,6 +204,7 @@ class QueryEngine {
   Database* db_;
   IndexManager* indexes_;
   cache::PlanCache* plan_cache_ = nullptr;
+  const SystemCatalog* catalog_ = nullptr;
 };
 
 /// True when `text` matches the SQL-style `like` pattern (`%` = any run,

@@ -136,6 +136,7 @@ Result<std::unique_ptr<Follower>> Follower::Start(Options options) {
   server_options.read_only = true;
   Follower* raw = follower.get();
   server_options.replication_probe = [raw] { return raw->ProgressJson(); };
+  server_options.replication_rows = [raw] { return raw->ProgressRows(); };
   follower->server_ = std::make_unique<server::Server>(
       follower->db_.get(), std::move(server_options));
 
@@ -205,6 +206,28 @@ std::string Follower::ProgressJson() const {
       << ",\"rebootstraps\":" << p.rebootstraps
       << ",\"corrupt_frames\":" << p.corrupt_frames << "}";
   return out.str();
+}
+
+std::vector<Value> Follower::ProgressRows() const {
+  const Progress p = progress();
+  auto u64 = [](std::uint64_t v) {
+    return Value::Int(static_cast<std::int64_t>(v));
+  };
+  std::vector<Value> rows;
+  rows.push_back(Value::MakeStruct({{"role", Value::String("follower")},
+                                    {"connected", Value::Bool(p.connected)},
+                                    {"caught_up", Value::Bool(p.caught_up)},
+                                    {"generation", u64(p.generation)},
+                                    {"journal_seq", u64(p.journal_seq)},
+                                    {"offset", u64(p.offset)},
+                                    {"records_applied", u64(p.records_applied)},
+                                    {"lag_records", u64(p.lag_records)},
+                                    {"lag_bytes", u64(p.lag_bytes)},
+                                    {"reconnects", u64(p.reconnects)},
+                                    {"rebootstraps", u64(p.rebootstraps)},
+                                    {"corrupt_frames", u64(p.corrupt_frames)},
+                                    {"polls", u64(p.polls)}}));
+  return rows;
 }
 
 bool Follower::WaitCaughtUp(int timeout_ms) {

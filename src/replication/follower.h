@@ -132,6 +132,12 @@ class Follower {
   /// The JSON object the server's /health embeds as "replication".
   std::string ProgressJson() const;
 
+  /// The same progress as `sys.replication` rows: one struct Value for this
+  /// follower's link. Field for field identical to ProgressJson, read from
+  /// the same Progress snapshot, so the catalog can never drift from
+  /// /health.
+  std::vector<Value> ProgressRows() const;
+
   /// Blocks until the follower is connected and at the leader's live tail
   /// (or `timeout_ms` elapses). False on timeout.
   bool WaitCaughtUp(int timeout_ms);

@@ -7,9 +7,12 @@
 
 #include "cache/result_size.h"
 #include "common/exec_context.h"
+#include "core/read_view.h"
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/wait_profiler.h"
+#include "query/system_catalog.h"
 
 namespace prometheus::server {
 
@@ -264,9 +267,11 @@ Server::Server(Database* db, Options options)
                                             options.admission}),
       sessions_(this),
       store_(options.store),
+      indexes_(options.indexes),
       read_only_(options.read_only),
       writer_wait_warn_micros_(options.writer_wait_warn_micros),
       replication_probe_(std::move(options.replication_probe)),
+      replication_rows_(std::move(options.replication_rows)),
       server_epoch_(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::system_clock::now().time_since_epoch())
@@ -289,6 +294,10 @@ Server::Server(Database* db, Options options)
   // listener body is one relaxed atomic add, safe to run under the write
   // guard. Result entries need no listener — epoch validation covers them.
   engine_.set_plan_cache(&query_cache_.plans());
+  // The virtual system catalog: registration is single-threaded here; the
+  // providers run on query workers against internally synchronized state.
+  RegisterSystemCatalog();
+  engine_.set_system_catalog(&catalog_);
   ddl_listener_ = db_->bus().Subscribe([this](const Event& e) {
     switch (e.kind) {
       case EventKind::kAfterDefineClass:
@@ -307,6 +316,301 @@ Server::Server(Database* db, Options options)
   // off the first query's latency — and off any code path that might
   // otherwise first acquire while a writer churns.
   (void)db_->AcquireSnapshot();
+}
+
+namespace {
+
+/// Rough in-memory footprint of one stored attribute value, for the
+/// `sys.storage` approx_bytes column. An estimate, not an audit: strings
+/// and collections dominate, fixed-size payloads count as one Value slot.
+std::size_t ApproxValueBytes(const Value& v) {
+  std::size_t n = sizeof(Value);
+  switch (v.type()) {
+    case ValueType::kString:
+      n += v.AsString().size();
+      break;
+    case ValueType::kList:
+      for (const Value& e : v.AsList()) n += ApproxValueBytes(e);
+      break;
+    case ValueType::kStruct:
+      for (const auto& [name, field] : v.AsStruct()) {
+        n += name.size() + ApproxValueBytes(field);
+      }
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+/// The read view catalog providers resolve against: the thread's installed
+/// view when a query pinned a snapshot, else the live database. Matches
+/// QueryEngine::view() so `sys.classes` / `sys.storage` rows are computed
+/// under the same MVCC cut as the query's other ranges.
+const ReadView& ProviderView(const Database* db) {
+  const ReadView* v = CurrentReadView();
+  return v != nullptr ? *v : static_cast<const ReadView&>(*db);
+}
+
+Value StringList(const std::vector<std::string>& items) {
+  Value::List out;
+  out.reserve(items.size());
+  for (const std::string& s : items) out.push_back(Value::String(s));
+  return Value::MakeList(std::move(out));
+}
+
+}  // namespace
+
+void Server::RegisterSystemCatalog() {
+  using pool::SystemCatalog;
+  // sys.catalog — the catalog's own listing (registered first so it can
+  // describe itself; materialization runs after every Register call).
+  catalog_.Register(
+      "sys.catalog", "Every sys.* class: name, help, attributes",
+      {"class", "help", "attributes"}, [this]() {
+        std::vector<Value> rows;
+        for (const SystemCatalog::ClassInfo& info : catalog_.ListClasses()) {
+          rows.push_back(Value::MakeStruct({{"class", Value::String(info.name)},
+                                            {"help", Value::String(info.help)},
+                                            {"attributes",
+                                             StringList(info.attributes)}}));
+        }
+        return rows;
+      });
+
+  // sys.metrics — the registry flattened to one row per instrument. Every
+  // row carries every field; inapplicable ones are null (counters have no
+  // percentiles, histograms no single value).
+  catalog_.Register(
+      "sys.metrics",
+      "Every registered metric: counters, gauges and histogram summaries",
+      {"name", "kind", "value", "count", "sum", "p50", "p95", "p99", "help"},
+      []() {
+        obs::UpdateProcessUptime();
+        const obs::MetricsSnapshot snap = obs::Registry().Snapshot();
+        std::vector<Value> rows;
+        rows.reserve(snap.counters.size() + snap.gauges.size() +
+                     snap.histograms.size());
+        for (const auto& c : snap.counters) {
+          rows.push_back(Value::MakeStruct(
+              {{"name", Value::String(c.name)},
+               {"kind", Value::String("counter")},
+               {"value", Value::Int(static_cast<std::int64_t>(c.value))},
+               {"count", Value::Null()},
+               {"sum", Value::Null()},
+               {"p50", Value::Null()},
+               {"p95", Value::Null()},
+               {"p99", Value::Null()},
+               {"help", Value::String(c.help)}}));
+        }
+        for (const auto& g : snap.gauges) {
+          rows.push_back(Value::MakeStruct({{"name", Value::String(g.name)},
+                                            {"kind", Value::String("gauge")},
+                                            {"value", Value::Int(g.value)},
+                                            {"count", Value::Null()},
+                                            {"sum", Value::Null()},
+                                            {"p50", Value::Null()},
+                                            {"p95", Value::Null()},
+                                            {"p99", Value::Null()},
+                                            {"help", Value::String(g.help)}}));
+        }
+        for (const auto& h : snap.histograms) {
+          rows.push_back(Value::MakeStruct(
+              {{"name", Value::String(h.name)},
+               {"kind", Value::String("histogram")},
+               {"value", Value::Null()},
+               {"count",
+                Value::Int(static_cast<std::int64_t>(h.hist.count))},
+               {"sum", Value::Double(h.hist.sum)},
+               {"p50", Value::Double(h.hist.Percentile(50))},
+               {"p95", Value::Double(h.hist.Percentile(95))},
+               {"p99", Value::Double(h.hist.Percentile(99))},
+               {"help", Value::String(h.help)}}));
+        }
+        return rows;
+      });
+
+  // sys.requests — the flight recorder, oldest first.
+  catalog_.Register(
+      "sys.requests",
+      "The flight recorder: the last N completed requests, oldest first",
+      {"request_id", "trace_id", "type", "priority", "code", "ok", "executed",
+       "epoch", "queue_wait_micros", "total_micros", "guard_wait_micros",
+       "execute_micros", "journal_micros", "detail"},
+      [this]() {
+        std::vector<Value> rows;
+        for (const obs::FlightRecorder::Entry& e :
+             flight_recorder_.Snapshot()) {
+          rows.push_back(Value::MakeStruct(
+              {{"request_id",
+                Value::Int(static_cast<std::int64_t>(e.request_id))},
+               {"trace_id", Value::String(e.trace_id)},
+               {"type", Value::String(e.type)},
+               {"priority", Value::String(e.priority)},
+               {"code", Value::String(e.code)},
+               {"ok", Value::Bool(e.ok)},
+               {"executed", Value::Bool(e.executed)},
+               {"epoch", Value::Int(static_cast<std::int64_t>(e.epoch))},
+               {"queue_wait_micros", Value::Double(e.queue_wait_micros)},
+               {"total_micros", Value::Double(e.total_micros)},
+               {"guard_wait_micros", Value::Double(e.guard_wait_micros)},
+               {"execute_micros", Value::Double(e.execute_micros)},
+               {"journal_micros", Value::Double(e.journal_micros)},
+               {"detail", Value::String(e.detail)}}));
+        }
+        return rows;
+      });
+
+  // sys.contention — cumulative wait-state statistics. Cumulative only:
+  // a catalog read must never consume the windowed delta the HTTP route
+  // and the shell share.
+  catalog_.Register(
+      "sys.contention",
+      "Cumulative wait-state statistics (the contention report)",
+      {"state", "count", "total_micros", "mean_micros", "p50_micros",
+       "p95_micros", "p99_micros"},
+      []() {
+        std::vector<Value> rows;
+        for (const obs::ContentionStat& s : obs::SnapshotContention()) {
+          rows.push_back(Value::MakeStruct(
+              {{"state", Value::String(s.state)},
+               {"count", Value::Int(static_cast<std::int64_t>(s.count))},
+               {"total_micros", Value::Double(s.total_micros)},
+               {"mean_micros", Value::Double(s.mean_micros)},
+               {"p50_micros", Value::Double(s.p50_micros)},
+               {"p95_micros", Value::Double(s.p95_micros)},
+               {"p99_micros", Value::Double(s.p99_micros)}}));
+        }
+        return rows;
+      });
+
+  // sys.cache — the canonical QueryCacheStats::Fields() rows, shared with
+  // `.cache stats` so the two surfaces can never drift.
+  catalog_.Register(
+      "sys.cache", "Query-cache statistics (both tiers), field/value rows",
+      {"field", "value"}, [this]() {
+        std::vector<Value> rows;
+        for (auto& [field, value] : query_cache_.Stats().Fields()) {
+          rows.push_back(
+              Value::MakeStruct({{"field", Value::String(field)},
+                                 {"value", Value::String(std::move(value))}}));
+        }
+        return rows;
+      });
+
+  // sys.replication — structured lag rows; empty on a leader/standalone.
+  catalog_.Register(
+      "sys.replication",
+      "Replication link state (one row per link; empty when not replicating)",
+      {"role", "connected", "caught_up", "generation", "journal_seq", "offset",
+       "records_applied", "lag_records", "lag_bytes", "reconnects",
+       "rebootstraps", "corrupt_frames", "polls"},
+      [this]() {
+        return replication_rows_ ? replication_rows_()
+                                 : std::vector<Value>{};
+      });
+
+  // sys.snapshots — MVCC retention/pinning, one row.
+  catalog_.Register(
+      "sys.snapshots",
+      "MVCC snapshot state: retained versions, live/pinned snapshots",
+      {"retained_versions", "live_snapshots", "pinned_snapshots",
+       "oldest_pinned_epoch", "epoch"},
+      [this]() {
+        std::vector<Value> rows;
+        rows.push_back(Value::MakeStruct(
+            {{"retained_versions",
+              Value::Int(static_cast<std::int64_t>(mvcc::RetainedVersions()))},
+             {"live_snapshots",
+              Value::Int(static_cast<std::int64_t>(mvcc::LiveSnapshots()))},
+             {"pinned_snapshots",
+              Value::Int(static_cast<std::int64_t>(db_->pinned_snapshots()))},
+             {"oldest_pinned_epoch",
+              Value::Int(
+                  static_cast<std::int64_t>(db_->oldest_pinned_epoch()))},
+             {"epoch", Value::Int(static_cast<std::int64_t>(
+                           ProviderView(db_).epoch()))}}));
+        return rows;
+      });
+
+  // sys.classes — the schema, through the query's read view (a catalog
+  // query joining sys.classes against real extents sees one MVCC cut).
+  catalog_.Register(
+      "sys.classes", "Every class definition in the schema",
+      {"name", "abstract", "supers", "subclasses", "attributes"}, [this]() {
+        const ReadView& view = ProviderView(db_);
+        std::vector<Value> rows;
+        for (const ClassDef* cls : view.classes()) {
+          std::vector<std::string> supers, subs, attrs;
+          for (const ClassDef* s : cls->supers()) supers.push_back(s->name());
+          for (const ClassDef* s : cls->subclasses()) {
+            subs.push_back(s->name());
+          }
+          for (const AttributeDef& a : cls->attributes()) {
+            attrs.push_back(a.name);
+          }
+          rows.push_back(
+              Value::MakeStruct({{"name", Value::String(cls->name())},
+                                 {"abstract", Value::Bool(cls->is_abstract())},
+                                 {"supers", StringList(supers)},
+                                 {"subclasses", StringList(subs)},
+                                 {"attributes", StringList(attrs)}}));
+        }
+        return rows;
+      });
+
+  // sys.storage — per-class extent statistics: deep cardinality, rough
+  // bytes, index coverage, and the engine's lock-free heat counters. The
+  // evidence base the ROADMAP's partitioned-extents planner will consume.
+  catalog_.Register(
+      "sys.storage",
+      "Per-class extent statistics: cardinality, approx bytes, index "
+      "coverage, scan/index heat",
+      {"class", "rows", "approx_bytes", "indexes", "scans", "index_hits",
+       "rows_scanned"},
+      [this]() {
+        const ReadView& view = ProviderView(db_);
+        std::vector<pool::ExtentHeat::Counters> heat =
+            pool::ExtentHeat::Instance().Snapshot();
+        auto heat_for = [&heat](const std::string& name) {
+          for (const pool::ExtentHeat::Counters& c : heat) {
+            if (c.class_name == name) return c;
+          }
+          return pool::ExtentHeat::Counters{};
+        };
+        std::vector<Value> rows;
+        for (const ClassDef* cls : view.classes()) {
+          const std::vector<Oid> extent = view.Extent(cls->name());
+          std::size_t bytes = 0;
+          for (Oid oid : extent) {
+            const Object* obj = view.GetObject(oid);
+            if (obj == nullptr) continue;
+            bytes += sizeof(Object) +
+                     (obj->out_links.size() + obj->in_links.size()) *
+                         sizeof(Oid);
+            for (const auto& [name, value] : obj->attrs) {
+              bytes += name.size() + ApproxValueBytes(value);
+            }
+          }
+          const pool::ExtentHeat::Counters c = heat_for(cls->name());
+          std::vector<std::string> indexed;
+          if (indexes_ != nullptr) {
+            indexed = indexes_->IndexedAttributes(cls->name());
+          }
+          rows.push_back(Value::MakeStruct(
+              {{"class", Value::String(cls->name())},
+               {"rows", Value::Int(static_cast<std::int64_t>(extent.size()))},
+               {"approx_bytes",
+                Value::Int(static_cast<std::int64_t>(bytes))},
+               {"indexes", StringList(indexed)},
+               {"scans", Value::Int(static_cast<std::int64_t>(c.scans))},
+               {"index_hits",
+                Value::Int(static_cast<std::int64_t>(c.index_hits))},
+               {"rows_scanned",
+                Value::Int(static_cast<std::int64_t>(c.rows_scanned))}}));
+        }
+        return rows;
+      });
 }
 
 Server::~Server() { Shutdown(/*drain=*/true); }
@@ -653,6 +957,12 @@ void Server::RecordFlight(RequestId id, const Request& req,
 bool Server::TryServeFromCache(RequestId id, const Request& req,
                                Response* out) {
   if (!query_cache_.results().enabled()) return false;
+  // Catalog queries describe live server internals, not an epoch-stable
+  // database state: a cached sys.* result would validate as fresh while
+  // the metrics/requests/heat it rendered moved on. Bypass lookup (and,
+  // symmetrically, insert in ExecuteQuery). A false positive here only
+  // costs the bypass.
+  if (pool::QueryTouchesCatalog(req.query)) return false;
   const bool profiled = pool::IsProfileQuery(req.query);
   // PROFILE and plain runs of the same select share one entry: the rows
   // are identical, only the rendering differs.
@@ -737,30 +1047,13 @@ Response Server::ExecuteCacheControl(RequestId id, const Request& req) {
   // Every op reports the post-op state, so `.cache clear` shows the
   // emptied cache it produced.
   resp.text = query_cache_.StatsJson();
-  const cache::ResultCache::Stats r = query_cache_.results().stats();
-  const cache::PlanCache::Stats p = query_cache_.plans().stats();
+  // One canonical rendering shared with `sys.cache`: the rows here are
+  // exactly QueryCacheStats::Fields(), so the two surfaces cannot drift.
   resp.result.columns = {"field", "value"};
-  auto row = [&resp](const char* k, std::string v) {
+  for (auto& [field, value] : query_cache_.Stats().Fields()) {
     resp.result.rows.push_back(
-        {Value::String(k), Value::String(std::move(v))});
-  };
-  char rate[32];
-  std::snprintf(rate, sizeof(rate), "%.1f%%", r.hit_rate_percent);
-  row("enabled", query_cache_.enabled() ? "true" : "false");
-  row("result_hits", std::to_string(r.hits));
-  row("result_misses", std::to_string(r.misses));
-  row("result_hit_rate", rate);
-  row("result_entries", std::to_string(r.entries));
-  row("result_bytes", std::to_string(r.bytes) + "/" +
-                          std::to_string(r.max_bytes));
-  row("result_evictions", std::to_string(r.evictions));
-  row("result_invalidations", std::to_string(r.invalidations));
-  row("result_oversize", std::to_string(r.oversize));
-  row("plan_hits", std::to_string(p.hits));
-  row("plan_misses", std::to_string(p.misses));
-  row("plan_entries", std::to_string(p.entries));
-  row("plan_invalidations", std::to_string(p.invalidations));
-  row("schema_generation", std::to_string(p.schema_generation));
+        {Value::String(field), Value::String(std::move(value))});
+  }
   return resp;
 }
 
@@ -775,8 +1068,11 @@ Response Server::ExecuteQuery(RequestId id, const Request& req,
   SnapshotHandle snap = db_->AcquireSnapshot();
   resp.epoch = snap->epoch();
   resp.waits.guard_wait_micros = 0;  // readers take no guard under MVCC
-  // The Enqueue-side lookup already missed (or the cache is off).
-  resp.cache_checked = query_cache_.results().enabled();
+  // The Enqueue-side lookup already missed (or the cache is off). Catalog
+  // queries are never cached at all — their rows track live internals, so
+  // both the lookup (TryServeFromCache) and the inserts below skip them.
+  resp.cache_checked = query_cache_.results().enabled() &&
+                       !pool::QueryTouchesCatalog(req.query);
 
   // Cooperative deadline: the engine checks this context per enumerated
   // binding, so a query that outlives its budget aborts instead of holding

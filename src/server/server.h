@@ -95,6 +95,12 @@ class Server {
     /// (lag, connection state). Must be lock-light and thread-safe; on a
     /// follower the `Follower` installs it.
     std::function<std::string()> replication_probe;
+    /// Optional structured companion to `replication_probe`: the rows the
+    /// `sys.replication` catalog class materializes (one struct Value per
+    /// replication link). Same thread-safety contract; on a follower the
+    /// `Follower` installs it. A leader (or standalone server) without one
+    /// serves an empty `sys.replication` extent.
+    std::function<std::vector<Value>()> replication_rows;
     /// Query-cache configuration (plan + result tiers), on by default.
     /// Result-cache hits resolve at Enqueue on the submitting thread —
     /// they skip the queue, the workers and the epoch guard entirely, and
@@ -171,6 +177,11 @@ class Server {
   /// `query_cache().StatsJson()` / `Clear()` are what kCacheControl runs.
   cache::QueryCache& query_cache() { return query_cache_; }
 
+  /// The virtual `sys.*` system catalog this server registered over its
+  /// own internals (see query/system_catalog.h). Immutable after
+  /// construction; the shell's `.sys` renders its listing.
+  const pool::SystemCatalog& system_catalog() const { return catalog_; }
+
   /// Queries that exceeded Options::slow_query_micros (empty when disabled).
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
@@ -227,17 +238,25 @@ class Server {
   void RecordFlight(RequestId id, const Request& req, const Response& resp,
                     double queue_wait_micros, double total_micros);
 
+  /// Registers every `sys.*` class over this server's internals. Runs in
+  /// the constructor (single-threaded); the providers themselves are
+  /// called from query workers and must stay lock-light.
+  void RegisterSystemCatalog();
+
   Database* db_;
   cache::QueryCache query_cache_;
+  pool::SystemCatalog catalog_;
   pool::QueryEngine engine_;
   obs::SlowQueryLog slow_log_;
   obs::FlightRecorder flight_recorder_;
   ThreadPoolExecutor executor_;
   SessionManager sessions_;
   storage::DurableStore* store_;
+  IndexManager* indexes_;
   const bool read_only_;
   const double writer_wait_warn_micros_;
   const std::function<std::string()> replication_probe_;
+  const std::function<std::vector<Value>()> replication_rows_;
   const std::uint64_t server_epoch_;
   /// DDL listener bumping the plan cache's schema generation. Subscribed
   /// during (single-threaded) construction, unsubscribed in the destructor

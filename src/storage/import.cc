@@ -25,6 +25,14 @@ Value RemapValue(const Value& value,
       }
       return Value::MakeList(std::move(out));
     }
+    case ValueType::kStruct: {
+      Value::Struct out;
+      out.reserve(value.AsStruct().size());
+      for (const auto& [name, v] : value.AsStruct()) {
+        out.emplace_back(name, RemapValue(v, map));
+      }
+      return Value::MakeStruct(std::move(out));
+    }
     default:
       return value;
   }
@@ -35,6 +43,11 @@ bool ContainsRef(const Value& value) {
   if (value.type() == ValueType::kRef) return true;
   if (value.type() == ValueType::kList) {
     for (const Value& v : value.AsList()) {
+      if (ContainsRef(v)) return true;
+    }
+  }
+  if (value.type() == ValueType::kStruct) {
+    for (const auto& [name, v] : value.AsStruct()) {
       if (ContainsRef(v)) return true;
     }
   }

@@ -212,6 +212,14 @@ std::string EncodeValue(const Value& value) {
       for (const Value& v : value.AsList()) out += EncodeValue(v);
       return out;
     }
+    case ValueType::kStruct: {
+      std::string out = "t" + std::to_string(value.AsStruct().size()) + ":";
+      for (const auto& [name, v] : value.AsStruct()) {
+        out += EncodeString(name);
+        out += EncodeValue(v);
+      }
+      return out;
+    }
   }
   return "n";
 }
@@ -265,6 +273,23 @@ Result<Value> DecodeValue(const std::string& text, std::size_t* pos) {
         items.push_back(std::move(v));
       }
       return Value::MakeList(std::move(items));
+    }
+    case 't': {
+      std::size_t colon = text.find(':', *pos);
+      if (colon == std::string::npos) {
+        return Status::IoError("corrupt record: bad struct length");
+      }
+      PROMETHEUS_ASSIGN_OR_RETURN(std::uint64_t count,
+                                  ParseU64(text.substr(*pos, colon - *pos)));
+      *pos = colon + 1;
+      Value::Struct fields;
+      fields.reserve(count < kMaxReserve ? count : kMaxReserve);
+      for (std::size_t i = 0; i < count; ++i) {
+        PROMETHEUS_ASSIGN_OR_RETURN(std::string name, DecodeString(text, pos));
+        PROMETHEUS_ASSIGN_OR_RETURN(Value v, DecodeValue(text, pos));
+        fields.emplace_back(std::move(name), std::move(v));
+      }
+      return Value::MakeStruct(std::move(fields));
     }
     default:
       return Status::IoError("corrupt record: unknown value tag");

@@ -5,14 +5,31 @@
 // regression fails the build even if no unit test anticipated it.
 //
 //   curl -fsS localhost:9464/metrics | ./promcheck
+//
+// With `--print <sample-name>` it additionally prints that sample's value
+// (integral values without a decimal point) after validating, so the
+// smoke job can cross-check a scraped counter against another surface —
+// e.g. the same counter read through a `sys.metrics` POOL query.
+//
+//   curl -fsS localhost:9464/metrics | ./promcheck --print server_queries_total
 
+#include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "prometheus_text_parser.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string print_name;
+  if (argc == 3 && std::string(argv[1]) == "--print") {
+    print_name = argv[2];
+  } else if (argc != 1) {
+    std::cerr << "usage: promcheck [--print <sample-name>] < exposition\n";
+    return 2;
+  }
+
   std::ostringstream input;
   input << std::cin.rdbuf();
   const std::string text = input.str();
@@ -23,6 +40,21 @@ int main() {
   if (!error.empty()) {
     std::cerr << "promcheck: " << error << "\n";
     return 1;
+  }
+  if (!print_name.empty()) {
+    const prometheus::testing::PromSample* sample =
+        exposition.FindSample(print_name);
+    if (sample == nullptr) {
+      std::cerr << "promcheck: no sample named '" << print_name << "'\n";
+      return 1;
+    }
+    if (sample->value == std::floor(sample->value) &&
+        std::isfinite(sample->value)) {
+      std::cout << static_cast<std::int64_t>(sample->value) << "\n";
+    } else {
+      std::cout << sample->value << "\n";
+    }
+    return 0;
   }
   std::size_t samples = 0;
   for (const auto& f : exposition.families) samples += f.samples.size();

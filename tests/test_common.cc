@@ -98,6 +98,48 @@ TEST(ValueTest, ListEquality) {
   EXPECT_FALSE(a.Equals(c));
 }
 
+TEST(ValueTest, StructAccessorsAndFieldLookup) {
+  Value v = Value::MakeStruct(
+      {{"name", Value::String("Apium")}, {"rows", Value::Int(4)}});
+  ASSERT_EQ(v.type(), ValueType::kStruct);
+  ASSERT_EQ(v.AsStruct().size(), 2u);
+  EXPECT_TRUE(v.HasField("name"));
+  EXPECT_FALSE(v.HasField("nope"));
+  ASSERT_NE(v.Field("rows"), nullptr);
+  EXPECT_EQ(v.Field("rows")->AsInt(), 4);
+  EXPECT_EQ(v.Field("nope"), nullptr);
+}
+
+TEST(ValueTest, StructEqualityIsOrderSensitive) {
+  Value a = Value::MakeStruct({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value b = Value::MakeStruct({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value swapped =
+      Value::MakeStruct({{"y", Value::Int(2)}, {"x", Value::Int(1)}});
+  Value renamed =
+      Value::MakeStruct({{"x", Value::Int(1)}, {"z", Value::Int(2)}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(swapped));  // field order is part of the identity
+  EXPECT_FALSE(a.Equals(renamed));
+  EXPECT_FALSE(a.Equals(Value::MakeStruct({{"x", Value::Int(1)}})));
+}
+
+TEST(ValueTest, StructToStringRendersFields) {
+  Value v = Value::MakeStruct(
+      {{"name", Value::String("a")},
+       {"tags", Value::MakeList({Value::Int(1), Value::Int(2)})}});
+  EXPECT_EQ(v.ToString(), "{name: \"a\", tags: [1, 2]}");
+  EXPECT_EQ(Value::MakeStruct({}).ToString(), "{}");
+}
+
+TEST(ValueTest, StructIndexKeyDistinguishesNamesAndValues) {
+  Value a = Value::MakeStruct({{"x", Value::Int(1)}});
+  Value b = Value::MakeStruct({{"y", Value::Int(1)}});
+  Value c = Value::MakeStruct({{"x", Value::Int(2)}});
+  EXPECT_EQ(a.IndexKey(), Value::MakeStruct({{"x", Value::Int(1)}}).IndexKey());
+  EXPECT_NE(a.IndexKey(), b.IndexKey());
+  EXPECT_NE(a.IndexKey(), c.IndexKey());
+}
+
 TEST(ValueTest, Compare) {
   EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)).value(), -1);
   EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)).value(), 0);
@@ -135,7 +177,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Value::Null(), Value::Bool(false), Value::Int(-3),
                       Value::Double(3.25), Value::String(""),
                       Value::String("taxon"), Value::Ref(17),
-                      Value::MakeList({Value::Int(1), Value::Null()})));
+                      Value::MakeList({Value::Int(1), Value::Null()}),
+                      Value::MakeStruct({{"k", Value::String("v")},
+                                         {"n", Value::Int(9)}})));
 
 }  // namespace
 }  // namespace prometheus

@@ -564,6 +564,66 @@ TEST_F(NetTest, DebugContentionServesCumulativeAndWindowedReports) {
   EXPECT_EQ(Fetch("POST", "/debug/contention", "x").status_code, 405);
 }
 
+TEST_F(NetTest, DebugRequestsValidatesTheLimitParameter) {
+  ASSERT_EQ(Fetch("POST", "/query", "select p.name from Part p").status_code,
+            200);
+  // A valid limit trims to the N most recent entries: exactly one "id"
+  // key survives however many requests ran before.
+  const HttpResponse limited = Fetch("GET", "/debug/requests?limit=1");
+  EXPECT_EQ(limited.status_code, 200);
+  const std::string id_key = "\"id\":";
+  std::size_t ids = 0;
+  for (std::size_t at = limited.body.find(id_key); at != std::string::npos;
+       at = limited.body.find(id_key, at + id_key.size())) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 1u) << limited.body;
+  // Malformed or out-of-range values answer 400, not a silent default.
+  for (const char* bad :
+       {"limit=0", "limit=-1", "limit=abc", "limit=", "limit=1e3",
+        "limit=2000000", "limit=99999999"}) {
+    const HttpResponse resp =
+        Fetch("GET", std::string("/debug/requests?") + bad);
+    EXPECT_EQ(resp.status_code, 400) << bad << ": " << resp.body;
+    EXPECT_NE(resp.body.find("limit must be an integer"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST_F(NetTest, DebugContentionValidatesTheWindowParameter) {
+  for (const char* good : {"window=1", "window=0", "window=true",
+                           "window=false", "window="}) {
+    EXPECT_EQ(
+        Fetch("GET", std::string("/debug/contention?") + good).status_code,
+        200)
+        << good;
+  }
+  for (const char* bad : {"window=2", "window=yes", "window=TRUE",
+                          "window=01", "window=x"}) {
+    const HttpResponse resp =
+        Fetch("GET", std::string("/debug/contention?") + bad);
+    EXPECT_EQ(resp.status_code, 400) << bad << ": " << resp.body;
+    EXPECT_NE(resp.body.find("window must be one of"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST_F(NetTest, PostQueryServesTheSystemCatalog) {
+  // The catalog's struct rows ride the same JSON envelope as any query.
+  const HttpResponse resp = Fetch(
+      "POST", "/query",
+      "select s.class, s.rows from sys.storage s where s.class = 'Part'");
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_NE(resp.body.find("\"code\":\"ok\""), std::string::npos);
+  // String cells render POOL-style (quoted) and then JSON-escape.
+  EXPECT_NE(resp.body.find("\\\"Part\\\""), std::string::npos) << resp.body;
+  // Whole structs serialize through their rendered form, escaped.
+  const HttpResponse whole =
+      Fetch("POST", "/query", "select m from sys.metrics m limit 1");
+  EXPECT_EQ(whole.status_code, 200);
+  EXPECT_NE(whole.body.find("name:"), std::string::npos) << whole.body;
+}
+
 TEST_F(NetTest, MetricsConformanceCoversWaitStateFamilies) {
   // Force every contention family to register, then drive traffic through
   // them, then hold the whole exposition to the strict parser.

@@ -453,6 +453,40 @@ TEST(ReplicationE2ETest, FollowerConvergesServesReadsRefusesWrites) {
   EXPECT_TRUE(p.connected);
   EXPECT_TRUE(p.caught_up);
   EXPECT_EQ(p.lag_records, 0u);
+
+  // sys.replication is the same Progress snapshot as POOL rows: querying
+  // the replica's own catalog reports exactly what /health embeds. The
+  // stream is quiescent (writer stopped, caught up), so every field but
+  // the poll counter is stable across the two reads.
+  auto repl = reader.Query(
+      "select r.role, r.connected, r.caught_up, r.generation, "
+      "r.journal_seq, r.offset, r.records_applied, r.lag_records, "
+      "r.lag_bytes from sys.replication r");
+  ASSERT_TRUE(repl.ok()) << repl.status().ToString();
+  ASSERT_EQ(repl.value().rows.size(), 1u);
+  const auto& row = repl.value().rows[0];
+  EXPECT_EQ(row[0].AsString(), "follower");
+  EXPECT_TRUE(row[1].AsBool());
+  EXPECT_TRUE(row[2].AsBool());
+  EXPECT_EQ(row[3].AsInt(), static_cast<std::int64_t>(p.generation));
+  EXPECT_EQ(row[4].AsInt(), static_cast<std::int64_t>(p.journal_seq));
+  EXPECT_EQ(row[5].AsInt(), static_cast<std::int64_t>(p.offset));
+  EXPECT_EQ(row[6].AsInt(),
+            static_cast<std::int64_t>(p.records_applied));
+  EXPECT_EQ(row[7].AsInt(), 0);
+  EXPECT_EQ(row[8].AsInt(), 0);
+  // Field for field against the health gauges the probe renders.
+  EXPECT_NE(health.value().body.find("\"lag_records\":0"),
+            std::string::npos)
+      << health.value().body;
+  EXPECT_NE(health.value().body.find(
+                "\"offset\":" + std::to_string(p.offset)),
+            std::string::npos)
+      << health.value().body;
+  // The leader, which replicates to nobody, reports an empty extent.
+  auto leader_rows = writer.Query("select r from sys.replication r");
+  ASSERT_TRUE(leader_rows.ok()) << leader_rows.status().ToString();
+  EXPECT_TRUE(leader_rows.value().rows.empty());
 }
 
 // Fleet-wide trace stitching: every leader fetch carries an
